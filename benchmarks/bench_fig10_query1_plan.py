@@ -1,0 +1,60 @@
+"""Figure 10 and §11: Query 1 — nearby unsaturated galaxies.
+
+"This query returns 19 galaxies in 50 milliseconds of CPU time and 0.19
+seconds of elapsed time."  The plan nested-loop joins the output of the
+spatial table-valued function with the PhotoObj table, sorts by
+distance and inserts into a ##results table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_report
+from repro.bench import ExperimentReport
+from repro.engine.explain import plan_operators
+from repro.skyserver import query_by_id
+
+PAPER_ROWS = 19
+PAPER_CPU_SECONDS = 0.050
+PAPER_ELAPSED_SECONDS = 0.19
+PAPER_TVF_ROWS = 22
+
+
+def test_figure10_query1(benchmark, bench_server):
+    execution = benchmark.pedantic(
+        bench_server.run_data_mining_query, args=("Q1",), rounds=5, iterations=1)
+
+    plan_text = execution.plan_text()
+    labels = plan_operators(execution.result.plan)
+
+    report = ExperimentReport(
+        "Figure 10 / §11 — Query 1 (galaxies near (185, -0.5) without saturated pixels)",
+        query_by_id("Q1").title)
+    report.add("rows returned", PAPER_ROWS, execution.row_count)
+    report.add("CPU seconds", PAPER_CPU_SECONDS, round(execution.cpu_seconds, 4), unit="s",
+               note="paper hardware: 2x1GHz; reproduction: Python engine")
+    report.add("elapsed seconds", PAPER_ELAPSED_SECONDS, round(execution.elapsed_seconds, 4),
+               unit="s")
+    report.add("plan: TVF feeding a nested-loop join", "yes",
+               "yes" if ("Table-valued Function" in labels
+                         and any("Nested Loop" in label for label in labels)) else "no")
+    report.add("plan: sort before insert", "yes",
+               "yes" if "Sort" in labels and "Table Insert" in labels else "no")
+    report.add_note("plan:\n" + plan_text)
+    print_report(report)
+
+    assert execution.row_count >= 5
+    assert "Table-valued Function" in labels
+    assert any("Nested Loop" in label for label in labels)
+    assert "Sort" in labels
+    assert "Table Insert" in labels
+    # The ##results table was materialised by the INTO clause.
+    assert bench_server.database.has_table("##results")
+
+
+def test_figure10_results_are_sorted_by_distance(bench_server):
+    execution = bench_server.run_data_mining_query("Q1")
+    distances = [row["distance"] for row in execution.result.rows]
+    assert distances == sorted(distances)
+    assert all(distance <= 1.0 for distance in distances)

@@ -1,0 +1,96 @@
+"""Figure 5 and §7: seven months of SkyServer web traffic.
+
+"In the first 7 months it served about 2.5 million hits, a million page
+views via 70 thousand sessions.  About 4% of these are to the Japanese
+sub-web and 3% to the German sub-web.  The educational projects got
+about 8% of the traffic: about 250 page views a day.  The server has
+been up 99.83% of the time ...  The sustained usage is about 500 people
+accessing about 4,000 pages per day ...  A TV show on October 2
+generated a peak 20x the average load.  About 30% of the traffic is
+from other sites crawling the SkyServer.  There are about 5 hacker
+attacks per day."
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from conftest import print_report
+from repro.bench import ExperimentReport, same_order_of_magnitude
+from repro.traffic import TrafficModelConfig, analyze, ascii_chart, generate_weblog
+
+PAPER = {
+    "hits": 2.5e6,
+    "page_views": 1.0e6,
+    "sessions": 70_000,
+    "japanese": 0.04,
+    "german": 0.03,
+    "education": 0.08,
+    "education_pages_per_day": 250,
+    "crawler": 0.30,
+    "uptime": 99.83,
+    "sessions_per_day": 500,
+    "pages_per_day": 4000,
+    "tv_peak_ratio": 20.0,
+    "hacker_per_day": 5.0,
+}
+
+
+@pytest.fixture(scope="module")
+def traffic_report():
+    log = generate_weblog(TrafficModelConfig(seed=2001))
+    return analyze(log)
+
+
+def test_figure5_site_traffic(benchmark, traffic_report):
+    def regenerate_and_analyze():
+        return analyze(generate_weblog(TrafficModelConfig(seed=2001)))
+
+    report_measured = benchmark.pedantic(regenerate_and_analyze, rounds=3, iterations=1)
+
+    report = ExperimentReport(
+        "Figure 5 / §7 — site traffic over the first seven months",
+        "Synthetic log calibrated to the published aggregates; the analyzer "
+        "recomputes every statistic from the per-day records.")
+    report.add("total hits", PAPER["hits"], report_measured.total_hits)
+    report.add("total page views", PAPER["page_views"], report_measured.total_page_views)
+    report.add("total sessions", PAPER["sessions"], report_measured.total_sessions)
+    report.add("Japanese sub-web share", PAPER["japanese"],
+               round(report_measured.japanese_page_fraction, 3))
+    report.add("German sub-web share", PAPER["german"],
+               round(report_measured.german_page_fraction, 3))
+    report.add("education share", PAPER["education"],
+               round(report_measured.education_page_fraction, 3))
+    report.add("education page views / day", PAPER["education_pages_per_day"],
+               round(report_measured.education_page_views_per_day))
+    report.add("crawler share of hits", PAPER["crawler"],
+               round(report_measured.crawler_hit_fraction, 3))
+    report.add("uptime percent", PAPER["uptime"], round(report_measured.uptime_percent, 2))
+    report.add("sustained sessions / day", PAPER["sessions_per_day"],
+               round(report_measured.mean_sessions_per_day))
+    report.add("sustained page views / day", PAPER["pages_per_day"],
+               round(report_measured.mean_page_views_per_day))
+    report.add("TV-show peak / mean", PAPER["tv_peak_ratio"],
+               round(report_measured.peak_to_mean_page_ratio, 1))
+    report.add("hacker attempts / day", PAPER["hacker_per_day"],
+               round(report_measured.hacker_attempts_per_day, 1))
+    print_report(report)
+
+    print(ascii_chart(report_measured))
+
+    assert same_order_of_magnitude(PAPER["hits"], report_measured.total_hits, tolerance=2.0)
+    assert same_order_of_magnitude(PAPER["page_views"], report_measured.total_page_views,
+                                   tolerance=2.0)
+    assert abs(report_measured.total_sessions - PAPER["sessions"]) / PAPER["sessions"] < 0.2
+    assert report_measured.peak_day == dt.date(2001, 10, 2)
+    assert report_measured.crawler_hit_fraction == pytest.approx(PAPER["crawler"], abs=0.06)
+
+
+def test_figure5_outages_visible_in_daily_series(traffic_report):
+    by_date = {point.date: point for point in traffic_report.daily}
+    for outage in (dt.date(2001, 6, 22), dt.date(2001, 7, 26)):
+        day_before = by_date[outage - dt.timedelta(days=1)]
+        day_of = by_date[outage]
+        assert day_of.hits < day_before.hits

@@ -1,0 +1,86 @@
+"""Figure 8 / §9.1.4: the HTM spatial index.
+
+The paper's claims: 20-deep HTM triangles are a fraction of an
+arcsecond on a side; every trixel's descendants occupy a contiguous
+B-tree range, so spatial searches become a handful of index range
+scans; and the layered functions (fGetNearbyObjEq) make cone searches
+"simple to state and execute quickly".
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import print_report
+from repro import htm
+from repro.bench import ExperimentReport, measure
+from repro.skyserver.spatial import get_nearby_objects
+
+PAPER_TRIANGLE_SIDE_ARCSEC = 0.1       # "individual triangles are less than 0.1 arcseconds"
+PAPER_DEPTH = 20
+
+
+def test_htm_point_lookup_rate(benchmark):
+    rng = random.Random(5)
+    points = [(rng.uniform(0, 360), rng.uniform(-60, 60)) for _ in range(200)]
+
+    def lookup_batch():
+        return [htm.lookup_id(ra, dec) for ra, dec in points]
+
+    ids = benchmark(lookup_batch)
+
+    report = ExperimentReport(
+        "Figure 8 — HTM point indexing",
+        "Depth-20 trixel ids for random sky positions.")
+    report.add("HTM depth", PAPER_DEPTH, htm.htm_level(ids[0]))
+    report.add("triangle side at depth 20", PAPER_TRIANGLE_SIDE_ARCSEC,
+               round(htm.triangle_side_arcsec(PAPER_DEPTH), 3), unit="arcsec",
+               note="same order of magnitude; the paper quotes <0.1 arcsec")
+    print_report(report)
+
+    assert all(htm.htm_level(htm_id) == PAPER_DEPTH for htm_id in ids)
+    assert htm.triangle_side_arcsec(PAPER_DEPTH) < 1.0
+
+
+def test_htm_cover_drives_index_range_scans(benchmark, bench_database):
+    """A cone search is a few B-tree range scans plus an exact distance filter."""
+    def cone():
+        return get_nearby_objects(bench_database, 185.0, -0.5, 1.0)
+
+    rows = benchmark(cone)
+    ranges = htm.cover_circle(185.0, -0.5, 1.0)
+
+    with measure() as brute_timing:
+        brute = []
+        for _rid, row in bench_database.table("PhotoObj").iter_rows():
+            if htm.arcmin_between(185.0, -0.5, row["ra"], row["dec"]) <= 1.0:
+                brute.append(row["objid"])
+    with measure() as indexed_timing:
+        cone()
+
+    report = ExperimentReport(
+        "§9.1.4 — cone search through the HTM index vs brute force",
+        "fGetNearbyObjEq(185, -0.5, 1): HTM cover ranges probed through the htmID index.")
+    report.add("cover ranges", "a small set of triangles", len(ranges))
+    report.add("objects returned", None, len(rows))
+    report.add("indexed cone search", None, round(indexed_timing.elapsed_seconds, 4), unit="s")
+    report.add("brute-force distance scan", None, round(brute_timing.elapsed_seconds, 4), unit="s")
+    report.add("speed-up", "the point of the index",
+               round(brute_timing.elapsed_seconds / max(indexed_timing.elapsed_seconds, 1e-9), 1),
+               unit="x")
+    print_report(report)
+
+    assert {row["objID"] for row in rows} == set(brute)
+    assert indexed_timing.elapsed_seconds < brute_timing.elapsed_seconds
+
+
+def test_htm_cover_tightness(benchmark):
+    """Covers stay small: a 1-arcminute circle needs only a handful of ranges."""
+    def covers():
+        return [htm.cover_circle(185.0, -0.5, radius) for radius in (0.5, 1.0, 5.0, 30.0)]
+
+    results = benchmark(covers)
+    for ranges in results:
+        assert 1 <= len(ranges) <= 64

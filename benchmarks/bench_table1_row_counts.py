@@ -1,0 +1,82 @@
+"""Table 1: record counts and byte sizes of the major tables.
+
+The paper's Table 1 lists the Early Data Release's row counts and sizes
+(Field 14k/60MB ... Neighbors 111M/5GB ...) and notes that "indices
+approximately double the space".  The reproduction loads a survey at a
+declared scale factor, so the comparison is on the *ratios* between
+tables (rows per PhotoObj row, bytes per row) and on the index-space
+overhead, not on absolute sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_report
+from repro.bench import ExperimentReport
+
+#: Table 1 of the paper: records and data bytes.
+PAPER_TABLE1 = {
+    "Field": (14_000, 60e6),
+    "Frame": (73_000, 6e9),
+    "PhotoObj": (14_000_000, 31e9),
+    "Profile": (14_000_000, 9e9),
+    "Neighbors": (111_000_000, 5e9),
+    "Plate": (98, 80e3),
+    "SpecObj": (63_000, 1e9),
+    "SpecLine": (1_700_000, 225e6),
+    "SpecLineIndex": (1_800_000, 142e6),
+    "xcRedShift": (1_900_000, 157e6),
+    "elRedShift": (51_000, 3e6),
+}
+
+
+def build_size_report(database):
+    return {entry["table"]: entry for entry in database.size_report()}
+
+
+def test_table1_row_counts_and_sizes(benchmark, bench_database, bench_config):
+    sizes = benchmark.pedantic(build_size_report, args=(bench_database,),
+                               rounds=3, iterations=1)
+
+    report = ExperimentReport(
+        "Table 1 — records and bytes in the major tables",
+        f"Synthetic survey at scale {bench_config.scale} of the EDR; "
+        "paper counts are scaled by that factor for comparison.")
+    scale = bench_config.scale
+    photo_measured = sizes["PhotoObj"]["records"]
+    photo_paper = PAPER_TABLE1["PhotoObj"][0]
+    for table, (paper_records, paper_bytes) in PAPER_TABLE1.items():
+        measured = sizes.get(table, {"records": 0, "data_bytes": 0})
+        report.add(f"{table} records (scaled)", paper_records * scale, measured["records"])
+        report.add(f"{table} rows per PhotoObj row", paper_records / photo_paper,
+                   measured["records"] / photo_measured if photo_measured else 0.0)
+    paper_photo_row_bytes = PAPER_TABLE1["PhotoObj"][1] / PAPER_TABLE1["PhotoObj"][0]
+    measured_photo_row_bytes = (sizes["PhotoObj"]["data_bytes"] / photo_measured
+                                if photo_measured else 0.0)
+    report.add("PhotoObj bytes per row", paper_photo_row_bytes, measured_photo_row_bytes,
+               unit="bytes", note="paper ~2KB per ~400-attribute record")
+    total_data = sum(entry["data_bytes"] for entry in sizes.values())
+    total_index = sum(entry["index_bytes"] for entry in sizes.values())
+    report.add("index space / data space", 1.0,
+               total_index / total_data if total_data else 0.0,
+               note="paper: indices approximately double the space")
+    print_report(report)
+
+    # Structural assertions: the relative shape of Table 1 must hold.
+    assert sizes["Profile"]["records"] == sizes["PhotoObj"]["records"]
+    assert sizes["Frame"]["records"] == 5 * sizes["Field"]["records"]
+    assert sizes["SpecLine"]["records"] >= 20 * sizes["SpecObj"]["records"]
+    assert sizes["Neighbors"]["records"] >= 3 * sizes["PhotoObj"]["records"]
+    assert 0.2 <= total_index / total_data <= 2.5
+
+
+def test_table1_photoobj_dominates_storage(benchmark, bench_database):
+    sizes = benchmark.pedantic(build_size_report, args=(bench_database,),
+                               rounds=1, iterations=1)
+    photo_bytes = sizes["PhotoObj"]["data_bytes"]
+    spectro_bytes = sum(sizes[name]["data_bytes"]
+                        for name in ("SpecObj", "SpecLine", "SpecLineIndex",
+                                     "xcRedShift", "elRedShift", "Plate"))
+    # As in the paper, the photometric catalog dwarfs the spectroscopic side.
+    assert photo_bytes > spectro_bytes

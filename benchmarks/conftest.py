@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation.  One synthetic survey (at 1/1000 of the Early Data Release,
+full sky density) is generated and loaded once per session; individual
+benchmarks then measure queries, loads, covers and model sweeps against
+it and print paper-vs-measured reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loader import SkyServerLoader
+from repro.pipeline import SurveyConfig, SyntheticSurvey
+from repro.schema import create_skyserver_database
+from repro.skyserver import QueryLimits, SkyServer
+
+#: Scale of the benchmark survey relative to the Early Data Release.
+BENCH_SCALE = 0.001
+BENCH_SEED = 2002
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-scale", action="store", default=str(BENCH_SCALE),
+                     help="survey scale (fraction of the EDR) for the benchmark database")
+
+
+@pytest.fixture(scope="session")
+def bench_config(pytestconfig) -> SurveyConfig:
+    scale = float(pytestconfig.getoption("--repro-scale"))
+    return SurveyConfig(scale=scale, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_survey(bench_config):
+    """The benchmark survey's pipeline output."""
+    return SyntheticSurvey(bench_config).run()
+
+
+@pytest.fixture(scope="session")
+def bench_database(bench_survey):
+    """The loaded, indexed benchmark database."""
+    database = create_skyserver_database(with_indices=False)
+    loader = SkyServerLoader(database)
+    report = loader.load_pipeline_output(bench_survey)
+    assert report.succeeded, report.summary()
+    return database
+
+
+@pytest.fixture(scope="session")
+def bench_server(bench_database):
+    """A private (unlimited) SkyServer over the benchmark database."""
+    return SkyServer(bench_database, limits=QueryLimits.private())
+
+
+def print_report(report) -> None:
+    """Print an ExperimentReport under the benchmark output."""
+    print()
+    print(report.render())
+    print()

@@ -1,0 +1,75 @@
+"""The loader workflow: CSV export, load steps, a failure, UNDO, fix, reload.
+
+Run with::
+
+    python examples/load_and_undo.py
+
+This reproduces the operations workflow of §9.4 / Figure 9: the
+pipeline writes CSV files, the loader runs one DTS-style step per table
+while writing loadEvents records, a deliberately corrupted file makes
+one step fail, and the operator undoes the step, fixes the file and
+re-executes it.
+"""
+
+from __future__ import annotations
+
+import csv
+import tempfile
+from pathlib import Path
+
+from repro.loader import LoadStep, SkyServerLoader
+from repro.pipeline import SurveyConfig, SyntheticSurvey
+from repro.schema import create_skyserver_database
+
+
+def corrupt_field_csv(path: Path) -> None:
+    """Duplicate the first data row so the Field load step violates its primary key."""
+    rows = list(csv.reader(path.open()))
+    rows.append(rows[1])
+    with path.open("w", newline="") as handle:
+        csv.writer(handle).writerows(rows)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="skyserver_load_"))
+    print("Generating a small synthetic survey and exporting CSV files "
+          f"(the pipeline -> loader hand-off) to {workdir} ...")
+    output = SyntheticSurvey(SurveyConfig(scale=0.0004, seed=9,
+                                          density_per_sq_deg=6000.0)).run()
+    paths = output.export_csv(workdir)
+    print(f"  wrote {len(paths)} CSV files")
+
+    print("\nCorrupting Field.csv so its load step fails ...")
+    corrupt_field_csv(paths["Field"])
+
+    database = create_skyserver_database(with_indices=False)
+    loader = SkyServerLoader(database)
+
+    print("Loading the corrupted Field step:")
+    bad_result, bad_event = loader.run_step(LoadStep.from_csv("Field", paths["Field"]))
+    print(f"  status: {'OK' if bad_result.succeeded else 'FAILED'} — {bad_result.error}")
+
+    print("\nThe loadEvents table (what the Figure 9 web page shows):")
+    for event in loader.load_events():
+        print(f"  event {event.event_id}: {event.table_name:<10s} {event.status:<8s} "
+              f"{event.inserted_rows}/{event.source_rows} rows  {event.message[:60]}")
+
+    print("\nPressing UNDO on the failed step ...")
+    removed = loader.undo(bad_event)
+    print(f"  removed {removed} rows; Field now has {database.table('Field').row_count} rows")
+
+    print("\nFixing the data (regenerating the CSV) and re-running the whole load ...")
+    output.export_csv(workdir)        # re-export clean files
+    report = loader.load_directory(workdir)
+    print("  " + report.summary())
+    if report.validation is not None:
+        print("  validation: " + report.validation.summary())
+
+    print("\nFinal loadEvents trail:")
+    for event in loader.load_events():
+        print(f"  event {event.event_id}: {event.table_name:<14s} {event.status:<8s} "
+              f"{event.inserted_rows} rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Site operations: traffic analysis (Figure 5) and the hardware throughput model (Figure 15).
+
+Run with::
+
+    python examples/site_operations.py
+"""
+
+from __future__ import annotations
+
+from repro.iosim import figure15_table, saturation_points, ServerHardware, \
+    figure15_configurations, sweep_figure15
+from repro.traffic import TrafficModelConfig, analyze, ascii_chart, generate_weblog
+
+
+def main() -> None:
+    print("Seven months of synthetic SkyServer web traffic (June 2001 - February 2002):")
+    log = generate_weblog(TrafficModelConfig())
+    report = analyze(log)
+    for metric, value in report.summary_rows():
+        print(f"  {metric:<34s} {value}")
+
+    print()
+    print(ascii_chart(report))
+
+    print("\nSequential-scan bandwidth vs disk configuration (the Figure 15 model):")
+    predictions = sweep_figure15()
+    print(figure15_table(predictions))
+    annotations = saturation_points(ServerHardware(), figure15_configurations())
+    print(f"\n  one SCSI controller saturates at {annotations.one_controller_saturates_at_disks} disks")
+    print(f"  SQL's record processing saturates the CPUs at "
+          f"{annotations.sql_cpu_saturates_at_disks} disks (~331 MB/s, 75% CPU)")
+    print("\n  (the paper's goal was 50 MB/s; the measured system exceeded it by 500%)")
+
+
+if __name__ == "__main__":
+    main()

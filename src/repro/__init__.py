@@ -1,0 +1,24 @@
+"""repro: a reproduction of the SDSS SkyServer (SIGMOD 2002).
+
+The package is organised bottom-up:
+
+* :mod:`repro.engine` — an in-memory relational engine (the SQL Server
+  stand-in): tables, constraints, B-tree indices, views, functions,
+  a cost-based planner and a SQL subset front-end.
+* :mod:`repro.htm` — the Hierarchical Triangular Mesh spatial index.
+* :mod:`repro.schema` — the SkyServer photographic and spectroscopic
+  snowflake schemas, views, flags and index set.
+* :mod:`repro.pipeline` — a synthetic SDSS survey and processing
+  pipeline standing in for the real Early Data Release.
+* :mod:`repro.loader` — the DTS-style load/validate/undo pipeline.
+* :mod:`repro.skyserver` — the public query service: spatial functions,
+  result formats, query limits, the 20 data-mining queries, the Personal
+  SkyServer subset and the education projects.
+* :mod:`repro.traffic` — web-log synthesis and analysis (Figure 5).
+* :mod:`repro.iosim` — the disk/controller/bus/CPU throughput model
+  (Figure 15).
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Shared benchmark-harness helpers (paper-vs-measured reports, timing)."""
+
+from .reporting import (ComparisonRow, ExperimentReport, ascii_series,
+                        same_order_of_magnitude)
+from .timing import QueryTimingTable, Timing, measure
+
+__all__ = [
+    "ExperimentReport",
+    "ComparisonRow",
+    "ascii_series",
+    "same_order_of_magnitude",
+    "Timing",
+    "measure",
+    "QueryTimingTable",
+]

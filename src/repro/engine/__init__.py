@@ -1,0 +1,99 @@
+"""An in-memory relational engine: the SQL Server 2000 stand-in.
+
+The engine provides everything the SkyServer design of the paper relies
+on from its commercial substrate: typed tables with integrity
+constraints, B-tree indices (unique, composite, covering), views folded
+into base-table queries, scalar and table-valued functions, a planner
+that chooses between table scans, covering-index scans, index seeks and
+index/hash/nested-loop joins, execution statistics, EXPLAIN output, and
+a SQL subset front-end so the paper's query text runs verbatim.
+"""
+
+from .catalog import Database
+from .constraints import CheckConstraint, ForeignKey, PrimaryKey
+from .errors import (BindError, CatalogError, CheckViolation, ConstraintViolation,
+                     EngineError, ExpressionError, ForeignKeyViolation, LoadError,
+                     NotNullViolation, PlanError, PrimaryKeyViolation,
+                     QueryLimitExceeded, SchemaError, SQLSyntaxError,
+                     TypeMismatchError, UnknownColumnError, UnknownFunctionError)
+from .expressions import (AggregateCall, Between, BinaryOp, CaseWhen, ColumnRef,
+                          EvaluationContext, Expression, FunctionCall, InList,
+                          Like, Literal, RowScope, Star, UnaryOp, Variable)
+from .index import BTreeIndex
+from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, Query,
+                      SelectItem, TableRef)
+from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult)
+from .planner import Planner
+from .sql import SqlSession, parse_batch, parse_expression, parse_select
+from .table import Table
+from .types import (CURRENT_TIMESTAMP, Column, DataType, NULL, bigint, blob,
+                    boolean, floating, integer, text, timestamp)
+from .view import View
+
+__all__ = [
+    "Database",
+    "Table",
+    "Column",
+    "DataType",
+    "NULL",
+    "CURRENT_TIMESTAMP",
+    "integer",
+    "bigint",
+    "floating",
+    "text",
+    "boolean",
+    "timestamp",
+    "blob",
+    "PrimaryKey",
+    "ForeignKey",
+    "CheckConstraint",
+    "BTreeIndex",
+    "View",
+    "Query",
+    "LogicalQuery",
+    "SelectItem",
+    "TableRef",
+    "FunctionRef",
+    "Join",
+    "OrderItem",
+    "Planner",
+    "PhysicalPlan",
+    "QueryResult",
+    "ExecutionStatistics",
+    "SqlSession",
+    "parse_batch",
+    "parse_select",
+    "parse_expression",
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Variable",
+    "Star",
+    "BinaryOp",
+    "UnaryOp",
+    "Between",
+    "InList",
+    "Like",
+    "FunctionCall",
+    "CaseWhen",
+    "AggregateCall",
+    "RowScope",
+    "EvaluationContext",
+    "EngineError",
+    "CatalogError",
+    "SchemaError",
+    "TypeMismatchError",
+    "ConstraintViolation",
+    "NotNullViolation",
+    "PrimaryKeyViolation",
+    "ForeignKeyViolation",
+    "CheckViolation",
+    "ExpressionError",
+    "UnknownColumnError",
+    "UnknownFunctionError",
+    "SQLSyntaxError",
+    "BindError",
+    "PlanError",
+    "QueryLimitExceeded",
+    "LoadError",
+]

@@ -1,0 +1,196 @@
+"""The database catalog.
+
+A :class:`Database` owns tables, views, indices (via tables), scalar
+and table-valued functions, and temporary result tables (the ``##name``
+tables the paper's queries SELECT INTO).  It also exposes the metadata
+browsing interface that SkyServerQA's object browser presents (tables,
+columns, types, units, indexes, constraints and comments) and the
+space-accounting summary used to reproduce Table 1.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from .constraints import CheckConstraint, ConstraintReport, ForeignKey, PrimaryKey
+from .errors import CatalogError
+from .expressions import EvaluationContext
+from .functions import FunctionRegistry, normalize_function_name
+from .table import Table
+from .types import Column
+from .view import ResolvedRelation, View, fold_view_chain
+
+
+class Database:
+    """An in-memory database: the engine's equivalent of one SQL Server catalog."""
+
+    def __init__(self, name: str = "SkyServer", *, description: str = ""):
+        self.name = name
+        self.description = description
+        self.tables: dict[str, Table] = {}
+        self.views: dict[str, View] = {}
+        self.functions = FunctionRegistry()
+        self._clock: Callable[[], _dt.datetime] = lambda: _dt.datetime.now(tz=_dt.timezone.utc)
+
+    # -- clock (shared by all tables, lets the loader control timestamps) --
+
+    def set_clock(self, clock: Callable[[], _dt.datetime]) -> None:
+        self._clock = clock
+        for table in self.tables.values():
+            table.set_clock(clock)
+
+    def now(self) -> _dt.datetime:
+        return self._clock()
+
+    # -- tables -------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[Column], *,
+                     primary_key: Optional[PrimaryKey] = None,
+                     foreign_keys: Sequence[ForeignKey] = (),
+                     checks: Sequence[CheckConstraint] = (),
+                     description: str = "",
+                     replace: bool = False) -> Table:
+        key = name.lower()
+        if key in self._lowered_table_names() and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        if replace:
+            self.drop_table(name, if_exists=True)
+        table = Table(name, columns, primary_key=primary_key,
+                      foreign_keys=foreign_keys, checks=checks, description=description)
+        table.set_clock(self._clock)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        for existing in list(self.tables):
+            if existing.lower() == name.lower():
+                del self.tables[existing]
+                return
+        if not if_exists:
+            raise CatalogError(f"no table named {name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._lowered_table_names()
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        for existing, table in self.tables.items():
+            if existing.lower() == key:
+                return table
+        raise CatalogError(f"no table named {name!r}")
+
+    def _lowered_table_names(self) -> set[str]:
+        return {name.lower() for name in self.tables}
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables, key=str.lower)
+
+    # -- views ---------------------------------------------------------------
+
+    def create_view(self, view: View, *, replace: bool = False) -> View:
+        key = view.name.lower()
+        if key in {existing.lower() for existing in self.views} and not replace:
+            raise CatalogError(f"view {view.name!r} already exists")
+        if key in self._lowered_table_names():
+            raise CatalogError(f"a table named {view.name!r} already exists")
+        self.views[view.name] = view
+        return view
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in {existing.lower() for existing in self.views}
+
+    def view(self, name: str) -> View:
+        key = name.lower()
+        for existing, view in self.views.items():
+            if existing.lower() == key:
+                return view
+        raise CatalogError(f"no view named {name!r}")
+
+    def view_names(self) -> list[str]:
+        return sorted(self.views, key=str.lower)
+
+    def resolve_relation(self, name: str) -> ResolvedRelation:
+        """Fold views down to a base table; raises if the base table is missing."""
+        resolved = fold_view_chain(name, self.views)
+        if not self.has_table(resolved.table_name):
+            raise CatalogError(f"no table or view named {name!r}")
+        return resolved
+
+    # -- functions -------------------------------------------------------------
+
+    def register_scalar_function(self, name: str, implementation: Callable[..., Any], *,
+                                 description: str = "", replace: bool = False) -> None:
+        self.functions.register_scalar(name, implementation,
+                                       description=description, replace=replace)
+
+    def register_table_function(self, name: str, columns: Sequence[Column],
+                                implementation: Callable[..., Iterable[Mapping[str, Any]]], *,
+                                description: str = "", row_estimate: int = 10,
+                                replace: bool = False) -> None:
+        self.functions.register_table_valued(name, columns, implementation,
+                                             description=description,
+                                             row_estimate=row_estimate, replace=replace)
+
+    def evaluation_context(self, variables: Optional[Mapping[str, Any]] = None) -> EvaluationContext:
+        """Build the ambient context used to evaluate expressions in this database."""
+        return EvaluationContext(functions=self.functions.scalar_callables(),
+                                 variables={k.lower(): v for k, v in (variables or {}).items()})
+
+    # -- integrity validation (post-load pass) ---------------------------------
+
+    def validate_table(self, name: str) -> ConstraintReport:
+        """Re-check NOT NULL and FK constraints for every row of a table."""
+        table = self.table(name)
+        report = ConstraintReport(table=table.name)
+        nullable = {column.name.lower() for column in table.columns if column.nullable}
+        for _row_id, row in table.iter_rows():
+            report.rows_checked += 1
+            for column in table.columns:
+                if column.name.lower() not in nullable and row.get(column.name.lower()) is None:
+                    report.add(f"NULL in NOT NULL column {column.name}")
+            for foreign_key in table.foreign_keys:
+                key = foreign_key.key_of(row)
+                if key is None:
+                    continue
+                referenced = self.table(foreign_key.referenced_table)
+                if not referenced.has_key(foreign_key.referenced_columns, key):
+                    report.add(
+                        f"dangling FK {'/'.join(foreign_key.columns)}={key!r} "
+                        f"-> {foreign_key.referenced_table}")
+        return report
+
+    def validate(self, table_names: Optional[Sequence[str]] = None) -> list[ConstraintReport]:
+        names = table_names if table_names is not None else self.table_names()
+        return [self.validate_table(name) for name in names]
+
+    # -- space accounting (Table 1) ---------------------------------------------
+
+    def size_report(self) -> list[dict[str, Any]]:
+        """Per-table record counts and byte sizes, mirroring Table 1."""
+        report = []
+        for name in self.table_names():
+            table = self.table(name)
+            report.append({
+                "table": table.name,
+                "records": table.row_count,
+                "data_bytes": table.data_bytes,
+                "index_bytes": table.index_bytes(),
+                "total_bytes": table.data_bytes + table.index_bytes(),
+            })
+        return report
+
+    def total_bytes(self) -> int:
+        return sum(entry["total_bytes"] for entry in self.size_report())
+
+    # -- schema browser -----------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Full metadata tree (the SkyServerQA object browser's data source)."""
+        return {
+            "database": self.name,
+            "description": self.description,
+            "tables": [self.table(name).describe() for name in self.table_names()],
+            "views": [self.view(name).describe() for name in self.view_names()],
+            "functions": self.functions.describe(),
+        }

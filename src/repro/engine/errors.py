@@ -1,0 +1,92 @@
+"""Exception hierarchy for the relational engine.
+
+The engine raises a small, explicit family of exceptions so callers
+(the loader, the SkyServer service layer, the tests) can distinguish
+schema problems, constraint violations, SQL syntax errors and runtime
+limits without string matching.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for every error raised by :mod:`repro.engine`."""
+
+
+class CatalogError(EngineError):
+    """A schema object (table, view, index, function) is missing or duplicated."""
+
+
+class SchemaError(EngineError):
+    """A table or column definition is invalid."""
+
+
+class TypeMismatchError(EngineError):
+    """A value cannot be coerced to the declared column type."""
+
+
+class ConstraintViolation(EngineError):
+    """Base class for integrity-constraint violations."""
+
+    def __init__(self, message: str, *, table: str = "", constraint: str = ""):
+        super().__init__(message)
+        self.table = table
+        self.constraint = constraint
+
+
+class NotNullViolation(ConstraintViolation):
+    """A NOT NULL column received a NULL value."""
+
+
+class PrimaryKeyViolation(ConstraintViolation):
+    """A duplicate primary-key value was inserted."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """A foreign key referenced a row that does not exist."""
+
+
+class CheckViolation(ConstraintViolation):
+    """A CHECK constraint evaluated to false."""
+
+
+class ExpressionError(EngineError):
+    """An expression could not be evaluated (unknown column, bad operand)."""
+
+
+class UnknownColumnError(ExpressionError):
+    """A column reference did not resolve against the row scope."""
+
+
+class UnknownFunctionError(ExpressionError):
+    """A scalar or table-valued function is not registered."""
+
+
+class SQLSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(EngineError):
+    """A parsed SQL statement referenced unknown tables, columns or variables."""
+
+
+class PlanError(EngineError):
+    """The planner could not produce a physical plan for a logical query."""
+
+
+class QueryLimitExceeded(EngineError):
+    """A public-server limit (row count or elapsed time) was exceeded."""
+
+    def __init__(self, message: str, *, limit_kind: str = ""):
+        super().__init__(message)
+        self.limit_kind = limit_kind
+
+
+class LoadError(EngineError):
+    """A data-load step failed (bad CSV, failed validation, missing file)."""

@@ -1,0 +1,56 @@
+"""Query-plan rendering.
+
+The paper shows graphical plans for Query 1 (Figure 10: a table-valued
+function nested-loop-joined against PhotoObj, sorted, inserted into a
+results table), Query 15A (Figure 11: a parallel table scan) and the
+NEO pair query (Figure 12: a nested-loop join of two index scans).
+:func:`render_plan` produces an indented text rendering of the same
+information: operator, target object, predicate, estimated rows and —
+after execution — actual rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .operators import PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .operators import PhysicalPlan
+
+
+def render_operator(operator: PhysicalOperator, depth: int = 0) -> list[str]:
+    indent = "  " * depth
+    details = operator.details()
+    estimated = operator.estimated_rows()
+    line = f"{indent}-> {operator.label}"
+    if details:
+        line += f" [{details}]"
+    line += f" (estimated rows={estimated}"
+    if operator.actual_rows:
+        line += f", actual rows={operator.actual_rows}"
+    line += ")"
+    lines = [line]
+    for child in operator.children():
+        lines.extend(render_operator(child, depth + 1))
+    return lines
+
+
+def render_plan(plan: "PhysicalPlan") -> str:
+    header = []
+    if plan.description:
+        header.append(plan.description)
+    return "\n".join(header + render_operator(plan.root))
+
+
+def plan_operators(plan: "PhysicalPlan") -> list[str]:
+    """The operator labels of a plan in pre-order (handy for tests)."""
+    labels: list[str] = []
+
+    def walk(operator: PhysicalOperator) -> None:
+        labels.append(operator.label)
+        for child in operator.children():
+            walk(child)
+
+    walk(plan.root)
+    return labels

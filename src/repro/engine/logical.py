@@ -1,0 +1,220 @@
+"""Logical query description and the programmatic query-builder API.
+
+A :class:`LogicalQuery` is the engine's internal, declarative statement
+of *what* to compute: select list, relations, join conditions, filters,
+grouping, ordering, TOP and SELECT INTO target.  It is produced either
+by the SQL binder (:mod:`repro.engine.sql`) or directly through the
+fluent :class:`Query` builder, and consumed by the planner which decides
+*how* to compute it (access paths, join order, join algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from .expressions import (AggregateCall, ColumnRef, Expression, Literal, Star,
+                          combine_conjuncts)
+
+
+@dataclass
+class SelectItem:
+    """One output column: an expression and an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, AggregateCall):
+            return self.expression.result_key()
+        return f"col{position + 1}"
+
+
+@dataclass
+class TableRef:
+    """A reference to a table or view in the FROM clause."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass
+class FunctionRef:
+    """A table-valued function in the FROM clause, e.g. fGetNearbyObjEq(185, -0.5, 1)."""
+
+    name: str
+    args: Sequence[Expression]
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+RelationRef = Union[TableRef, FunctionRef]
+
+
+@dataclass
+class Join:
+    """An explicit JOIN clause (INNER joins only, as used by the paper's queries)."""
+
+    relation: RelationRef
+    condition: Optional[Expression] = None
+    kind: str = "inner"
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class LogicalQuery:
+    """A complete logical SELECT statement."""
+
+    select: list[SelectItem] = field(default_factory=list)
+    relations: list[RelationRef] = field(default_factory=list)
+    joins: list[Join] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    top: Optional[int] = None
+    distinct: bool = False
+    into: Optional[str] = None
+
+    def all_relations(self) -> list[RelationRef]:
+        return list(self.relations) + [join.relation for join in self.joins]
+
+    def has_aggregates(self) -> bool:
+        if self.group_by:
+            return True
+        return any(_contains_aggregate(item.expression) for item in self.select) or (
+            self.having is not None and _contains_aggregate(self.having))
+
+    def output_names(self) -> list[str]:
+        return [item.output_name(position) for position, item in enumerate(self.select)]
+
+
+def _contains_aggregate(expression: Expression) -> bool:
+    if isinstance(expression, AggregateCall):
+        return True
+    return any(_contains_aggregate(child) for child in expression.children())
+
+
+class Query:
+    """Fluent builder for :class:`LogicalQuery`.
+
+    Example
+    -------
+    >>> query = (Query()
+    ...          .select(ColumnRef("objID"), (ColumnRef("distance", "GN"), "distance"))
+    ...          .from_table("Galaxy", "G")
+    ...          .join_function("fGetNearbyObjEq", [Literal(185.0), Literal(-0.5), Literal(1.0)],
+    ...                         alias="GN", on=BinaryOp("=", ColumnRef("objID", "G"),
+    ...                                                  ColumnRef("objID", "GN")))
+    ...          .where(...)
+    ...          .order_by(ColumnRef("distance"))
+    ...          .build())
+    """
+
+    def __init__(self) -> None:
+        self._query = LogicalQuery()
+
+    def select(self, *items: Union[Expression, tuple[Expression, str], str]) -> "Query":
+        for item in items:
+            if isinstance(item, tuple):
+                expression, alias = item
+                self._query.select.append(SelectItem(expression, alias))
+            elif isinstance(item, str):
+                if item == "*":
+                    self._query.select.append(SelectItem(Star()))
+                else:
+                    self._query.select.append(SelectItem(ColumnRef(item)))
+            else:
+                self._query.select.append(SelectItem(item))
+        return self
+
+    def select_star(self) -> "Query":
+        self._query.select.append(SelectItem(Star()))
+        return self
+
+    def distinct(self) -> "Query":
+        self._query.distinct = True
+        return self
+
+    def top(self, count: int) -> "Query":
+        self._query.top = int(count)
+        return self
+
+    def from_table(self, name: str, alias: Optional[str] = None) -> "Query":
+        self._query.relations.append(TableRef(name, alias))
+        return self
+
+    def from_function(self, name: str, args: Sequence[Union[Expression, Any]],
+                      alias: Optional[str] = None) -> "Query":
+        self._query.relations.append(FunctionRef(name, [_as_expression(a) for a in args], alias))
+        return self
+
+    def join(self, name: str, alias: Optional[str] = None, *,
+             on: Optional[Expression] = None) -> "Query":
+        self._query.joins.append(Join(TableRef(name, alias), on))
+        return self
+
+    def join_function(self, name: str, args: Sequence[Union[Expression, Any]],
+                      alias: Optional[str] = None, *,
+                      on: Optional[Expression] = None) -> "Query":
+        self._query.joins.append(
+            Join(FunctionRef(name, [_as_expression(a) for a in args], alias), on))
+        return self
+
+    def where(self, *predicates: Expression) -> "Query":
+        combined = combine_conjuncts(
+            ([self._query.where] if self._query.where is not None else []) + list(predicates))
+        self._query.where = combined
+        return self
+
+    def group_by(self, *expressions: Union[Expression, str]) -> "Query":
+        for expression in expressions:
+            self._query.group_by.append(_as_expression(expression, column=True))
+        return self
+
+    def having(self, predicate: Expression) -> "Query":
+        self._query.having = predicate
+        return self
+
+    def order_by(self, *keys: Union[Expression, str, tuple[Union[Expression, str], bool]]) -> "Query":
+        for key in keys:
+            if isinstance(key, tuple):
+                expression, descending = key
+                self._query.order_by.append(
+                    OrderItem(_as_expression(expression, column=True), descending))
+            else:
+                self._query.order_by.append(OrderItem(_as_expression(key, column=True)))
+        return self
+
+    def into(self, table_name: str) -> "Query":
+        self._query.into = table_name
+        return self
+
+    def build(self) -> LogicalQuery:
+        return self._query
+
+
+def _as_expression(value: Any, *, column: bool = False) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if column and isinstance(value, str):
+        return ColumnRef(value)
+    return Literal(value)

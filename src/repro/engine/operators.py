@@ -1,0 +1,912 @@
+"""Physical operators and execution statistics.
+
+Operators follow the iterator (Volcano) model: each operator's
+:meth:`PhysicalOperator.rows` yields *bindings* — dictionaries that map
+a relation's binding name (its alias) to the current row from that
+relation.  Expressions are evaluated against a :class:`RowScope` built
+from the binding, which is how qualified references like ``r.fiberMag_r``
+and ``g.fiberMag_g`` in the paper's NEO query resolve to the right side
+of a self-join.
+
+Each operator keeps actual-row counters so EXPLAIN output can show both
+the plan shape (Figures 10-12 of the paper) and the observed
+cardinalities, and the shared :class:`ExecutionStatistics` accumulates
+the logical bytes scanned, which the I/O model converts into
+paper-scale elapsed-time estimates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from .catalog import Database
+from .errors import PlanError
+from .expressions import (AggregateCall, ColumnRef, EvaluationContext,
+                          Expression, RowScope, Star)
+from .functions import TableValuedFunction
+from .index import BTreeIndex
+from .logical import SelectItem
+from .table import Table
+from .types import NULL, Column, DataType
+
+Binding = dict[str, dict[str, Any]]
+
+#: Binding name under which projected output rows are re-bound for
+#: operators that run above the projection (DISTINCT, INTO).
+OUTPUT_BINDING = "#output"
+
+
+@dataclass
+class ExecutionStatistics:
+    """Counters accumulated across one query execution."""
+
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    bytes_scanned: int = 0
+    index_entries_read: int = 0
+    random_lookups: int = 0
+    elapsed_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    def merge_scan(self, rows: int, row_bytes: float) -> None:
+        self.rows_scanned += rows
+        self.bytes_scanned += int(rows * row_bytes)
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs at run time."""
+
+    database: Database
+    evaluation: EvaluationContext
+    statistics: ExecutionStatistics = field(default_factory=ExecutionStatistics)
+
+
+class PhysicalOperator:
+    """Base class for all physical operators."""
+
+    label = "Operator"
+
+    def __init__(self) -> None:
+        self.actual_rows = 0
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+    def details(self) -> str:
+        return ""
+
+    def estimated_rows(self) -> int:
+        return 0
+
+    def _emit(self, binding: Binding) -> Binding:
+        self.actual_rows += 1
+        return binding
+
+
+# ---------------------------------------------------------------------------
+# Leaf operators: scans
+# ---------------------------------------------------------------------------
+
+class TableScan(PhysicalOperator):
+    """Full sequential scan of a base table, with an optional pushed-down filter."""
+
+    label = "Table Scan"
+
+    def __init__(self, table: Table, binding_name: str,
+                 predicate: Optional[Expression] = None):
+        super().__init__()
+        self.table = table
+        self.binding_name = binding_name
+        self.predicate = predicate
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        row_bytes = self.table.average_row_bytes()
+        statistics = context.statistics
+        predicate = self.predicate
+        scope = RowScope()
+        for _row_id, row in self.table.iter_rows():
+            statistics.rows_scanned += 1
+            statistics.bytes_scanned += int(row_bytes)
+            if predicate is not None:
+                scope.bind(self.binding_name, row)
+                if predicate.evaluate(scope, context.evaluation) is not True:
+                    continue
+            yield self._emit({self.binding_name: row})
+
+    def details(self) -> str:
+        where = f" WHERE {self.predicate.sql()}" if self.predicate is not None else ""
+        return f"{self.table.name} AS {self.binding_name}{where}"
+
+    def estimated_rows(self) -> int:
+        return self.table.row_count
+
+
+class CoveringIndexScan(PhysicalOperator):
+    """Scan of an index whose columns cover the query (the paper's tag-table substitute).
+
+    The scan touches only the index entries, so the *bytes scanned* are
+    the narrow entry width rather than the ~2 KB PhotoObj row — this is
+    the ten-to-one-hundred-fold sequential-scan speedup of §9.1.3.
+    """
+
+    label = "Covering Index Scan"
+
+    def __init__(self, index: BTreeIndex, binding_name: str,
+                 predicate: Optional[Expression] = None):
+        super().__init__()
+        self.index = index
+        self.binding_name = binding_name
+        self.predicate = predicate
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        statistics = context.statistics
+        entry_bytes = self.index.entry_byte_width()
+        table = self.index.table
+        predicate = self.predicate
+        scope = RowScope()
+        for row_id in self.index.scan():
+            row = table.get_row(row_id)
+            if row is None:
+                continue
+            statistics.rows_scanned += 1
+            statistics.bytes_scanned += entry_bytes
+            statistics.index_entries_read += 1
+            if predicate is not None:
+                scope.bind(self.binding_name, row)
+                if predicate.evaluate(scope, context.evaluation) is not True:
+                    continue
+            yield self._emit({self.binding_name: row})
+
+    def details(self) -> str:
+        where = f" WHERE {self.predicate.sql()}" if self.predicate is not None else ""
+        return (f"{self.index.table.name}.{self.index.name} "
+                f"({', '.join(self.index.columns)}) AS {self.binding_name}{where}")
+
+    def estimated_rows(self) -> int:
+        return self.index.table.row_count
+
+
+class IndexRangeScan(PhysicalOperator):
+    """Range (or equality) seek on an index, plus residual filter."""
+
+    label = "Index Seek"
+
+    def __init__(self, index: BTreeIndex, binding_name: str,
+                 low: Optional[Sequence[Expression]], high: Optional[Sequence[Expression]],
+                 predicate: Optional[Expression] = None,
+                 estimated: int = 0, covering: bool = False):
+        super().__init__()
+        self.index = index
+        self.binding_name = binding_name
+        self.low = list(low) if low is not None else None
+        self.high = list(high) if high is not None else None
+        self.predicate = predicate
+        self._estimated = estimated
+        self.covering = covering
+
+    def _bound_values(self, bound: Optional[Sequence[Expression]],
+                      context: ExecutionContext) -> Optional[list[Any]]:
+        if bound is None:
+            return None
+        scope = RowScope()
+        return [expression.evaluate(scope, context.evaluation) for expression in bound]
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        statistics = context.statistics
+        table = self.index.table
+        row_bytes = (self.index.entry_byte_width() if self.covering
+                     else table.average_row_bytes())
+        low = self._bound_values(self.low, context)
+        high = self._bound_values(self.high, context)
+        predicate = self.predicate
+        scope = RowScope()
+        for row_id in self.index.range(low, high):
+            row = table.get_row(row_id)
+            if row is None:
+                continue
+            statistics.rows_scanned += 1
+            statistics.bytes_scanned += int(row_bytes)
+            statistics.index_entries_read += 1
+            if not self.covering:
+                statistics.random_lookups += 1
+            if predicate is not None:
+                scope.bind(self.binding_name, row)
+                if predicate.evaluate(scope, context.evaluation) is not True:
+                    continue
+            yield self._emit({self.binding_name: row})
+
+    def details(self) -> str:
+        low_text = "[" + ", ".join(e.sql() for e in self.low) + "]" if self.low else "-inf"
+        high_text = "[" + ", ".join(e.sql() for e in self.high) + "]" if self.high else "+inf"
+        where = f" WHERE {self.predicate.sql()}" if self.predicate is not None else ""
+        return (f"{self.index.table.name}.{self.index.name} range {low_text}..{high_text} "
+                f"AS {self.binding_name}{where}")
+
+    def estimated_rows(self) -> int:
+        return self._estimated
+
+
+class FunctionScan(PhysicalOperator):
+    """Scan of a table-valued function's result (Figure 10's outer input)."""
+
+    label = "Table-valued Function"
+
+    def __init__(self, function: TableValuedFunction, args: Sequence[Expression],
+                 binding_name: str):
+        super().__init__()
+        self.function = function
+        self.args = list(args)
+        self.binding_name = binding_name
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        scope = RowScope()
+        values = [argument.evaluate(scope, context.evaluation) for argument in self.args]
+        for row in self.function(*values):
+            context.statistics.rows_scanned += 1
+            yield self._emit({self.binding_name: row})
+
+    def details(self) -> str:
+        args = ", ".join(argument.sql() for argument in self.args)
+        return f"{self.function.name}({args}) AS {self.binding_name}"
+
+    def estimated_rows(self) -> int:
+        return self.function.row_estimate
+
+
+class RowSource(PhysicalOperator):
+    """An operator over pre-materialised rows (used for subqueries and tests)."""
+
+    label = "Row Source"
+
+    def __init__(self, rows: Iterable[dict[str, Any]], binding_name: str):
+        super().__init__()
+        self._rows = list(rows)
+        self.binding_name = binding_name
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        for row in self._rows:
+            yield self._emit({self.binding_name: row})
+
+    def details(self) -> str:
+        return f"{len(self._rows)} rows AS {self.binding_name}"
+
+    def estimated_rows(self) -> int:
+        return len(self._rows)
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+class NestedLoopJoin(PhysicalOperator):
+    """Naive nested-loop join: re-evaluates the inner operator per outer binding."""
+
+    label = "Nested Loop Join"
+
+    def __init__(self, outer: PhysicalOperator, inner: PhysicalOperator,
+                 condition: Optional[Expression] = None):
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.condition = condition
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer, self.inner)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        condition = self.condition
+        for outer_binding in self.outer.rows(context):
+            for inner_binding in self.inner.rows(context):
+                merged = {**outer_binding, **inner_binding}
+                if condition is not None:
+                    scope = _scope_for(merged)
+                    if condition.evaluate(scope, context.evaluation) is not True:
+                        continue
+                yield self._emit(merged)
+
+    def details(self) -> str:
+        return f"ON {self.condition.sql()}" if self.condition is not None else "cross join"
+
+    def estimated_rows(self) -> int:
+        return max(self.outer.estimated_rows(), self.inner.estimated_rows())
+
+
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Nested-loop join that probes an index of the inner table per outer row.
+
+    This is the plan of Figure 10: each row from the spatial
+    table-valued function probes the PhotoObj primary key.
+    """
+
+    label = "Index Nested Loop Join"
+
+    def __init__(self, outer: PhysicalOperator, inner_table: Table, inner_binding: str,
+                 index: BTreeIndex, outer_key: Sequence[Expression],
+                 residual: Optional[Expression] = None):
+        super().__init__()
+        self.outer = outer
+        self.inner_table = inner_table
+        self.inner_binding = inner_binding
+        self.index = index
+        self.outer_key = list(outer_key)
+        self.residual = residual
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        statistics = context.statistics
+        row_bytes = self.inner_table.average_row_bytes()
+        for outer_binding in self.outer.rows(context):
+            outer_scope = _scope_for(outer_binding)
+            key = tuple(expression.evaluate(outer_scope, context.evaluation)
+                        for expression in self.outer_key)
+            for row_id in self.index.seek(key):
+                row = self.inner_table.get_row(row_id)
+                if row is None:
+                    continue
+                statistics.rows_scanned += 1
+                statistics.bytes_scanned += int(row_bytes)
+                statistics.random_lookups += 1
+                merged = {**outer_binding, self.inner_binding: row}
+                if self.residual is not None:
+                    scope = _scope_for(merged)
+                    if self.residual.evaluate(scope, context.evaluation) is not True:
+                        continue
+                yield self._emit(merged)
+
+    def details(self) -> str:
+        key = ", ".join(expression.sql() for expression in self.outer_key)
+        residual = f" WHERE {self.residual.sql()}" if self.residual is not None else ""
+        return (f"probe {self.inner_table.name}.{self.index.name} "
+                f"({', '.join(self.index.columns)}) = ({key}) AS {self.inner_binding}{residual}")
+
+    def estimated_rows(self) -> int:
+        return self.outer.estimated_rows()
+
+
+class HashJoin(PhysicalOperator):
+    """Equality hash join; builds on the smaller (build) side."""
+
+    label = "Hash Join"
+
+    def __init__(self, build: PhysicalOperator, probe: PhysicalOperator,
+                 build_keys: Sequence[Expression], probe_keys: Sequence[Expression],
+                 residual: Optional[Expression] = None):
+        super().__init__()
+        self.build = build
+        self.probe = probe
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+        self.residual = residual
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.build, self.probe)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        hash_table: dict[tuple, list[Binding]] = {}
+        for binding in self.build.rows(context):
+            scope = _scope_for(binding)
+            key = tuple(expression.evaluate(scope, context.evaluation)
+                        for expression in self.build_keys)
+            if any(part is NULL for part in key):
+                continue
+            hash_table.setdefault(key, []).append(binding)
+        for probe_binding in self.probe.rows(context):
+            scope = _scope_for(probe_binding)
+            key = tuple(expression.evaluate(scope, context.evaluation)
+                        for expression in self.probe_keys)
+            if any(part is NULL for part in key):
+                continue
+            for build_binding in hash_table.get(key, ()):
+                merged = {**build_binding, **probe_binding}
+                if self.residual is not None:
+                    merged_scope = _scope_for(merged)
+                    if self.residual.evaluate(merged_scope, context.evaluation) is not True:
+                        continue
+                yield self._emit(merged)
+
+    def details(self) -> str:
+        build = ", ".join(expression.sql() for expression in self.build_keys)
+        probe = ", ".join(expression.sql() for expression in self.probe_keys)
+        return f"build({build}) = probe({probe})"
+
+    def estimated_rows(self) -> int:
+        return max(self.build.estimated_rows(), self.probe.estimated_rows())
+
+
+# ---------------------------------------------------------------------------
+# Row-stream transforms
+# ---------------------------------------------------------------------------
+
+class FilterOp(PhysicalOperator):
+    """Residual predicate evaluation."""
+
+    label = "Filter"
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression):
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        for binding in self.child.rows(context):
+            scope = _scope_for(binding)
+            if self.predicate.evaluate(scope, context.evaluation) is True:
+                yield self._emit(binding)
+
+    def details(self) -> str:
+        return self.predicate.sql()
+
+    def estimated_rows(self) -> int:
+        return max(1, self.child.estimated_rows() // 3)
+
+
+class SortOp(PhysicalOperator):
+    """Full sort of the binding stream on a list of key expressions."""
+
+    label = "Sort"
+
+    def __init__(self, child: PhysicalOperator,
+                 keys: Sequence[tuple[Expression, bool]]):
+        super().__init__()
+        self.child = child
+        self.keys = list(keys)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        materialised: list[tuple[list, Binding]] = []
+        for binding in self.child.rows(context):
+            scope = _scope_for(binding)
+            key = []
+            for expression, descending in self.keys:
+                value = evaluate_projected(expression, scope, context.evaluation)
+                key.append(_SortKey(value, descending))
+            materialised.append((key, binding))
+        materialised.sort(key=lambda pair: pair[0])
+        for _key, binding in materialised:
+            yield self._emit(binding)
+
+    def details(self) -> str:
+        return ", ".join(
+            f"{expression.sql()}{' DESC' if descending else ''}"
+            for expression, descending in self.keys)
+
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows()
+
+
+class _SortKey:
+    """Orders values with NULLs first and mixed types safely; supports DESC."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool):
+        self.value = value
+        self.descending = descending
+
+    def _rank(self) -> tuple:
+        value = self.value
+        if value is NULL:
+            rank = (0, 0, "")
+        elif isinstance(value, bool):
+            rank = (1, int(value), "")
+        elif isinstance(value, (int, float)):
+            rank = (1, value, "")
+        elif isinstance(value, str):
+            rank = (2, 0, value.lower())
+        else:
+            rank = (3, 0, str(value))
+        return rank
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.descending:
+            return other._rank() < self._rank()
+        return self._rank() < other._rank()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self._rank() == other._rank()
+
+
+class TopOp(PhysicalOperator):
+    """TOP n / the public server's row limit."""
+
+    label = "Top"
+
+    def __init__(self, child: PhysicalOperator, count: int):
+        super().__init__()
+        self.child = child
+        self.count = count
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        produced = 0
+        for binding in self.child.rows(context):
+            if produced >= self.count:
+                break
+            produced += 1
+            yield self._emit(binding)
+
+    def details(self) -> str:
+        return f"TOP {self.count}"
+
+    def estimated_rows(self) -> int:
+        return min(self.count, self.child.estimated_rows())
+
+
+class GroupAggregate(PhysicalOperator):
+    """Hash aggregation over grouping expressions.
+
+    Produces bindings with a single synthetic relation whose row maps
+    each group-by expression's SQL text and each aggregate's result key
+    to its value, so the select list and HAVING clause evaluate against
+    it transparently.
+    """
+
+    label = "Aggregate"
+
+    def __init__(self, child: PhysicalOperator, group_by: Sequence[Expression],
+                 aggregates: Sequence[AggregateCall], binding_name: str = OUTPUT_BINDING):
+        super().__init__()
+        self.child = child
+        self.group_by = list(group_by)
+        # The same aggregate may appear in both the select list and HAVING;
+        # keep one state per distinct result key so it is not updated twice.
+        deduplicated: dict[str, AggregateCall] = {}
+        for aggregate in aggregates:
+            deduplicated.setdefault(aggregate.result_key(), aggregate)
+        self.aggregates = list(deduplicated.values())
+        self.binding_name = binding_name
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        groups: dict[tuple, dict[str, Any]] = {}
+        order: list[tuple] = []
+        for binding in self.child.rows(context):
+            scope = _scope_for(binding)
+            key = tuple(expression.evaluate(scope, context.evaluation)
+                        for expression in self.group_by)
+            state = groups.get(key)
+            if state is None:
+                state = {"__count__": 0, "values": {agg.result_key(): _AggState(agg)
+                                                    for agg in self.aggregates}}
+                groups[key] = state
+                order.append(key)
+            state["__count__"] += 1
+            for aggregate in self.aggregates:
+                argument = (aggregate.argument.evaluate(scope, context.evaluation)
+                            if aggregate.argument is not None else 1)
+                state["values"][aggregate.result_key()].update(argument)
+        if not groups and not self.group_by:
+            # Aggregates over an empty input still produce one row (count=0, others NULL).
+            empty = {aggregate.result_key(): _AggState(aggregate).result()
+                     for aggregate in self.aggregates}
+            row = dict(empty)
+            yield self._emit({self.binding_name: row})
+            return
+        for key in order:
+            state = groups[key]
+            row: dict[str, Any] = {}
+            for expression, value in zip(self.group_by, key):
+                row[_group_key_name(expression)] = value
+            for aggregate in self.aggregates:
+                row[aggregate.result_key()] = state["values"][aggregate.result_key()].result()
+            yield self._emit({self.binding_name: row})
+
+    def details(self) -> str:
+        groups = ", ".join(expression.sql() for expression in self.group_by) or "(scalar)"
+        aggregates = ", ".join(aggregate.sql() for aggregate in self.aggregates)
+        return f"GROUP BY {groups} COMPUTE {aggregates}"
+
+    def estimated_rows(self) -> int:
+        return max(1, self.child.estimated_rows() // 10) if self.group_by else 1
+
+
+def _group_key_name(expression: Expression) -> str:
+    if isinstance(expression, ColumnRef):
+        return expression.name.lower()
+    return expression.sql()
+
+
+class _AggState:
+    """Running state of one aggregate within one group."""
+
+    def __init__(self, aggregate: AggregateCall):
+        self.func = aggregate.func
+        self.distinct = aggregate.distinct
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: set = set()
+
+    def update(self, value: Any) -> None:
+        if value is NULL:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return NULL
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        if self.func == "min":
+            return self.minimum
+        if self.func == "max":
+            return self.maximum
+        raise PlanError(f"unsupported aggregate function {self.func!r}")
+
+
+class ProjectOp(PhysicalOperator):
+    """Evaluates the select list, producing output-row bindings."""
+
+    label = "Compute Scalar"
+
+    def __init__(self, child: PhysicalOperator, items: Sequence[SelectItem],
+                 database: Database):
+        super().__init__()
+        self.child = child
+        self.items = list(items)
+        self.database = database
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        for binding in self.child.rows(context):
+            scope = _scope_for(binding)
+            output: dict[str, Any] = {}
+            for position, item in enumerate(self.items):
+                if isinstance(item.expression, Star):
+                    self._expand_star(item.expression, binding, output)
+                    continue
+                output[item.output_name(position)] = evaluate_projected(
+                    item.expression, scope, context.evaluation)
+            yield self._emit({**binding, OUTPUT_BINDING: output})
+
+    def _expand_star(self, star: Star, binding: Binding, output: dict[str, Any]) -> None:
+        names = ([star.qualifier.lower()] if star.qualifier
+                 else [name for name in binding if name != OUTPUT_BINDING])
+        for name in names:
+            row = binding.get(name)
+            if row is None:
+                continue
+            for column, value in row.items():
+                output.setdefault(column, value)
+
+    def details(self) -> str:
+        return ", ".join(item.expression.sql() for item in self.items)
+
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows()
+
+
+class DistinctOp(PhysicalOperator):
+    """Duplicate elimination on the projected output row."""
+
+    label = "Distinct"
+
+    def __init__(self, child: PhysicalOperator):
+        super().__init__()
+        self.child = child
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        seen: set[tuple] = set()
+        for binding in self.child.rows(context):
+            output = binding.get(OUTPUT_BINDING, {})
+            key = tuple(sorted((name, _hashable(value)) for name, value in output.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self._emit(binding)
+
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows()
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+class InsertIntoOp(PhysicalOperator):
+    """SELECT ... INTO ##results: materialise the output rows into a new table."""
+
+    label = "Table Insert"
+
+    def __init__(self, child: PhysicalOperator, target: str, database: Database):
+        super().__init__()
+        self.child = child
+        self.target = target
+        self.database = database
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        collected: list[dict[str, Any]] = []
+        for binding in self.child.rows(context):
+            collected.append(dict(binding.get(OUTPUT_BINDING, {})))
+        table = _create_table_for_rows(self.database, self.target, collected)
+        for row in collected:
+            table.insert(row, defer_index_sort=True)
+        table.rebuild_indexes()
+        for row in collected:
+            yield self._emit({OUTPUT_BINDING: row})
+
+    def details(self) -> str:
+        return f"INTO {self.target}"
+
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows()
+
+
+def _create_table_for_rows(database: Database, name: str,
+                           rows: Sequence[dict[str, Any]]) -> Table:
+    """Infer a column layout from result rows and (re)create the target table."""
+    columns: list[Column] = []
+    names: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in names:
+                names.append(key)
+    if not names:
+        names = ["value"]
+    for key in names:
+        sample = next((row[key] for row in rows if row.get(key) is not NULL), NULL)
+        if isinstance(sample, bool):
+            dtype = DataType.BOOLEAN
+        elif isinstance(sample, int):
+            dtype = DataType.BIGINT
+        elif isinstance(sample, float):
+            dtype = DataType.FLOAT
+        elif isinstance(sample, (bytes, bytearray)):
+            dtype = DataType.BLOB
+        else:
+            dtype = DataType.TEXT
+        columns.append(Column(key, dtype, nullable=True))
+    return database.create_table(name, columns, replace=True,
+                                 description=f"materialised results ({name})")
+
+
+def evaluate_projected(expression: Expression, scope: RowScope,
+                       evaluation: EvaluationContext) -> Any:
+    """Evaluate a select-list / order-key expression, tolerating aggregation.
+
+    Above a GroupAggregate the base columns are gone and the grouped
+    values live in the synthetic output row keyed by column name or by
+    the group expression's SQL text; if ordinary evaluation cannot
+    resolve a column, the value is looked up there instead.
+    """
+    from .errors import UnknownColumnError
+
+    try:
+        return expression.evaluate(scope, evaluation)
+    except UnknownColumnError:
+        if isinstance(expression, ColumnRef):
+            return scope.lookup(expression.name)
+        return scope.lookup(expression.sql())
+
+
+def _scope_for(binding: Binding) -> RowScope:
+    scope = RowScope()
+    output = binding.get(OUTPUT_BINDING)
+    for name, row in binding.items():
+        if name == OUTPUT_BINDING:
+            continue
+        scope.bind(name, row)
+    if output is not None:
+        scope.bind(OUTPUT_BINDING, output)
+    return scope
+
+
+# ---------------------------------------------------------------------------
+# Plan wrapper and result
+# ---------------------------------------------------------------------------
+
+@dataclass
+class QueryResult:
+    """The rows, column names, statistics and plan of one executed query."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    statistics: ExecutionStatistics
+    plan: "PhysicalPlan"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        key = name.lower()
+        return [row.get(key, row.get(name)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        if not self.rows:
+            return NULL
+        first = self.rows[0]
+        return next(iter(first.values())) if first else NULL
+
+
+@dataclass
+class PhysicalPlan:
+    """A root operator plus the projection metadata needed to run it."""
+
+    root: PhysicalOperator
+    output_names: list[str]
+    database: Database
+    description: str = ""
+
+    def execute(self, variables: Optional[dict[str, Any]] = None, *,
+                row_limit: Optional[int] = None,
+                time_limit_seconds: Optional[float] = None) -> QueryResult:
+        from .errors import QueryLimitExceeded
+
+        context = ExecutionContext(
+            database=self.database,
+            evaluation=self.database.evaluation_context(variables),
+        )
+        started_wall = time.perf_counter()
+        started_cpu = time.process_time()
+        rows: list[dict[str, Any]] = []
+        for binding in self.root.rows(context):
+            output = binding.get(OUTPUT_BINDING, {})
+            rows.append(dict(output))
+            context.statistics.rows_returned += 1
+            if row_limit is not None and len(rows) > row_limit:
+                raise QueryLimitExceeded(
+                    f"query exceeded the public row limit of {row_limit} rows",
+                    limit_kind="rows")
+            if time_limit_seconds is not None and (
+                    time.perf_counter() - started_wall) > time_limit_seconds:
+                raise QueryLimitExceeded(
+                    f"query exceeded the public time limit of {time_limit_seconds} s",
+                    limit_kind="time")
+        context.statistics.elapsed_seconds = time.perf_counter() - started_wall
+        context.statistics.cpu_seconds = time.process_time() - started_cpu
+        columns = self.output_names or (list(rows[0].keys()) if rows else [])
+        return QueryResult(columns=columns, rows=rows,
+                           statistics=context.statistics, plan=self)
+
+    def explain(self) -> str:
+        from .explain import render_plan
+
+        return render_plan(self)

@@ -1,0 +1,585 @@
+"""The query planner: from a :class:`LogicalQuery` to a physical operator tree.
+
+The planner mirrors the behaviour the paper relies on from SQL Server:
+
+* view references are folded down to the base table with their
+  additional qualifiers (§9.1.3);
+* an index whose key matches a sargable predicate prefix is used as an
+  index seek; an index that *covers* the referenced columns is used as
+  a narrow covering-index scan (the "tag table" replacement); otherwise
+  the plan falls back to a sequential table scan with the predicate
+  evaluated per row (the "complex colour cut" queries of §11);
+* small relations — in particular the spatial table-valued functions —
+  are placed on the outer side of an index nested-loop join that probes
+  the big table's index (Figure 10's Query 1 plan);
+* equality joins without a usable index become hash joins, and anything
+  else becomes a nested-loop join (the "without the index ... nested
+  loops join of two table scans" case of §11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from .catalog import Database
+from .errors import BindError, PlanError
+from .expressions import (AggregateCall, Between, BinaryOp, CaseWhen, ColumnRef,
+                          Expression, FunctionCall, InList, Like, Literal,
+                          SargablePredicate, Star, UnaryOp, Variable,
+                          combine_conjuncts, conjuncts, extract_sargable)
+from .index import BTreeIndex
+from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, RelationRef,
+                      SelectItem, TableRef)
+from .operators import (CoveringIndexScan, DistinctOp, FilterOp, FunctionScan,
+                        GroupAggregate, HashJoin, IndexNestedLoopJoin,
+                        IndexRangeScan, InsertIntoOp, NestedLoopJoin,
+                        PhysicalOperator, PhysicalPlan, ProjectOp, SortOp,
+                        TableScan, TopOp)
+from .table import Table
+
+
+# ---------------------------------------------------------------------------
+# Expression utilities
+# ---------------------------------------------------------------------------
+
+def transform_expression(expression: Expression, visit) -> Expression:
+    """Rebuild an expression bottom-up, applying ``visit`` to every node."""
+    if isinstance(expression, BinaryOp):
+        rebuilt: Expression = BinaryOp(expression.op,
+                                       transform_expression(expression.left, visit),
+                                       transform_expression(expression.right, visit))
+    elif isinstance(expression, UnaryOp):
+        rebuilt = UnaryOp(expression.op, transform_expression(expression.operand, visit))
+    elif isinstance(expression, Between):
+        rebuilt = Between(transform_expression(expression.operand, visit),
+                          transform_expression(expression.low, visit),
+                          transform_expression(expression.high, visit),
+                          expression.negated)
+    elif isinstance(expression, InList):
+        rebuilt = InList(transform_expression(expression.operand, visit),
+                         [transform_expression(item, visit) for item in expression.items],
+                         expression.negated)
+    elif isinstance(expression, Like):
+        rebuilt = Like(transform_expression(expression.operand, visit),
+                       transform_expression(expression.pattern, visit),
+                       expression.negated)
+    elif isinstance(expression, FunctionCall):
+        rebuilt = FunctionCall(expression.name,
+                               [transform_expression(arg, visit) for arg in expression.args])
+    elif isinstance(expression, CaseWhen):
+        rebuilt = CaseWhen(
+            [(transform_expression(cond, visit), transform_expression(value, visit))
+             for cond, value in expression.branches],
+            transform_expression(expression.default, visit)
+            if expression.default is not None else None)
+    elif isinstance(expression, AggregateCall):
+        rebuilt = AggregateCall(
+            expression.func,
+            transform_expression(expression.argument, visit)
+            if expression.argument is not None else None,
+            expression.distinct)
+    else:
+        rebuilt = expression
+    return visit(rebuilt)
+
+
+def qualify_columns(expression: Expression, binding_name: str, table: Table) -> Expression:
+    """Qualify unqualified column references that belong to ``table``."""
+
+    def visit(node: Expression) -> Expression:
+        if isinstance(node, ColumnRef) and node.qualifier is None and table.has_column(node.name):
+            return ColumnRef(node.name, binding_name)
+        return node
+
+    return transform_expression(expression, visit)
+
+
+def collect_aggregates(expression: Expression) -> list[AggregateCall]:
+    found: list[AggregateCall] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, AggregateCall):
+            found.append(node)
+            return
+        for child in node.children():
+            walk(child)
+
+    walk(expression)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Planner internals
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _RelationInfo:
+    """Everything the planner knows about one FROM-clause relation."""
+
+    ref: RelationRef
+    binding_name: str
+    kind: str                       # "table" or "function"
+    table: Optional[Table] = None
+    view_chain: list[str] = field(default_factory=list)
+    function_name: str = ""
+    function_args: Sequence[Expression] = ()
+    local_conjuncts: list[Expression] = field(default_factory=list)
+    estimated_rows: int = 0
+
+    @property
+    def display_name(self) -> str:
+        if self.kind == "function":
+            return self.function_name
+        assert self.table is not None
+        return self.table.name
+
+
+@dataclass
+class _PlannedAccessPath:
+    operator: PhysicalOperator
+    estimated_rows: int
+
+
+class Planner:
+    """Builds physical plans for one database."""
+
+    #: Selectivity guesses used for cardinality estimation.  Without column
+    #: histograms these are deliberately conservative: an equality predicate
+    #: on a non-unique column (e.g. ``type = 'galaxy'``) keeps a sizeable
+    #: fraction of the table, so small relations such as the spatial
+    #: table-valued functions still win the outer position of a nested-loop
+    #: join (the Figure 10 plan).
+    EQUALITY_SELECTIVITY = 0.05
+    RANGE_SELECTIVITY = 0.25
+    RESIDUAL_SELECTIVITY = 0.5
+
+    def __init__(self, database: Database, *, enable_hash_join: bool = True):
+        self.database = database
+        #: When False, equality joins without a usable index fall back to a
+        #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
+        #: for the paper's NEO query once its covering index was removed
+        #: (Figure 12's "about 10 minutes" case).  The ablation benchmark uses
+        #: this to reproduce that comparison.
+        self.enable_hash_join = enable_hash_join
+
+    # -- public API ---------------------------------------------------------
+
+    def plan(self, query: LogicalQuery) -> PhysicalPlan:
+        if not query.select:
+            raise PlanError("query has an empty select list")
+        if not query.all_relations():
+            return self._plan_relationless(query)
+
+        relations = [self._resolve_relation(ref) for ref in query.all_relations()]
+        by_name = {info.binding_name: info for info in relations}
+        if len(by_name) != len(relations):
+            raise BindError("duplicate relation alias in FROM clause")
+
+        predicate_pool = self._build_predicate_pool(query, relations)
+        self._assign_local_conjuncts(predicate_pool, relations)
+        for info in relations:
+            info.estimated_rows = self._estimate_relation(info)
+
+        root, planned = self._plan_joins(relations, predicate_pool, query)
+
+        residual = [conjunct for conjunct in predicate_pool.remaining
+                    if self._conjunct_aliases(conjunct, by_name) <= planned]
+        leftover = [c for c in predicate_pool.remaining if c not in residual]
+        if leftover:
+            raise PlanError(
+                "unplaced predicate(s): " + "; ".join(c.sql() for c in leftover))
+        combined = combine_conjuncts(residual)
+        if combined is not None:
+            root = FilterOp(root, combined)
+
+        return self._finish_plan(root, query, relations)
+
+    # -- relation resolution --------------------------------------------------
+
+    def _resolve_relation(self, ref: RelationRef) -> _RelationInfo:
+        if isinstance(ref, FunctionRef):
+            function = self.database.functions.table_valued(ref.name)
+            return _RelationInfo(ref=ref, binding_name=ref.binding_name, kind="function",
+                                 function_name=function.name, function_args=list(ref.args),
+                                 estimated_rows=function.row_estimate)
+        if self.database.functions.has_table_valued(ref.name):
+            # A table-valued function referenced without arguments.
+            function = self.database.functions.table_valued(ref.name)
+            return _RelationInfo(ref=FunctionRef(ref.name, [], ref.alias),
+                                 binding_name=ref.binding_name, kind="function",
+                                 function_name=function.name, function_args=[],
+                                 estimated_rows=function.row_estimate)
+        resolved = self.database.resolve_relation(ref.name)
+        table = self.database.table(resolved.table_name)
+        info = _RelationInfo(ref=ref, binding_name=ref.binding_name, kind="table",
+                             table=table, view_chain=resolved.view_chain,
+                             estimated_rows=table.row_count)
+        if resolved.predicate is not None:
+            qualified = qualify_columns(resolved.predicate, info.binding_name, table)
+            info.local_conjuncts.extend(conjuncts(qualified))
+        return info
+
+    # -- predicate management ---------------------------------------------------
+
+    @dataclass
+    class _PredicatePool:
+        remaining: list[Expression] = field(default_factory=list)
+
+    def _build_predicate_pool(self, query: LogicalQuery,
+                              relations: Sequence[_RelationInfo]) -> "_PredicatePool":
+        pool = Planner._PredicatePool()
+        pool.remaining.extend(conjuncts(query.where))
+        for join in query.joins:
+            pool.remaining.extend(conjuncts(join.condition))
+        return pool
+
+    def _assign_local_conjuncts(self, pool: "_PredicatePool",
+                                relations: Sequence[_RelationInfo]) -> None:
+        by_name = {info.binding_name: info for info in relations}
+        still_remaining: list[Expression] = []
+        for conjunct in pool.remaining:
+            aliases = self._conjunct_aliases(conjunct, by_name)
+            if len(aliases) == 1:
+                by_name[next(iter(aliases))].local_conjuncts.append(conjunct)
+            elif len(aliases) == 0:
+                # Constant predicate: keep it as a residual filter.
+                still_remaining.append(conjunct)
+            else:
+                still_remaining.append(conjunct)
+        pool.remaining = still_remaining
+
+    def _conjunct_aliases(self, conjunct: Expression,
+                          by_name: dict[str, _RelationInfo]) -> set[str]:
+        aliases: set[str] = set()
+        for qualifier, column in conjunct.referenced_columns():
+            if qualifier is not None:
+                if qualifier in by_name:
+                    aliases.add(qualifier)
+                else:
+                    raise BindError(f"unknown alias {qualifier!r} in {conjunct.sql()}")
+                continue
+            owners = [info.binding_name for info in by_name.values()
+                      if self._relation_has_column(info, column)]
+            if len(owners) == 1:
+                aliases.add(owners[0])
+            elif len(owners) > 1:
+                # Ambiguous unqualified reference: involve every candidate so the
+                # predicate stays above the join where all rows are in scope.
+                aliases.update(owners)
+        return aliases
+
+    def _relation_has_column(self, info: _RelationInfo, column: str) -> bool:
+        if info.kind == "table":
+            assert info.table is not None
+            return info.table.has_column(column)
+        function = self.database.functions.table_valued(info.function_name)
+        return column.lower() in {name.lower() for name in function.column_names()}
+
+    # -- cardinality estimation ---------------------------------------------------
+
+    def _estimate_relation(self, info: _RelationInfo) -> int:
+        if info.kind == "function":
+            return max(1, info.estimated_rows)
+        assert info.table is not None
+        estimate = float(max(1, info.table.row_count))
+        for conjunct in info.local_conjuncts:
+            sargable = extract_sargable(conjunct)
+            if sargable is not None and sargable.is_equality:
+                estimate *= self.EQUALITY_SELECTIVITY
+            elif sargable is not None:
+                estimate *= self.RANGE_SELECTIVITY
+            else:
+                estimate *= self.RESIDUAL_SELECTIVITY
+        return max(1, int(estimate))
+
+    # -- access paths ------------------------------------------------------------
+
+    def _needed_columns(self, query: LogicalQuery, info: _RelationInfo,
+                        relations: Sequence[_RelationInfo]) -> Optional[set[str]]:
+        """Columns of ``info`` referenced anywhere in the query.
+
+        Returns None when a bare ``*`` (or ``alias.*``) forces the full row.
+        """
+        needed: set[str] = set()
+        expressions: list[Expression] = [item.expression for item in query.select]
+        if query.where is not None:
+            expressions.append(query.where)
+        for join in query.joins:
+            if join.condition is not None:
+                expressions.append(join.condition)
+        expressions.extend(order.expression for order in query.order_by)
+        expressions.extend(query.group_by)
+        if query.having is not None:
+            expressions.append(query.having)
+        expressions.extend(info.local_conjuncts)
+        others = [other for other in relations if other.binding_name != info.binding_name]
+        for expression in expressions:
+            if isinstance(expression, Star):
+                if expression.qualifier is None or expression.qualifier.lower() == info.binding_name:
+                    return None
+                continue
+            for qualifier, column in expression.referenced_columns():
+                if qualifier == info.binding_name:
+                    needed.add(column)
+                elif qualifier is None and self._relation_has_column(info, column):
+                    uniquely_mine = not any(self._relation_has_column(other, column)
+                                            for other in others)
+                    if uniquely_mine or True:
+                        needed.add(column)
+        return needed
+
+    def _access_path(self, info: _RelationInfo, query: LogicalQuery,
+                     relations: Sequence[_RelationInfo]) -> _PlannedAccessPath:
+        if info.kind == "function":
+            function = self.database.functions.table_valued(info.function_name)
+            operator = FunctionScan(function, list(info.function_args), info.binding_name)
+            return _PlannedAccessPath(operator, max(1, function.row_estimate))
+        assert info.table is not None
+        table = info.table
+        sargables: dict[str, SargablePredicate] = {}
+        non_sargable: list[Expression] = []
+        for conjunct in info.local_conjuncts:
+            sargable = extract_sargable(conjunct)
+            if sargable is not None and (sargable.qualifier is None
+                                         or sargable.qualifier == info.binding_name):
+                # Keep the most selective predicate per column (equality wins).
+                existing = sargables.get(sargable.column)
+                if existing is None or (sargable.is_equality and not existing.is_equality):
+                    if existing is not None:
+                        non_sargable.append(existing.source)
+                    sargables[sargable.column] = sargable
+                else:
+                    non_sargable.append(conjunct)
+            else:
+                non_sargable.append(conjunct)
+
+        best_index: Optional[BTreeIndex] = None
+        best_prefix: list[SargablePredicate] = []
+        for index in table.indexes.values():
+            prefix: list[SargablePredicate] = []
+            for column in index.columns:
+                sargable = sargables.get(column)
+                if sargable is None:
+                    break
+                prefix.append(sargable)
+                if not sargable.is_equality:
+                    break
+            if prefix and len(prefix) > len(best_prefix):
+                best_index, best_prefix = index, prefix
+
+        needed = self._needed_columns(query, info, relations)
+
+        if best_index is not None and best_prefix:
+            used = {sargable.column for sargable in best_prefix}
+            residual_parts = non_sargable + [sargable.source for column, sargable
+                                             in sargables.items() if column not in used]
+            residual = combine_conjuncts(
+                [qualify_columns(part, info.binding_name, table) for part in residual_parts])
+            low = [s.low for s in best_prefix if s.low is not None]
+            high = [s.high for s in best_prefix if s.high is not None]
+            estimate = self._estimate_index_rows(table, best_index, best_prefix)
+            covering = needed is not None and best_index.covers(needed)
+            operator = IndexRangeScan(best_index, info.binding_name,
+                                      low if low else None, high if high else None,
+                                      predicate=residual, estimated=estimate,
+                                      covering=covering)
+            return _PlannedAccessPath(operator, estimate)
+
+        predicate = combine_conjuncts(
+            [qualify_columns(part, info.binding_name, table)
+             for part in info.local_conjuncts])
+        if needed is not None:
+            for index in table.indexes.values():
+                if index.covers(needed):
+                    operator = CoveringIndexScan(index, info.binding_name, predicate)
+                    return _PlannedAccessPath(operator, self._estimate_relation(info))
+        operator = TableScan(table, info.binding_name, predicate)
+        return _PlannedAccessPath(operator, self._estimate_relation(info))
+
+    def _estimate_index_rows(self, table: Table, index: BTreeIndex,
+                             prefix: Sequence[SargablePredicate]) -> int:
+        estimate = float(max(1, table.row_count))
+        full_unique = (index.unique and len(prefix) == len(index.columns)
+                       and all(s.is_equality for s in prefix))
+        if full_unique:
+            return 1
+        for sargable in prefix:
+            estimate *= (self.EQUALITY_SELECTIVITY if sargable.is_equality
+                         else self.RANGE_SELECTIVITY)
+        return max(1, int(estimate))
+
+    # -- join planning ---------------------------------------------------------------
+
+    def _plan_joins(self, relations: list[_RelationInfo], pool: "_PredicatePool",
+                    query: LogicalQuery) -> tuple[PhysicalOperator, set[str]]:
+        by_name = {info.binding_name: info for info in relations}
+        unplanned = {info.binding_name for info in relations}
+        # Start from the relation with the smallest estimated cardinality —
+        # for Query 1 this puts the spatial TVF on the outer side, as in Figure 10.
+        start = min(relations, key=lambda info: info.estimated_rows)
+        path = self._access_path(start, query, relations)
+        root: PhysicalOperator = path.operator
+        root_estimate = path.estimated_rows
+        planned = {start.binding_name}
+        unplanned.discard(start.binding_name)
+
+        while unplanned:
+            choice = self._choose_next_relation(planned, unplanned, by_name, pool)
+            info = by_name[choice]
+            join_conjuncts = self._join_conjuncts(choice, planned, by_name, pool)
+            equalities = [self._join_equality(conjunct, choice, by_name)
+                          for conjunct in join_conjuncts]
+            equalities = [pair for pair in equalities if pair is not None]
+
+            index_plan = None
+            if info.kind == "table" and equalities:
+                index_plan = self._index_join(root, info, equalities, join_conjuncts)
+            if index_plan is not None:
+                root, used_conjuncts = index_plan
+                root_estimate = max(root_estimate, info.estimated_rows)
+                pool.remaining = [c for c in pool.remaining if c not in used_conjuncts]
+            elif equalities and self.enable_hash_join:
+                inner_path = self._access_path(info, query, relations)
+                build_keys = [expr_new for (_conjunct, expr_new, _expr_old) in equalities]
+                probe_keys = [expr_old for (_conjunct, _expr_new, expr_old) in equalities]
+                residual_parts = [conjunct for conjunct in join_conjuncts
+                                  if conjunct not in [c for c, _n, _o in equalities]]
+                residual = combine_conjuncts(residual_parts)
+                root = HashJoin(inner_path.operator, root, build_keys, probe_keys, residual)
+                root_estimate = max(root_estimate, inner_path.estimated_rows)
+                pool.remaining = [c for c in pool.remaining if c not in join_conjuncts]
+            else:
+                inner_path = self._access_path(info, query, relations)
+                residual = combine_conjuncts(join_conjuncts)
+                root = NestedLoopJoin(root, inner_path.operator, residual)
+                root_estimate *= max(1, inner_path.estimated_rows)
+                pool.remaining = [c for c in pool.remaining if c not in join_conjuncts]
+            planned.add(choice)
+            unplanned.discard(choice)
+        return root, planned
+
+    def _choose_next_relation(self, planned: set[str], unplanned: set[str],
+                              by_name: dict[str, _RelationInfo],
+                              pool: "_PredicatePool") -> str:
+        scored: list[tuple[int, int, str]] = []
+        for name in unplanned:
+            join_conjuncts = self._join_conjuncts(name, planned, by_name, pool)
+            has_equality = any(self._join_equality(conjunct, name, by_name) is not None
+                               for conjunct in join_conjuncts)
+            connected = 0 if has_equality else (1 if join_conjuncts else 2)
+            scored.append((connected, by_name[name].estimated_rows, name))
+        scored.sort()
+        return scored[0][2]
+
+    def _join_conjuncts(self, name: str, planned: set[str],
+                        by_name: dict[str, _RelationInfo],
+                        pool: "_PredicatePool") -> list[Expression]:
+        found = []
+        for conjunct in pool.remaining:
+            aliases = self._conjunct_aliases(conjunct, by_name)
+            if name in aliases and aliases <= planned | {name}:
+                found.append(conjunct)
+        return found
+
+    def _join_equality(self, conjunct: Expression, new_name: str,
+                       by_name: dict[str, _RelationInfo]
+                       ) -> Optional[tuple[Expression, Expression, Expression]]:
+        """Recognise ``new.col = old_expr``; returns (conjunct, new_side, old_side)."""
+        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+            return None
+        left_aliases = self._conjunct_aliases(conjunct.left, by_name)
+        right_aliases = self._conjunct_aliases(conjunct.right, by_name)
+        if left_aliases == {new_name} and new_name not in right_aliases:
+            return (conjunct, conjunct.left, conjunct.right)
+        if right_aliases == {new_name} and new_name not in left_aliases:
+            return (conjunct, conjunct.right, conjunct.left)
+        return None
+
+    def _index_join(self, outer: PhysicalOperator, info: _RelationInfo,
+                    equalities: Sequence[tuple[Expression, Expression, Expression]],
+                    join_conjuncts: Sequence[Expression]
+                    ) -> Optional[tuple[PhysicalOperator, list[Expression]]]:
+        """Try to turn the join into an index nested-loop join probing ``info``."""
+        assert info.table is not None
+        table = info.table
+        by_column: dict[str, tuple[Expression, Expression, Expression]] = {}
+        for conjunct, new_side, old_side in equalities:
+            if isinstance(new_side, ColumnRef):
+                by_column[new_side.name.lower()] = (conjunct, new_side, old_side)
+        best_index: Optional[BTreeIndex] = None
+        best_prefix: list[str] = []
+        for index in table.indexes.values():
+            prefix = []
+            for column in index.columns:
+                if column in by_column:
+                    prefix.append(column)
+                else:
+                    break
+            if prefix and len(prefix) > len(best_prefix):
+                best_index, best_prefix = index, prefix
+        if best_index is None:
+            return None
+        outer_key = [by_column[column][2] for column in best_prefix]
+        used = [by_column[column][0] for column in best_prefix]
+        residual_parts = [conjunct for conjunct in join_conjuncts if conjunct not in used]
+        residual_parts.extend(qualify_columns(part, info.binding_name, table)
+                              for part in info.local_conjuncts)
+        residual = combine_conjuncts(residual_parts)
+        operator = IndexNestedLoopJoin(outer, table, info.binding_name, best_index,
+                                       outer_key, residual)
+        return operator, list(join_conjuncts)
+
+    # -- finishing touches ----------------------------------------------------------
+
+    def _finish_plan(self, root: PhysicalOperator, query: LogicalQuery,
+                     relations: Sequence[_RelationInfo]) -> PhysicalPlan:
+        aggregates: list[AggregateCall] = []
+        for item in query.select:
+            aggregates.extend(collect_aggregates(item.expression))
+        if query.having is not None:
+            aggregates.extend(collect_aggregates(query.having))
+        if aggregates or query.group_by:
+            root = GroupAggregate(root, list(query.group_by), aggregates)
+            if query.having is not None:
+                root = FilterOp(root, query.having)
+
+        if query.order_by:
+            keys = [(self._rewrite_order_key(order.expression, query), order.descending)
+                    for order in query.order_by]
+            root = SortOp(root, keys)
+
+        root = ProjectOp(root, query.select, self.database)
+        if query.distinct:
+            root = DistinctOp(root)
+        if query.top is not None:
+            root = TopOp(root, query.top)
+        if query.into:
+            root = InsertIntoOp(root, query.into, self.database)
+
+        return PhysicalPlan(root=root, output_names=query.output_names(),
+                            database=self.database)
+
+    def _rewrite_order_key(self, expression: Expression, query: LogicalQuery) -> Expression:
+        """ORDER BY may reference select-list aliases; rewrite to the underlying expression."""
+        if isinstance(expression, ColumnRef) and expression.qualifier is None:
+            for item in query.select:
+                if item.alias and item.alias.lower() == expression.name.lower():
+                    return item.expression
+        return expression
+
+    def _plan_relationless(self, query: LogicalQuery) -> PhysicalPlan:
+        """SELECT without FROM (e.g. ``select dbo.fPhotoFlags('saturated')``)."""
+        from .operators import RowSource
+
+        source = RowSource([{}], "#dual")
+        root: PhysicalOperator = source
+        if query.where is not None:
+            root = FilterOp(root, query.where)
+        root = ProjectOp(root, query.select, self.database)
+        if query.top is not None:
+            root = TopOp(root, query.top)
+        if query.into:
+            root = InsertIntoOp(root, query.into, self.database)
+        return PhysicalPlan(root=root, output_names=query.output_names(),
+                            database=self.database)

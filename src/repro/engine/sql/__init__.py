@@ -1,0 +1,24 @@
+"""SQL front-end: lexer, parser and session for the engine's T-SQL subset.
+
+The subset is what the paper's queries need: multi-statement batches
+with ``DECLARE``/``SET`` variables, ``SELECT [TOP n] ... INTO ##temp``,
+explicit ``JOIN ... ON`` and comma joins, table-valued functions in the
+FROM clause, ``WHERE`` with arithmetic, bitwise flags, ``BETWEEN``,
+``IN``, ``LIKE``, aggregates with ``GROUP BY``/``HAVING`` and
+``ORDER BY``.
+"""
+
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_batch, parse_expression, parse_select
+from .session import SqlSession, StatementResult
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_batch",
+    "parse_expression",
+    "parse_select",
+    "SqlSession",
+    "StatementResult",
+]

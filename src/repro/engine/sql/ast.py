@@ -1,0 +1,45 @@
+"""Statement-level AST for SQL batches.
+
+Expressions inside statements reuse the engine's expression AST
+(:mod:`repro.engine.expressions`), and SELECT statements carry a
+:class:`~repro.engine.logical.LogicalQuery` directly, so the only
+SQL-specific nodes needed here are the statements themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..expressions import Expression
+from ..logical import LogicalQuery
+
+
+@dataclass
+class Statement:
+    """Base class for parsed statements."""
+
+    sql_text: str = ""
+
+
+@dataclass
+class DeclareStatement(Statement):
+    """``DECLARE @name type [, @name type ...]``."""
+
+    names: list[str] = field(default_factory=list)
+    types: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SetStatement(Statement):
+    """``SET @name = expression``."""
+
+    name: str = ""
+    expression: Optional[Expression] = None
+
+
+@dataclass
+class SelectStatement(Statement):
+    """A SELECT (possibly with INTO) carrying its logical query."""
+
+    query: Optional[LogicalQuery] = None

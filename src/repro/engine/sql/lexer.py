@@ -1,0 +1,225 @@
+"""SQL tokenizer.
+
+Produces a flat token stream from SQL text, handling the T-SQL
+peculiarities the paper's queries use: ``@variables``, ``##temp`` table
+names, ``--`` line comments, ``/* */`` block comments, single-quoted
+strings with doubled-quote escapes, and dotted identifiers (split into
+separate NAME/DOT tokens so the parser can distinguish ``dbo.f(...)``
+from ``alias.column``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    NAME = "name"
+    NUMBER = "number"
+    STRING = "string"
+    VARIABLE = "variable"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    SEMICOLON = "semicolon"
+    STAR = "star"
+    END = "end"
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.NAME and self.value.lower() in {
+            keyword.lower() for keyword in keywords}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_OPERATORS = "=<>+-/%&|^~"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SQLSyntaxError` on unknown characters."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(text)
+
+    def error(message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, line=line, column=column)
+
+    while position < length:
+        char = text[position]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+
+        # Comments.
+        if char == "-" and text.startswith("--", position):
+            end = text.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if char == "/" and text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = text[position:end + 2]
+            line += skipped.count("\n")
+            position = end + 2
+            continue
+
+        start_line, start_column = line, column
+
+        # Strings.
+        if char == "'":
+            value_chars: list[str] = []
+            position += 1
+            column += 1
+            while True:
+                if position >= length:
+                    raise error("unterminated string literal")
+                current = text[position]
+                if current == "'":
+                    if position + 1 < length and text[position + 1] == "'":
+                        value_chars.append("'")
+                        position += 2
+                        column += 2
+                        continue
+                    position += 1
+                    column += 1
+                    break
+                if current == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                value_chars.append(current)
+                position += 1
+            tokens.append(Token(TokenType.STRING, "".join(value_chars),
+                                start_line, start_column))
+            continue
+
+        # Numbers.
+        if char.isdigit() or (char == "." and position + 1 < length
+                              and text[position + 1].isdigit()):
+            end = position
+            seen_dot = False
+            seen_exponent = False
+            while end < length:
+                current = text[end]
+                if current.isdigit():
+                    end += 1
+                elif current == "." and not seen_dot and not seen_exponent:
+                    seen_dot = True
+                    end += 1
+                elif current in "eE" and not seen_exponent and end > position:
+                    if end + 1 < length and (text[end + 1].isdigit()
+                                             or text[end + 1] in "+-"):
+                        seen_exponent = True
+                        end += 2 if text[end + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            value = text[position:end]
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_column))
+            column += end - position
+            position = end
+            continue
+
+        # Variables and temp-table names.
+        if char == "@":
+            end = position + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == position + 1:
+                raise error("'@' must be followed by a variable name")
+            tokens.append(Token(TokenType.VARIABLE, text[position + 1:end],
+                                start_line, start_column))
+            column += end - position
+            position = end
+            continue
+        if char == "#":
+            end = position
+            while end < length and text[end] == "#":
+                end += 1
+            name_start = end
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if name_start == end:
+                raise error("'#' must start a temporary table name")
+            tokens.append(Token(TokenType.NAME, text[position:end],
+                                start_line, start_column))
+            column += end - position
+            position = end
+            continue
+
+        # Identifiers and keywords (optionally [bracketed]).
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            tokens.append(Token(TokenType.NAME, text[position:end],
+                                start_line, start_column))
+            column += end - position
+            position = end
+            continue
+        if char == "[":
+            end = text.find("]", position)
+            if end == -1:
+                raise error("unterminated [bracketed] identifier")
+            tokens.append(Token(TokenType.NAME, text[position + 1:end],
+                                start_line, start_column))
+            column += end - position + 1
+            position = end + 1
+            continue
+
+        # Punctuation and operators.
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", start_line, start_column))
+        elif char == ".":
+            tokens.append(Token(TokenType.DOT, ".", start_line, start_column))
+        elif char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", start_line, start_column))
+        elif char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", start_line, start_column))
+        elif char == ";":
+            tokens.append(Token(TokenType.SEMICOLON, ";", start_line, start_column))
+        elif char == "*":
+            tokens.append(Token(TokenType.STAR, "*", start_line, start_column))
+        elif text[position:position + 2] in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, text[position:position + 2],
+                                start_line, start_column))
+            position += 2
+            column += 2
+            continue
+        elif char in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, char, start_line, start_column))
+        else:
+            raise error(f"unexpected character {char!r}")
+        position += 1
+        column += 1
+
+    tokens.append(Token(TokenType.END, "", line, column))
+    return tokens

@@ -1,0 +1,107 @@
+"""SQL session: executes multi-statement batches against a database.
+
+A session owns the variable environment created by ``DECLARE``/``SET``
+statements (the paper's Query 1 batch declares ``@saturated`` and sets
+it from ``dbo.fPhotoFlags('saturated')`` before using it in the WHERE
+clause) and runs SELECT statements through the planner.  The session
+can also enforce the public SkyServer limits (1 000 rows / 30 seconds,
+§4) when asked to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..catalog import Database
+from ..errors import SQLSyntaxError
+from ..expressions import RowScope
+from ..operators import PhysicalPlan, QueryResult
+from ..planner import Planner
+from .ast import DeclareStatement, SelectStatement, SetStatement, Statement
+from .parser import parse_batch
+
+
+@dataclass
+class StatementResult:
+    """The outcome of one statement within a batch."""
+
+    statement: Statement
+    kind: str                      # "declare", "set" or "select"
+    result: Optional[QueryResult] = None
+    variable: Optional[str] = None
+    value: Any = None
+
+
+class SqlSession:
+    """Executes SQL batches, keeping variable state between statements."""
+
+    def __init__(self, database: Database, *,
+                 row_limit: Optional[int] = None,
+                 time_limit_seconds: Optional[float] = None,
+                 planner: Optional[Planner] = None):
+        self.database = database
+        self.planner = planner or Planner(database)
+        self.variables: dict[str, Any] = {}
+        self.row_limit = row_limit
+        self.time_limit_seconds = time_limit_seconds
+
+    # -- variables ----------------------------------------------------------
+
+    def declare(self, name: str, type_name: str = "bigint") -> None:
+        self.variables.setdefault(name.lower(), None)
+
+    def set_variable(self, name: str, value: Any) -> None:
+        self.variables[name.lower()] = value
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, sql_text: str) -> list[StatementResult]:
+        """Execute every statement of ``sql_text``; returns per-statement results."""
+        statements = parse_batch(sql_text)
+        if not statements:
+            raise SQLSyntaxError("empty SQL batch")
+        results: list[StatementResult] = []
+        for statement in statements:
+            results.append(self._execute_statement(statement))
+        return results
+
+    def query(self, sql_text: str) -> QueryResult:
+        """Execute a batch and return the result of its final SELECT."""
+        results = self.execute(sql_text)
+        for outcome in reversed(results):
+            if outcome.kind == "select" and outcome.result is not None:
+                return outcome.result
+        raise SQLSyntaxError("batch contained no SELECT statement")
+
+    def plan(self, sql_text: str) -> PhysicalPlan:
+        """Plan (without executing) the first SELECT in ``sql_text``."""
+        statements = parse_batch(sql_text)
+        for statement in statements:
+            if isinstance(statement, SelectStatement) and statement.query is not None:
+                return self.planner.plan(statement.query)
+        raise SQLSyntaxError("batch contained no SELECT statement")
+
+    def explain(self, sql_text: str) -> str:
+        return self.plan(sql_text).explain()
+
+    # -- statement dispatch -------------------------------------------------------
+
+    def _execute_statement(self, statement: Statement) -> StatementResult:
+        if isinstance(statement, DeclareStatement):
+            for name in statement.names:
+                self.declare(name)
+            return StatementResult(statement, "declare")
+        if isinstance(statement, SetStatement):
+            assert statement.expression is not None
+            context = self.database.evaluation_context(self.variables)
+            value = statement.expression.evaluate(RowScope(), context)
+            self.set_variable(statement.name, value)
+            return StatementResult(statement, "set", variable=statement.name, value=value)
+        if isinstance(statement, SelectStatement):
+            assert statement.query is not None
+            plan = self.planner.plan(statement.query)
+            result = plan.execute(self.variables, row_limit=self.row_limit,
+                                  time_limit_seconds=self.time_limit_seconds)
+            return StatementResult(statement, "select", result=result)
+        raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")

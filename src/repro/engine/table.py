@@ -1,0 +1,286 @@
+"""Tables: typed row storage with constraints, defaults and timestamps.
+
+A table owns its rows (list of dicts keyed by lower-cased column name),
+its indices, and its constraint declarations.  Every row automatically
+receives the table's timestamp column default when one is declared with
+``CURRENT_TIMESTAMP`` — this is the mechanism the loader's UNDO uses to
+delete exactly the rows inserted by a failed load step (paper §9.4).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TYPE_CHECKING
+
+from .constraints import (CheckConstraint, ForeignKey, PrimaryKey,
+                          check_not_null)
+from .errors import SchemaError
+from .index import BTreeIndex
+from .types import CURRENT_TIMESTAMP, Column, DataType, NULL, value_byte_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .catalog import Database
+
+
+class Table:
+    """A base table in the catalog."""
+
+    def __init__(self, name: str, columns: Sequence[Column], *,
+                 primary_key: Optional[PrimaryKey] = None,
+                 foreign_keys: Sequence[ForeignKey] = (),
+                 checks: Sequence[CheckConstraint] = (),
+                 description: str = ""):
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.description = description
+        self.columns: list[Column] = list(columns)
+        self._columns_by_name: dict[str, Column] = {}
+        for column in self.columns:
+            key = column.name.lower()
+            if key in self._columns_by_name:
+                raise SchemaError(f"duplicate column {column.name!r} in table {name!r}")
+            self._columns_by_name[key] = column
+        self.primary_key = primary_key
+        self.foreign_keys: list[ForeignKey] = list(foreign_keys)
+        self.checks: list[CheckConstraint] = list(checks)
+        self.rows: list[Optional[dict[str, Any]]] = []
+        self.indexes: dict[str, BTreeIndex] = {}
+        self._live_rows = 0
+        self._data_bytes = 0
+        self._clock: Callable[[], _dt.datetime] = _default_clock
+        if primary_key is not None:
+            for column in primary_key.columns:
+                if column not in self._columns_by_name:
+                    raise SchemaError(
+                        f"primary key column {column!r} not in table {name!r}")
+            self.create_index(f"pk_{name}", primary_key.columns, unique=True)
+
+    # -- metadata ----------------------------------------------------------
+
+    def column(self, name: str) -> Optional[Column]:
+        return self._columns_by_name.get(name.lower())
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._columns_by_name
+
+    def primary_key_columns(self) -> list[str]:
+        return list(self.primary_key.columns) if self.primary_key else []
+
+    def primary_key_index(self) -> Optional[BTreeIndex]:
+        if self.primary_key is None:
+            return None
+        return self.indexes.get(f"pk_{self.name}")
+
+    @property
+    def row_count(self) -> int:
+        return self._live_rows
+
+    @property
+    def data_bytes(self) -> int:
+        """Total live-row payload bytes (Table 1 accounting)."""
+        return self._data_bytes
+
+    def index_bytes(self) -> int:
+        return sum(index.byte_size() for index in self.indexes.values())
+
+    def average_row_bytes(self) -> float:
+        return self._data_bytes / self._live_rows if self._live_rows else 0.0
+
+    def set_clock(self, clock: Callable[[], _dt.datetime]) -> None:
+        """Override the timestamp source (tests and the loader use this)."""
+        self._clock = clock
+
+    def describe(self) -> dict[str, Any]:
+        """Schema-browser metadata (tables pane of SkyServerQA)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.dtype.value,
+                    "nullable": column.nullable,
+                    "unit": column.unit,
+                    "description": column.description,
+                }
+                for column in self.columns
+            ],
+            "primary_key": self.primary_key_columns(),
+            "foreign_keys": [
+                {
+                    "columns": list(fk.columns),
+                    "references": fk.referenced_table,
+                    "referenced_columns": list(fk.referenced_columns),
+                }
+                for fk in self.foreign_keys
+            ],
+            "indexes": [index.describe() for index in self.indexes.values()],
+            "rows": self.row_count,
+            "data_bytes": self.data_bytes,
+            "index_bytes": self.index_bytes(),
+        }
+
+    # -- indices -----------------------------------------------------------
+
+    def create_index(self, name: str, columns: Sequence[str], *, unique: bool = False,
+                     included_columns: Sequence[str] = ()) -> BTreeIndex:
+        for column in list(columns) + list(included_columns):
+            if not self.has_column(column):
+                raise SchemaError(
+                    f"index {name!r}: column {column!r} not in table {self.name!r}")
+        if name.lower() in {existing.lower() for existing in self.indexes}:
+            raise SchemaError(f"duplicate index name {name!r} on table {self.name!r}")
+        index = BTreeIndex(name, self, columns, unique=unique,
+                           included_columns=included_columns)
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                index.insert(row_id, row, defer_sort=True)
+        index.rebuild()
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        for existing in list(self.indexes):
+            if existing.lower() == name.lower():
+                del self.indexes[existing]
+                return
+        raise SchemaError(f"no index {name!r} on table {self.name!r}")
+
+    def find_index_on(self, columns: Sequence[str]) -> Optional[BTreeIndex]:
+        """An index whose leading key columns match ``columns`` exactly."""
+        wanted = [column.lower() for column in columns]
+        for index in self.indexes.values():
+            if index.columns[:len(wanted)] == wanted:
+                return index
+        return None
+
+    # -- row access ----------------------------------------------------------
+
+    def get_row(self, row_id: int) -> Optional[dict[str, Any]]:
+        if 0 <= row_id < len(self.rows):
+            return self.rows[row_id]
+        return None
+
+    def iter_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                yield row_id, row
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for _row_id, row in self.iter_rows():
+            yield row
+
+    def __len__(self) -> int:
+        return self._live_rows
+
+    def has_key(self, columns: Sequence[str], key: tuple) -> bool:
+        """True when a row with ``columns == key`` exists (used by FK checks)."""
+        index = self.find_index_on(columns)
+        if index is not None and len(columns) <= len(index.columns):
+            return index.contains_key(key)
+        wanted = [column.lower() for column in columns]
+        for _row_id, row in self.iter_rows():
+            if all(row.get(column) == value for column, value in zip(wanted, key)):
+                return True
+        return False
+
+    # -- mutation ------------------------------------------------------------
+
+    def _prepare_row(self, values: dict[str, Any]) -> dict[str, Any]:
+        row: dict[str, Any] = {}
+        provided = {key.lower(): value for key, value in values.items()}
+        unknown = set(provided) - set(self._columns_by_name)
+        if unknown:
+            raise SchemaError(
+                f"unknown column(s) {sorted(unknown)!r} for table {self.name!r}")
+        for column in self.columns:
+            key = column.name.lower()
+            if key in provided and provided[key] is not NULL:
+                row[key] = column.coerce(provided[key])
+            elif key in provided:
+                row[key] = NULL
+            elif column.default == CURRENT_TIMESTAMP:
+                row[key] = self._clock()
+            elif column.default is not None:
+                row[key] = column.coerce(column.default)
+            else:
+                row[key] = NULL
+        check_not_null(row, self.columns, table_name=self.name)
+        return row
+
+    def insert(self, values: dict[str, Any], *, database: Optional["Database"] = None,
+               defer_index_sort: bool = False, skip_fk: bool = False) -> int:
+        """Insert one row, returning its row id.
+
+        ``database`` is required to enforce foreign keys; the loader
+        passes it, while low-level tests may omit it.  Bulk loads use
+        ``defer_index_sort=True`` and call :meth:`rebuild_indexes` once.
+        """
+        row = self._prepare_row(values)
+        for check in self.checks:
+            check.check(row, table_name=self.name)
+        if database is not None and not skip_fk:
+            for foreign_key in self.foreign_keys:
+                foreign_key.check(row, database, table_name=self.name)
+        row_id = len(self.rows)
+        # Unique/PK indexes raise before the row is attached, keeping state consistent.
+        for index in self.indexes.values():
+            index.insert(row_id, row, defer_sort=defer_index_sort)
+        self.rows.append(row)
+        self._live_rows += 1
+        self._data_bytes += self._row_bytes(row)
+        return row_id
+
+    def insert_many(self, rows: Iterable[dict[str, Any]], *,
+                    database: Optional["Database"] = None,
+                    skip_fk: bool = False) -> int:
+        """Bulk insert with deferred index maintenance; returns rows inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values, database=database, defer_index_sort=True, skip_fk=skip_fk)
+            count += 1
+        self.rebuild_indexes()
+        return count
+
+    def rebuild_indexes(self) -> None:
+        for index in self.indexes.values():
+            index.rebuild()
+
+    def delete_row(self, row_id: int) -> bool:
+        row = self.get_row(row_id)
+        if row is None:
+            return False
+        for index in self.indexes.values():
+            index.remove(row_id, row)
+        self.rows[row_id] = None
+        self._live_rows -= 1
+        self._data_bytes -= self._row_bytes(row)
+        return True
+
+    def delete_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns the number deleted."""
+        victims = [row_id for row_id, row in self.iter_rows() if predicate(row)]
+        for row_id in victims:
+            self.delete_row(row_id)
+        return len(victims)
+
+    def truncate(self) -> None:
+        self.rows.clear()
+        self._live_rows = 0
+        self._data_bytes = 0
+        for index in self.indexes.values():
+            index.clear()
+
+    def _row_bytes(self, row: dict[str, Any]) -> int:
+        total = 0
+        for column in self.columns:
+            total += value_byte_size(row.get(column.name.lower(), NULL), column.dtype)
+        return total
+
+
+def _default_clock() -> _dt.datetime:
+    return _dt.datetime.now(tz=_dt.timezone.utc)

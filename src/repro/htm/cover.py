@@ -1,0 +1,111 @@
+"""HTM covers: turning a region into trixel-id ranges.
+
+``spHTM_Cover(<area>)`` "returns a table containing a row with start
+and end of an HTM triangle.  The union of these triangles covers the
+specified area.  One can join this table with the PhotoObj table to get
+a spatial subset of photo objects" (paper §9.1.4).  The cover here is a
+superset cover: every object inside the region is guaranteed to fall in
+one of the returned ranges; callers re-check the exact geometric
+predicate on the candidate rows (as the SkyServer's higher-level
+functions do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .mesh import DEFAULT_DEPTH, id_range_at_depth
+from .regions import Circle, Markup, Region
+from .trixel import Trixel, root_trixels
+
+
+@dataclass(frozen=True)
+class HtmRange:
+    """One inclusive range of storage-depth HTM ids."""
+
+    low: int
+    high: int
+
+    def contains(self, htm_id: int) -> bool:
+        return self.low <= htm_id <= self.high
+
+    def __iter__(self) -> Iterator[int]:
+        return iter((self.low, self.high))
+
+
+def cover(region: Region, *, cover_depth: int = 8,
+          storage_depth: int = DEFAULT_DEPTH) -> list[HtmRange]:
+    """Compute a superset cover of ``region`` as storage-depth id ranges.
+
+    ``cover_depth`` bounds the recursion: trixels still classified
+    PARTIAL at that depth are included whole.  Deeper covers are tighter
+    but produce more ranges; 8 levels (trixels ≈ 20 arcminutes on a
+    side) is a good default for arcminute-scale searches.
+    """
+    if cover_depth < 0 or storage_depth < cover_depth:
+        raise ValueError("need 0 <= cover_depth <= storage_depth")
+    ranges: list[HtmRange] = []
+
+    def visit(trixel: Trixel) -> None:
+        markup = region.classify(trixel)
+        if markup is Markup.OUTSIDE:
+            return
+        if markup is Markup.INSIDE or trixel.level >= cover_depth:
+            low, high = id_range_at_depth(trixel.htm_id, storage_depth)
+            ranges.append(HtmRange(low, high))
+            return
+        for child in trixel.children():
+            visit(child)
+
+    for root in root_trixels():
+        visit(root)
+    return merge_ranges(ranges)
+
+
+def cover_circle(ra: float, dec: float, radius_arcmin: float, *,
+                 cover_depth: int | None = None,
+                 storage_depth: int = DEFAULT_DEPTH) -> list[HtmRange]:
+    """Cover of a circular cap; picks a cover depth matched to the radius."""
+    if cover_depth is None:
+        cover_depth = depth_for_radius(radius_arcmin)
+    return cover(Circle(ra, dec, radius_arcmin), cover_depth=cover_depth,
+                 storage_depth=storage_depth)
+
+
+def depth_for_radius(radius_arcmin: float) -> int:
+    """A cover depth whose trixels are comparable in size to the search radius."""
+    side_arcmin = 90.0 * 60.0
+    depth = 0
+    while side_arcmin > max(radius_arcmin, 0.05) and depth < 14:
+        side_arcmin /= 2.0
+        depth += 1
+    return depth
+
+
+def merge_ranges(ranges: Iterable[HtmRange]) -> list[HtmRange]:
+    """Sort and merge overlapping or adjacent id ranges."""
+    ordered = sorted(ranges, key=lambda r: (r.low, r.high))
+    merged: list[HtmRange] = []
+    for current in ordered:
+        if merged and current.low <= merged[-1].high + 1:
+            previous = merged[-1]
+            merged[-1] = HtmRange(previous.low, max(previous.high, current.high))
+        else:
+            merged.append(current)
+    return merged
+
+
+def ranges_contain(ranges: Sequence[HtmRange], htm_id: int) -> bool:
+    """Binary-search membership test of an id against a sorted range list."""
+    low, high = 0, len(ranges) - 1
+    while low <= high:
+        middle = (low + high) // 2
+        candidate = ranges[middle]
+        if htm_id < candidate.low:
+            high = middle - 1
+        elif htm_id > candidate.high:
+            low = middle + 1
+        else:
+            return True
+    return False

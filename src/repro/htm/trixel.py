@@ -1,0 +1,157 @@
+"""HTM trixels: the triangles of the Hierarchical Triangular Mesh.
+
+HTM "inscribes the celestial sphere within an octahedron and projects
+each celestial point onto the surface of the octahedron ...  It then
+hierarchically decomposes each face with a recursive sequence of
+triangles — each level of the recursion divides each triangle into 4
+sub-triangles" (paper §9.1.4, Figure 8).  A trixel is one such
+triangle, identified by a 64-bit integer whose two leading payload bits
+select the hemisphere, the next two bits the octahedron face, and each
+further pair of bits one of the four children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .vectors import Vector, centroid, cross, dot, midpoint, normalize
+
+#: Octahedron vertices (the standard Johns Hopkins HTM layout).
+_V0: Vector = (0.0, 0.0, 1.0)
+_V1: Vector = (1.0, 0.0, 0.0)
+_V2: Vector = (0.0, 1.0, 0.0)
+_V3: Vector = (-1.0, 0.0, 0.0)
+_V4: Vector = (0.0, -1.0, 0.0)
+_V5: Vector = (0.0, 0.0, -1.0)
+
+#: Root trixels: name, id (level-0 ids are 8..15 so every id's bit length
+#: encodes its level), and corner vectors in counter-clockwise order.
+ROOT_TRIXELS: list[tuple[str, int, tuple[Vector, Vector, Vector]]] = [
+    ("S0", 8, (_V1, _V5, _V2)),
+    ("S1", 9, (_V2, _V5, _V3)),
+    ("S2", 10, (_V3, _V5, _V4)),
+    ("S3", 11, (_V4, _V5, _V1)),
+    ("N0", 12, (_V1, _V0, _V4)),
+    ("N1", 13, (_V4, _V0, _V3)),
+    ("N2", 14, (_V3, _V0, _V2)),
+    ("N3", 15, (_V2, _V0, _V1)),
+]
+
+#: A tiny tolerance so points that lie exactly on a shared edge are
+#: accepted by one of the adjacent trixels rather than rejected by both.
+_EDGE_EPSILON = -1.0e-12
+
+
+@dataclass(frozen=True)
+class Trixel:
+    """One HTM triangle: its 64-bit id, level and corner vectors."""
+
+    htm_id: int
+    level: int
+    corners: tuple[Vector, Vector, Vector]
+
+    @property
+    def name(self) -> str:
+        return htm_id_to_name(self.htm_id)
+
+    def contains(self, vector: Sequence[float]) -> bool:
+        """True when ``vector`` lies inside (or on the boundary of) the trixel."""
+        v0, v1, v2 = self.corners
+        return (dot(cross(v0, v1), vector) >= _EDGE_EPSILON
+                and dot(cross(v1, v2), vector) >= _EDGE_EPSILON
+                and dot(cross(v2, v0), vector) >= _EDGE_EPSILON)
+
+    def children(self) -> tuple["Trixel", "Trixel", "Trixel", "Trixel"]:
+        """The four child trixels one level deeper (Figure 8's subdivision)."""
+        v0, v1, v2 = self.corners
+        w0 = midpoint(v1, v2)
+        w1 = midpoint(v0, v2)
+        w2 = midpoint(v0, v1)
+        base = self.htm_id << 2
+        next_level = self.level + 1
+        return (
+            Trixel(base | 0, next_level, (v0, w2, w1)),
+            Trixel(base | 1, next_level, (v1, w0, w2)),
+            Trixel(base | 2, next_level, (v2, w1, w0)),
+            Trixel(base | 3, next_level, (w0, w1, w2)),
+        )
+
+    def bounding_cap(self) -> tuple[Vector, float]:
+        """A (center, angular-radius-in-degrees) cap containing the trixel."""
+        from .vectors import angular_distance
+
+        center = centroid(self.corners)
+        radius = max(angular_distance(center, corner) for corner in self.corners)
+        return center, radius
+
+    def area_steradians(self) -> float:
+        """Spherical area via Girard's theorem (used by tests for iso-area checks)."""
+        import math
+
+        v0, v1, v2 = self.corners
+        a = math.acos(max(-1.0, min(1.0, dot(v1, v2))))
+        b = math.acos(max(-1.0, min(1.0, dot(v0, v2))))
+        c = math.acos(max(-1.0, min(1.0, dot(v0, v1))))
+        s = (a + b + c) / 2.0
+        tangent = math.tan(s / 2) * math.tan((s - a) / 2) * math.tan((s - b) / 2) * math.tan((s - c) / 2)
+        return 4.0 * math.atan(math.sqrt(max(0.0, tangent)))
+
+
+def root_trixels() -> Iterator[Trixel]:
+    """The eight level-0 trixels of the octahedron."""
+    for _name, htm_id, corners in ROOT_TRIXELS:
+        yield Trixel(htm_id, 0, corners)
+
+
+def htm_level(htm_id: int) -> int:
+    """The subdivision level encoded in an HTM id."""
+    if htm_id < 8:
+        raise ValueError(f"invalid HTM id {htm_id}: level-0 ids start at 8")
+    bits = htm_id.bit_length()
+    if bits % 2 != 0:
+        raise ValueError(f"invalid HTM id {htm_id}: bit length must be even")
+    return (bits - 4) // 2
+
+
+def htm_id_to_name(htm_id: int) -> str:
+    """Render an HTM id as its name, e.g. 0b1100 -> 'N0', 0b110011 -> 'N03'."""
+    level = htm_level(htm_id)
+    digits = []
+    value = htm_id
+    for _ in range(level):
+        digits.append(str(value & 0b11))
+        value >>= 2
+    roots = {8: "S0", 9: "S1", 10: "S2", 11: "S3", 12: "N0", 13: "N1", 14: "N2", 15: "N3"}
+    return roots[value] + "".join(reversed(digits))
+
+
+def htm_name_to_id(name: str) -> int:
+    """Parse an HTM name such as ``'N032'`` back to its integer id."""
+    roots = {"S0": 8, "S1": 9, "S2": 10, "S3": 11, "N0": 12, "N1": 13, "N2": 14, "N3": 15}
+    prefix = name[:2].upper()
+    if prefix not in roots:
+        raise ValueError(f"invalid HTM name {name!r}")
+    value = roots[prefix]
+    for digit in name[2:]:
+        if digit not in "0123":
+            raise ValueError(f"invalid HTM name {name!r}")
+        value = (value << 2) | int(digit)
+    return value
+
+
+def trixel_from_id(htm_id: int) -> Trixel:
+    """Reconstruct the trixel geometry for an HTM id by descending from its root."""
+    level = htm_level(htm_id)
+    root_id = htm_id >> (2 * level)
+    current = None
+    for trixel in root_trixels():
+        if trixel.htm_id == root_id:
+            current = trixel
+            break
+    if current is None:
+        raise ValueError(f"invalid HTM id {htm_id}")
+    for shift in range(level - 1, -1, -1):
+        child_index = (htm_id >> (2 * shift)) & 0b11
+        current = current.children()[child_index]
+    return current

@@ -1,0 +1,72 @@
+"""Disk/controller configurations swept by Figure 15.
+
+Figure 15's x-axis runs from one disk to twelve disks ("one controller
+added for each 3 disks") and ends with a "12disk 2vol" point where the
+twelve disks are split across two volumes; its annotations mark where
+each resource saturates.  :func:`figure15_configurations` reproduces
+that sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .components import ServerHardware
+
+
+@dataclass(frozen=True)
+class DiskConfiguration:
+    """One point of the Figure 15 sweep."""
+
+    label: str
+    disks: int
+    controllers: int
+    volumes: int = 1
+
+    def disks_per_controller(self) -> list[int]:
+        """How the disks spread across the controllers (round-robin)."""
+        base = self.disks // self.controllers
+        remainder = self.disks % self.controllers
+        return [base + (1 if index < remainder else 0) for index in range(self.controllers)]
+
+
+def controllers_for(disks: int) -> int:
+    """One controller per three disks, as in the paper's measurement setup."""
+    return max(1, (disks + 2) // 3)
+
+
+def figure15_configurations() -> list[DiskConfiguration]:
+    """The thirteen x-axis points of Figure 15 (1..12 disks, plus 12-disk/2-volume)."""
+    configurations = [DiskConfiguration(f"{disks}disk", disks, controllers_for(disks))
+                      for disks in range(1, 13)]
+    configurations.append(DiskConfiguration("12disk 2vol", 12, 4, volumes=2))
+    return configurations
+
+
+@dataclass(frozen=True)
+class SaturationAnnotations:
+    """The bottleneck annotations printed next to Figure 15's curve."""
+
+    one_controller_saturates_at_disks: int
+    one_pci_bus_saturates_at_disks: int
+    sql_cpu_saturates_at_disks: int
+
+
+def saturation_points(hardware: ServerHardware,
+                      configurations: Sequence[DiskConfiguration]) -> SaturationAnnotations:
+    """Find the first configuration at which each resource becomes the bottleneck."""
+    from .scan import predict_bandwidth
+
+    controller_point = 0
+    bus_point = 0
+    cpu_point = 0
+    for configuration in configurations:
+        prediction = predict_bandwidth(hardware, configuration)
+        if not controller_point and prediction.bottleneck == "controller":
+            controller_point = configuration.disks
+        if not bus_point and prediction.bottleneck == "pci bus":
+            bus_point = configuration.disks
+        if not cpu_point and prediction.bottleneck == "cpu":
+            cpu_point = configuration.disks
+    return SaturationAnnotations(controller_point, bus_point, cpu_point)

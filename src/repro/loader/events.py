@@ -1,0 +1,146 @@
+"""The loadEvents audit table.
+
+"In addition to loading the data, these DTS scripts write records in a
+loadEvents table recording the load time, the number of records in the
+source file, and the number of inserted records.  The DTS steps also
+write trace files indicating the success or errors in the load step."
+(paper §9.4)
+
+The web operations interface of Figure 9 is a thin view over this
+table: each row is one load step, carries its time window (the handle
+UNDO needs), its source/inserted row counts and its status.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..engine import Database, PrimaryKey, bigint, integer, text, timestamp
+
+#: Status values a load event can be in.
+STATUS_RUNNING = "running"
+STATUS_SUCCESS = "success"
+STATUS_FAILED = "failed"
+STATUS_UNDONE = "undone"
+
+LOAD_EVENTS_TABLE = "loadEvents"
+
+
+@dataclass
+class LoadEvent:
+    """One row of the loadEvents table, as a convenient object."""
+
+    event_id: int
+    table_name: str
+    source: str
+    start_time: _dt.datetime
+    end_time: Optional[_dt.datetime]
+    source_rows: int
+    inserted_rows: int
+    status: str
+    message: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == STATUS_SUCCESS
+
+
+def ensure_load_events_table(database: Database) -> None:
+    """Create the loadEvents table if the catalog does not have it yet."""
+    if database.has_table(LOAD_EVENTS_TABLE):
+        return
+    database.create_table(LOAD_EVENTS_TABLE, [
+        bigint("eventID", description="Load-event sequence number"),
+        text("tableName", description="Table the step loaded"),
+        text("source", description="CSV file (or in-memory batch) the step read"),
+        timestamp("startTime", description="When the step started"),
+        timestamp("endTime", nullable=True, description="When the step finished"),
+        integer("sourceRows", description="Rows present in the source file"),
+        integer("insertedRows", description="Rows actually inserted"),
+        text("status", description="running / success / failed / undone"),
+        text("message", nullable=True, description="Error text for failed steps"),
+    ], primary_key=PrimaryKey(["eventID"]),
+        description="Audit trail of data-load steps (drives the UNDO button)")
+
+
+class LoadEventLog:
+    """Records and queries load events for one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        ensure_load_events_table(database)
+
+    def _table(self):
+        return self.database.table(LOAD_EVENTS_TABLE)
+
+    def _next_event_id(self) -> int:
+        table = self._table()
+        return max((row["eventid"] for _rid, row in table.iter_rows()), default=0) + 1
+
+    def start(self, table_name: str, source: str, source_rows: int) -> int:
+        """Record the start of a load step; returns the event id."""
+        event_id = self._next_event_id()
+        self._table().insert({
+            "eventID": event_id,
+            "tableName": table_name,
+            "source": source,
+            "startTime": self.database.now(),
+            "endTime": None,
+            "sourceRows": source_rows,
+            "insertedRows": 0,
+            "status": STATUS_RUNNING,
+            "message": "",
+        }, database=self.database)
+        return event_id
+
+    def finish(self, event_id: int, *, inserted_rows: int, status: str,
+               message: str = "") -> None:
+        """Record the completion (or failure) of a load step."""
+        table = self._table()
+        for row_id, row in table.iter_rows():
+            if row["eventid"] == event_id:
+                updated = dict(row)
+                updated["endtime"] = self.database.now()
+                updated["insertedrows"] = inserted_rows
+                updated["status"] = status
+                updated["message"] = message
+                table.delete_row(row_id)
+                table.insert({key: value for key, value in updated.items()},
+                             database=self.database)
+                return
+        raise KeyError(f"no load event {event_id}")
+
+    def mark_undone(self, event_id: int, message: str = "") -> None:
+        self.finish(event_id, inserted_rows=0, status=STATUS_UNDONE,
+                    message=message or "undone by operator")
+
+    def get(self, event_id: int) -> LoadEvent:
+        for _row_id, row in self._table().iter_rows():
+            if row["eventid"] == event_id:
+                return self._to_event(row)
+        raise KeyError(f"no load event {event_id}")
+
+    def events(self, *, table_name: Optional[str] = None) -> list[LoadEvent]:
+        found = []
+        for _row_id, row in self._table().iter_rows():
+            if table_name is not None and row["tablename"].lower() != table_name.lower():
+                continue
+            found.append(self._to_event(row))
+        found.sort(key=lambda event: event.event_id)
+        return found
+
+    @staticmethod
+    def _to_event(row: dict[str, Any]) -> LoadEvent:
+        return LoadEvent(
+            event_id=row["eventid"],
+            table_name=row["tablename"],
+            source=row["source"],
+            start_time=row["starttime"],
+            end_time=row["endtime"],
+            source_rows=row["sourcerows"],
+            inserted_rows=row["insertedrows"],
+            status=row["status"],
+            message=row["message"] or "",
+        )

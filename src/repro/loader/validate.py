@@ -1,0 +1,117 @@
+"""Post-load validation.
+
+Beyond the engine's row-at-a-time constraint checks, a completed load
+is validated as a whole: every declared foreign key and NOT NULL
+constraint is re-verified (the engine's integrity pass), and a set of
+astronomy sanity checks guards against unit mix-ups and pipeline bugs —
+coordinates in range, magnitudes physical, unit vectors normalised,
+HTM ids at the storage depth, primary fraction in the expected band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine import Database
+from ..htm import DEFAULT_DEPTH, htm_level
+from ..pipeline.deblend import primary_fraction
+from ..schema.flags import BANDS
+
+
+@dataclass
+class ValidationIssue:
+    """One problem found by the validation pass."""
+
+    table: str
+    check: str
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a full post-load validation."""
+
+    tables_checked: int = 0
+    rows_checked: int = 0
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, table: str, check: str, detail: str) -> None:
+        self.issues.append(ValidationIssue(table, check, detail))
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        return (f"validated {self.tables_checked} tables / {self.rows_checked} rows: {status}")
+
+
+def validate_database(database: Database, *, max_issues_per_check: int = 20,
+                      expect_primary_fraction: Optional[tuple[float, float]] = (0.70, 0.92)
+                      ) -> ValidationReport:
+    """Run the full validation pass and return its report."""
+    report = ValidationReport()
+
+    # Declared constraints (NOT NULL, foreign keys) on every table.
+    for constraint_report in database.validate():
+        report.tables_checked += 1
+        report.rows_checked += constraint_report.rows_checked
+        for violation in constraint_report.violations[:max_issues_per_check]:
+            report.add(constraint_report.table, "constraint", violation)
+
+    if database.has_table("PhotoObj"):
+        _validate_photoobj(database, report, max_issues_per_check, expect_primary_fraction)
+    if database.has_table("SpecObj"):
+        _validate_specobj(database, report, max_issues_per_check)
+    return report
+
+
+def _validate_photoobj(database: Database, report: ValidationReport,
+                       max_issues: int, expect_primary_fraction) -> None:
+    photo = database.table("PhotoObj")
+    issues = 0
+    for _row_id, row in photo.iter_rows():
+        problems = []
+        if not (0.0 <= row["ra"] < 360.0):
+            problems.append(f"ra out of range: {row['ra']}")
+        if not (-90.0 <= row["dec"] <= 90.0):
+            problems.append(f"dec out of range: {row['dec']}")
+        norm = math.sqrt(row["cx"] ** 2 + row["cy"] ** 2 + row["cz"] ** 2)
+        if abs(norm - 1.0) > 1.0e-6:
+            problems.append(f"unit vector not normalised (|v|={norm:.8f})")
+        try:
+            if htm_level(row["htmid"]) != DEFAULT_DEPTH:
+                problems.append(f"htmID not at depth {DEFAULT_DEPTH}")
+        except ValueError as exc:
+            problems.append(f"invalid htmID: {exc}")
+        for band in BANDS:
+            magnitude = row[f"modelmag_{band}"]
+            if not (5.0 < magnitude < 40.0):
+                problems.append(f"modelMag_{band} unphysical: {magnitude}")
+                break
+        if problems and issues < max_issues:
+            issues += 1
+            report.add("PhotoObj", "sanity", f"objID {row['objid']}: " + "; ".join(problems))
+    if photo.row_count and expect_primary_fraction is not None:
+        fraction = primary_fraction(row for _rid, row in photo.iter_rows())
+        low, high = expect_primary_fraction
+        if not (low <= fraction <= high):
+            report.add("PhotoObj", "primary_fraction",
+                       f"primary fraction {fraction:.2%} outside [{low:.0%}, {high:.0%}]")
+
+
+def _validate_specobj(database: Database, report: ValidationReport, max_issues: int) -> None:
+    spec = database.table("SpecObj")
+    issues = 0
+    for _row_id, row in spec.iter_rows():
+        problems = []
+        if row["z"] < -0.02 or row["z"] > 8.0:
+            problems.append(f"redshift unphysical: {row['z']}")
+        if not (0.0 <= row["zconf"] <= 1.0):
+            problems.append(f"zConf out of range: {row['zconf']}")
+        if problems and issues < max_issues:
+            issues += 1
+            report.add("SpecObj", "sanity", f"specObjID {row['specobjid']}: " + "; ".join(problems))

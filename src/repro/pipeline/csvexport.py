@@ -1,0 +1,93 @@
+"""CSV export of pipeline products.
+
+"The SDSS data pipeline produces FITS files, but also produces
+comma-separated list (csv) files of the object data and PNG files ...
+These files are then copied to the SkyServer.  From there, a script
+loads the data using the SQL Server's Data Transformation Service."
+(paper §9.4)
+
+The reproduction's pipeline hands its products to the loader the same
+way: one CSV file per table.  Blob columns are hex-encoded in the CSV
+(standing in for the "file names in some fields" that DTS resolved to
+image files), and the loader decodes them back to bytes.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+#: Suffix marking hex-encoded binary columns in exported CSV files.
+BLOB_PREFIX = "hex:"
+
+
+def encode_value(value: object) -> str:
+    """Render one value for CSV output."""
+    if value is None:
+        return ""
+    if isinstance(value, (bytes, bytearray)):
+        return BLOB_PREFIX + bytes(value).hex()
+    if isinstance(value, _dt.datetime):
+        return value.isoformat()
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
+def decode_value(text: str) -> object:
+    """Best-effort inverse of :func:`encode_value` (loader-side type conversion
+    still happens against the table schema)."""
+    if text == "":
+        return None
+    if text.startswith(BLOB_PREFIX):
+        return bytes.fromhex(text[len(BLOB_PREFIX):])
+    return text
+
+
+def write_csv(path: Path, rows: Sequence[Mapping[str, object]],
+              columns: Sequence[str] | None = None) -> int:
+    """Write ``rows`` to ``path``; returns the number of data rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([encode_value(row.get(column)) for column in columns])
+    return len(rows)
+
+
+def read_csv(path: Path) -> tuple[list[str], list[dict[str, object]]]:
+    """Read a CSV produced by :func:`write_csv`; returns (columns, rows)."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            columns = next(reader)
+        except StopIteration:
+            return [], []
+        rows = []
+        for record in reader:
+            rows.append({column: decode_value(value)
+                         for column, value in zip(columns, record)})
+    return columns, rows
+
+
+def export_tables(directory: Path, tables: Mapping[str, Sequence[Mapping[str, object]]],
+                  column_order: Mapping[str, Sequence[str]] | None = None) -> dict[str, Path]:
+    """Write one ``<table>.csv`` per entry of ``tables``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    for table_name, rows in tables.items():
+        columns = None
+        if column_order is not None and table_name in column_order:
+            columns = list(column_order[table_name])
+        path = directory / f"{table_name}.csv"
+        write_csv(path, list(rows), columns)
+        written[table_name] = path
+    return written

@@ -1,0 +1,226 @@
+"""Survey orchestration: the synthetic Early Data Release generator.
+
+``SyntheticSurvey`` wires the substrate pieces together the way the
+real survey does: geometry → true sky → frames (photometric) pipeline
+per field, with duplicate detections in overlaps → deblending and
+primary resolution → spectroscopic targeting, plate design and the 1D
+pipeline → cross-matching → CSV export for the loader.
+
+The ``scale`` parameter is the fraction of the Early Data Release being
+generated: scale 0.001 produces ≈14 fields holding ≈17 000 detections,
+≈75 spectra and the same inter-table ratios as the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..schema.flags import PhotoFlags, PhotoType
+from .crossmatch import CrossMatcher, CrossMatchOutput, MatchRates
+from .csvexport import export_tables
+from .deblend import DEFAULT_BLEND_FRACTION, deblend_family, primary_fraction, resolve_primaries
+from .geometry import SurveyGeometry, make_geometry
+from .photometric import FramesPipeline
+from .population import (OBJECTS_PER_SQ_DEG, PlantedPopulations, TrueObject,
+                         synthesize_population)
+from .spectroscopic import SpectroscopicOutput, SpectroscopicPipeline
+from .targeting import TARGET_FRACTION, design_plates, select_targets
+
+#: Field count of the real Early Data Release (Table 1: 14k Field rows).
+EDR_FIELD_COUNT = 14000
+
+
+@dataclass
+class SurveyConfig:
+    """Configuration of one synthetic survey generation run."""
+
+    scale: float = 0.001                 # fraction of the Early Data Release
+    seed: int = 42
+    center_ra: float = 185.0
+    density_per_sq_deg: float = OBJECTS_PER_SQ_DEG
+    target_fraction: float = TARGET_FRACTION
+    blend_fraction: float = DEFAULT_BLEND_FRACTION
+    planted: PlantedPopulations = field(default_factory=PlantedPopulations)
+    match_rates: MatchRates = field(default_factory=MatchRates)
+    frame_zoom_levels: int = 5
+
+    @property
+    def n_fields(self) -> int:
+        return max(12, int(round(EDR_FIELD_COUNT * self.scale)))
+
+
+@dataclass
+class PipelineOutput:
+    """Everything the pipeline produced, ready for the loader."""
+
+    config: SurveyConfig
+    geometry: SurveyGeometry
+    tables: dict[str, list[dict]]
+    true_objects: list[TrueObject]
+    true_lookup: dict[int, TrueObject]
+
+    def counts(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.tables.items()}
+
+    def summary(self) -> dict[str, float]:
+        photo = self.tables.get("PhotoObj", [])
+        return {
+            "fields": len(self.tables.get("Field", [])),
+            "photo_objects": len(photo),
+            "primary_fraction": primary_fraction(photo),
+            "spectra": len(self.tables.get("SpecObj", [])),
+            "area_sq_deg": self.geometry.total_area_sq_deg,
+        }
+
+    def export_csv(self, directory: Path) -> dict[str, Path]:
+        """Write one CSV per table (the pipeline→loader hand-off format)."""
+        return export_tables(Path(directory), self.tables)
+
+
+class SyntheticSurvey:
+    """Generates a synthetic SDSS data release at a configurable scale."""
+
+    def __init__(self, config: Optional[SurveyConfig] = None):
+        self.config = config or SurveyConfig()
+
+    def run(self) -> PipelineOutput:
+        config = self.config
+        rng = random.Random(config.seed)
+        geometry = make_geometry(config.n_fields, center_ra=config.center_ra,
+                                 seed=config.seed)
+        geometry = self._protect_planted_fields(geometry, config)
+        population = synthesize_population(
+            geometry, rng=random.Random(rng.randrange(2 ** 31)),
+            density_per_sq_deg=config.density_per_sq_deg, planted=config.planted)
+
+        frames = FramesPipeline(random.Random(rng.randrange(2 ** 31)))
+        field_rows = {id(geom): frames.field_row(geom) for geom in geometry}
+        frame_rows: list[dict] = []
+        for geom in geometry:
+            frame_rows.extend(frames.frame_rows(geom, zoom_levels=config.frame_zoom_levels))
+
+        photo_rows, profile_rows, true_lookup = self._detect_objects(
+            frames, geometry, population, field_rows,
+            random.Random(rng.randrange(2 ** 31)))
+
+        targets = select_targets(photo_rows, true_lookup,
+                                 rng=random.Random(rng.randrange(2 ** 31)),
+                                 target_fraction=config.target_fraction)
+        plates = design_plates(targets)
+        spectro = SpectroscopicPipeline(random.Random(rng.randrange(2 ** 31)))
+        spectro_output = spectro.process_plates(plates)
+        self._backfill_spec_obj_ids(photo_rows, spectro_output)
+
+        matcher = CrossMatcher(random.Random(rng.randrange(2 ** 31)),
+                               rates=config.match_rates)
+        crossmatch_output = matcher.match(photo_rows)
+
+        tables = {
+            "Field": list(field_rows.values()),
+            "Frame": frame_rows,
+            "PhotoObj": photo_rows,
+            "Profile": profile_rows,
+            "USNO": crossmatch_output.usno,
+            "ROSAT": crossmatch_output.rosat,
+            "FIRST": crossmatch_output.first,
+            "Plate": spectro_output.plates,
+            "SpecObj": spectro_output.spec_objs,
+            "SpecLine": spectro_output.spec_lines,
+            "SpecLineIndex": spectro_output.spec_line_indices,
+            "xcRedShift": spectro_output.xc_redshifts,
+            "elRedShift": spectro_output.el_redshifts,
+        }
+        return PipelineOutput(config=config, geometry=geometry, tables=tables,
+                              true_objects=population, true_lookup=true_lookup)
+
+    # -- internals -----------------------------------------------------------
+
+    def _protect_planted_fields(self, geometry: SurveyGeometry,
+                                config: SurveyConfig) -> SurveyGeometry:
+        """Force survey quality on the fields holding the Query 1 cluster.
+
+        Query 1 relies on the Galaxy view (primary + OK-run objects); if
+        the randomly drawn field quality marked the planted cluster's
+        field as bad, the worked example would come back empty, so those
+        particular fields are pinned to quality 3.
+        """
+        center_ra, center_dec = config.planted.q1_cluster_center
+        upgraded = []
+        for geom in geometry.fields:
+            if geom.contains(center_ra, center_dec) and geom.quality < 2:
+                upgraded.append(dataclasses.replace(geom, quality=3))
+            else:
+                upgraded.append(geom)
+        return dataclasses.replace(geometry, fields=upgraded)
+
+    def _detect_objects(self, frames: FramesPipeline, geometry: SurveyGeometry,
+                        population: list[TrueObject], field_rows: dict[int, dict],
+                        rng: random.Random) -> tuple[list[dict], list[dict], dict[int, TrueObject]]:
+        """Measure every true object in every field that sees it."""
+        config = self.config
+        photo_rows: list[dict] = []
+        profile_rows: list[dict] = []
+        true_lookup: dict[int, TrueObject] = {}
+        families: list[list[list[dict]]] = []
+        obj_counters: dict[int, int] = {}
+        geometry_by_identity = {id(geom): geom for geom in geometry}
+
+        for source in population:
+            observing_fields = geometry.fields_containing(source.ra, source.dec)
+            if not observing_fields:
+                continue
+            primary_field = geometry.primary_field_for(source.ra, source.dec)
+            observing_fields.sort(
+                key=lambda geom: 0 if geom is primary_field else 1)
+            observations: list[list[dict]] = []
+            force_blend = None
+            if source.tag.startswith("neo_pair") and source.tag.endswith("_degenerate_red"):
+                force_blend = False
+            for geom in observing_fields:
+                counter_key = id(geom)
+                obj_counters[counter_key] = obj_counters.get(counter_key, 0) + 1
+                detection = frames.measure(source, geom, obj_counters[counter_key])
+                rows, next_number = deblend_family(
+                    detection, rng, obj_counters[counter_key] + 20000,
+                    blend_fraction=config.blend_fraction,
+                    force=False if source.tag else force_blend)
+                if next_number != obj_counters[counter_key] + 20000:
+                    # Children consumed object numbers above the 20000 offset; keep
+                    # the per-field counter monotone so ids never collide.
+                    obj_counters[counter_key] = next_number - 20000
+                observations.append(rows)
+                for row in rows:
+                    true_lookup[row["objID"]] = source
+            families.append(observations)
+            for rows in observations:
+                for row in rows:
+                    photo_rows.append(row)
+                    profile_rows.append(frames.profile_row(row, source))
+
+        resolve_primaries(families)
+        self._update_field_counts(photo_rows, field_rows, geometry_by_identity)
+        return photo_rows, profile_rows, true_lookup
+
+    def _update_field_counts(self, photo_rows: list[dict], field_rows: dict[int, dict],
+                             geometry_by_identity: dict[int, object]) -> None:
+        by_field_id: dict[int, dict] = {row["fieldID"]: row for row in field_rows.values()}
+        for row in photo_rows:
+            field_row = by_field_id.get(row["fieldID"])
+            if field_row is None:
+                continue
+            field_row["nObjects"] += 1
+            if row["type"] == int(PhotoType.STAR):
+                field_row["nStars"] += 1
+            elif row["type"] == int(PhotoType.GALAXY):
+                field_row["nGalaxy"] += 1
+
+    def _backfill_spec_obj_ids(self, photo_rows: list[dict],
+                               spectro_output: SpectroscopicOutput) -> None:
+        """Point PhotoObj.specObjID at the matching spectrum (0 when none)."""
+        by_obj_id = {row["objID"]: row["specObjID"] for row in spectro_output.spec_objs}
+        for row in photo_rows:
+            row["specObjID"] = by_obj_id.get(row["objID"], 0)

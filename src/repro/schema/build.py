@@ -1,0 +1,71 @@
+"""Assemble an empty SkyServer database in the engine.
+
+``create_skyserver_database()`` creates every table of both snowflake
+schemas with their primary/foreign keys, the sub-classing views, the
+flag helper functions and (optionally) the standard index set, giving
+back an engine :class:`~repro.engine.Database` that the loader can
+populate and the SkyServer service layer can query.
+"""
+
+from __future__ import annotations
+
+from ..engine import Database
+from .flags import register_flag_functions
+from .indices import create_indices
+from .photo import photo_tables, profile_value
+from .spectro import spectro_tables
+from .views import register_views
+
+#: Creation order respects foreign-key dependencies (referenced tables first).
+TABLE_ORDER = [
+    "Field", "Frame", "PhotoObj", "Profile", "Neighbors",
+    "USNO", "ROSAT", "FIRST",
+    "Plate", "SpecObj", "SpecLine", "SpecLineIndex", "xcRedShift", "elRedShift",
+]
+
+
+def create_skyserver_database(name: str = "SkyServer", *,
+                              with_indices: bool = True,
+                              with_views: bool = True) -> Database:
+    """Create the full (empty) SkyServer schema.
+
+    Parameters
+    ----------
+    name:
+        Catalog name.
+    with_indices:
+        Create the standard index set immediately.  Bulk loads may
+        prefer ``False`` and a later :func:`~repro.schema.indices.create_indices`
+        call, mirroring warehouse practice.
+    with_views:
+        Create the sub-classing views (PhotoPrimary, Star, Galaxy, ...).
+    """
+    database = Database(name, description=(
+        "Sloan Digital Sky Survey SkyServer: photographic and spectroscopic "
+        "snowflake schemas (reproduction of the SIGMOD 2002 design)"))
+    definitions = dict(photo_tables())
+    definitions.update(spectro_tables())
+    for table_name in TABLE_ORDER:
+        definition = definitions[table_name]
+        database.create_table(
+            table_name,
+            definition["columns"],
+            primary_key=definition["primary_key"],
+            foreign_keys=definition["foreign_keys"],
+            description=definition["description"],
+        )
+    register_flag_functions(database)
+    database.register_scalar_function(
+        "fProfileValue", profile_value,
+        description="Extract one radial-profile element from a Profile blob",
+        replace=True)
+    if with_views:
+        register_views(database)
+    if with_indices:
+        create_indices(database)
+    return database
+
+
+def table_load_order() -> list[str]:
+    """The order in which the loader must populate the tables (FK parents first)."""
+    return list(TABLE_ORDER)

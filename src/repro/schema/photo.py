@@ -1,0 +1,308 @@
+"""The photographic snowflake schema (paper Figure 7, left).
+
+The PhotoObj table sits at the centre with the Field / Frame tables
+describing the processing context, the Profile table holding the radial
+profile arrays, the Neighbors materialised view speeding proximity
+searches, and one relationship table per external survey (USNO, ROSAT,
+FIRST) recording successful cross-correlations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import (CURRENT_TIMESTAMP, Column, ForeignKey, PrimaryKey, bigint,
+                      blob, floating, integer, text, timestamp)
+from .flags import BANDS, MAGNITUDE_KINDS
+
+
+def _timestamped(columns: List[Column]) -> List[Column]:
+    """Append the insert-timestamp column every SkyServer table carries.
+
+    "Each table in the database has a timestamp field that tells when the
+    record was inserted" — the loader's UNDO depends on it (paper §9.4).
+    """
+    columns.append(timestamp("insertTime", default=CURRENT_TIMESTAMP,
+                             description="Load timestamp used by the loader's UNDO"))
+    return columns
+
+
+def field_columns() -> List[Column]:
+    """The Field table: "describes the processing that was used for all objects
+    in that field, in all frames"."""
+    return _timestamped([
+        bigint("fieldID", description="Unique field identifier"),
+        integer("run", description="Imaging run number"),
+        integer("rerun", description="Processing rerun number"),
+        integer("camcol", description="Camera column (1..6)"),
+        integer("field", description="Field sequence number within the run"),
+        integer("stripe", description="Survey stripe number"),
+        text("strip", description="Strip within the stripe (N or S)"),
+        floating("mjd", unit="days", description="Modified Julian Date of the observation"),
+        floating("ra", unit="deg", description="Right ascension of the field centre"),
+        floating("dec", unit="deg", description="Declination of the field centre"),
+        floating("raMin", unit="deg", description="Minimum RA covered by the field"),
+        floating("raMax", unit="deg", description="Maximum RA covered by the field"),
+        floating("decMin", unit="deg", description="Minimum Dec covered by the field"),
+        floating("decMax", unit="deg", description="Maximum Dec covered by the field"),
+        integer("nObjects", description="Number of photo objects detected in the field"),
+        integer("nStars", description="Number of objects classified as stars"),
+        integer("nGalaxy", description="Number of objects classified as galaxies"),
+        integer("quality", description="Field quality code (1=bad .. 3=excellent)"),
+        floating("seeing", unit="arcsec", description="Median PSF width in the field"),
+        floating("skyBrightness", unit="mag/arcsec^2", description="Sky background level"),
+    ])
+
+
+def frame_columns() -> List[Column]:
+    """The Frame table: the image pyramid tiles at the four zoom levels."""
+    return _timestamped([
+        bigint("frameID", description="Unique frame identifier"),
+        bigint("fieldID", description="Field this frame belongs to"),
+        integer("zoom", description="Image-pyramid zoom level (0=full resolution .. 3)"),
+        integer("run", description="Imaging run number"),
+        integer("camcol", description="Camera column (1..6)"),
+        integer("field", description="Field sequence number"),
+        integer("stripe", description="Survey stripe number"),
+        floating("ra", unit="deg", description="Right ascension of the frame centre"),
+        floating("dec", unit="deg", description="Declination of the frame centre"),
+        floating("a", description="Astrometric transformation coefficient a"),
+        floating("b", description="Astrometric transformation coefficient b"),
+        floating("c", description="Astrometric transformation coefficient c"),
+        floating("d", description="Astrometric transformation coefficient d"),
+        floating("e", description="Astrometric transformation coefficient e"),
+        floating("f", description="Astrometric transformation coefficient f"),
+        blob("img", description="JPEG tile of the frame at this zoom level"),
+    ])
+
+
+def photoobj_columns() -> List[Column]:
+    """The PhotoObj table: ~400 attributes in the real survey, the queried core here."""
+    columns: List[Column] = [
+        bigint("objID", description="Unique object identifier (bit-encoded run/camcol/field/id)"),
+        bigint("fieldID", description="Field the object was detected in"),
+        integer("run", description="Imaging run number"),
+        integer("rerun", description="Processing rerun number"),
+        integer("camcol", description="Camera column (1..6)"),
+        integer("field", description="Field sequence number"),
+        integer("obj", description="Object number within the field"),
+        integer("mode", description="1=primary, 2=secondary, 3=family (outside chunk)"),
+        integer("nChild", description="Number of deblended children"),
+        bigint("parentID", description="objID of the deblend parent (0 if none)"),
+        integer("type", description="Object classification code (fPhotoType)"),
+        floating("probPSF", description="Probability the object is a point source"),
+        bigint("flags", description="Photo flag bits (fPhotoFlags)"),
+        bigint("status", description="Status bits (fPhotoStatus)"),
+        floating("ra", unit="deg", description="J2000 right ascension"),
+        floating("dec", unit="deg", description="J2000 declination"),
+        floating("cx", description="Unit vector x component"),
+        floating("cy", description="Unit vector y component"),
+        floating("cz", description="Unit vector z component"),
+        bigint("htmID", description="20-deep Hierarchical Triangular Mesh id"),
+        floating("raErr", unit="arcsec", description="Error in right ascension"),
+        floating("decErr", unit="arcsec", description="Error in declination"),
+        floating("rowv", unit="deg/day", description="Row-direction velocity (Query 15)"),
+        floating("colv", unit="deg/day", description="Column-direction velocity (Query 15)"),
+        floating("rowvErr", unit="deg/day", description="Error in row velocity"),
+        floating("colvErr", unit="deg/day", description="Error in column velocity"),
+        floating("extinction_u", unit="mag", description="Galactic extinction in u"),
+        floating("extinction_g", unit="mag", description="Galactic extinction in g"),
+        floating("extinction_r", unit="mag", description="Galactic extinction in r"),
+        floating("extinction_i", unit="mag", description="Galactic extinction in i"),
+        floating("extinction_z", unit="mag", description="Galactic extinction in z"),
+        bigint("specObjID", description="Matching spectroscopic object (0 if none)"),
+    ]
+    for kind in MAGNITUDE_KINDS:
+        for band in BANDS:
+            columns.append(floating(f"{kind}_{band}", unit="mag",
+                                    description=f"{kind} magnitude in the {band} band"))
+            columns.append(floating(f"{kind}Err_{band}", unit="mag",
+                                    description=f"Error of the {kind} magnitude in {band}"))
+    for band in BANDS:
+        columns.extend([
+            floating(f"petroRad_{band}", unit="arcsec",
+                     description=f"Petrosian radius in {band}"),
+            floating(f"petroR50_{band}", unit="arcsec",
+                     description=f"Radius containing 50% of the Petrosian flux in {band}"),
+            floating(f"petroR90_{band}", unit="arcsec",
+                     description=f"Radius containing 90% of the Petrosian flux in {band}"),
+            floating(f"isoA_{band}", unit="arcsec",
+                     description=f"Isophotal major axis in {band} (NEO query)"),
+            floating(f"isoB_{band}", unit="arcsec",
+                     description=f"Isophotal minor axis in {band} (NEO query)"),
+            floating(f"isoPhi_{band}", unit="deg",
+                     description=f"Isophotal position angle in {band}"),
+            floating(f"q_{band}",
+                     description=f"Stokes Q ellipticity parameter in {band}"),
+            floating(f"u_{band}",
+                     description=f"Stokes U ellipticity parameter in {band}"),
+            floating(f"lnLDeV_{band}",
+                     description=f"de Vaucouleurs profile fit log-likelihood in {band}"),
+            floating(f"lnLExp_{band}",
+                     description=f"Exponential profile fit log-likelihood in {band}"),
+            floating(f"lnLStar_{band}",
+                     description=f"PSF (stellar) fit log-likelihood in {band}"),
+        ])
+    return _timestamped(columns)
+
+
+def profile_columns() -> List[Column]:
+    """The Profile table: "the brightness in concentric rings around the object".
+
+    As in the original design the radial profile is stored as a packed
+    array blob ("the data is encapsulated by access functions that
+    extract the array elements from a blob", §9.1.1); one row per object
+    holds all five bands, which is why Table 1 shows the same record
+    count for Profile as for PhotoObj.
+    """
+    return _timestamped([
+        bigint("objID", description="Object the profile belongs to"),
+        integer("nBins", description="Number of radial bins per band"),
+        blob("profMean", nullable=False,
+             description="Packed little-endian float32 array: nBins bins x 5 bands "
+                         "of mean surface brightness"),
+        blob("profErr", nullable=False,
+             description="Packed little-endian float32 array of the bin errors"),
+    ])
+
+
+#: Number of radial profile bins stored per band.
+PROFILE_BINS = 8
+
+
+def pack_profile(values: List[float]) -> bytes:
+    """Pack a radial profile (floats) into the blob layout used by Profile."""
+    import struct
+
+    return struct.pack(f"<{len(values)}f", *values)
+
+
+def unpack_profile(blob: bytes) -> List[float]:
+    """Unpack a Profile blob back into its float values."""
+    import struct
+
+    count = len(blob) // 4
+    return list(struct.unpack(f"<{count}f", blob))
+
+
+def profile_value(blob: bytes, band_index: int, bin_index: int,
+                  n_bins: int = PROFILE_BINS) -> float:
+    """``fProfileValue(profMean, band, bin)`` — extract one element from the blob."""
+    values = unpack_profile(blob)
+    position = int(band_index) * int(n_bins) + int(bin_index)
+    if position < 0 or position >= len(values):
+        raise IndexError(f"profile element ({band_index}, {bin_index}) out of range")
+    return values[position]
+
+
+def neighbors_columns() -> List[Column]:
+    """The Neighbors table: "for every object ... all other objects within ½ arcminute"."""
+    return _timestamped([
+        bigint("objID", description="Object whose neighbourhood this row describes"),
+        bigint("neighborObjID", description="A nearby object"),
+        floating("distance", unit="arcmin", description="Arc distance between the pair"),
+        integer("neighborType", description="Photo type of the neighbour"),
+        integer("neighborMode", description="Mode (primary/secondary) of the neighbour"),
+    ])
+
+
+def usno_columns() -> List[Column]:
+    """Cross-match against the US Naval Observatory astrometric catalog."""
+    return _timestamped([
+        bigint("objID", description="Matched SDSS object"),
+        bigint("usnoID", description="USNO catalog identifier"),
+        floating("distance", unit="arcsec", description="Match distance"),
+        floating("bMag", unit="mag", description="USNO photographic blue magnitude"),
+        floating("rMag", unit="mag", description="USNO photographic red magnitude"),
+        floating("properMotion", unit="mas/yr", description="Total proper motion"),
+        floating("properMotionAngle", unit="deg", description="Proper-motion position angle"),
+    ])
+
+
+def rosat_columns() -> List[Column]:
+    """Cross-match against the ROSAT All Sky Survey X-ray catalog."""
+    return _timestamped([
+        bigint("objID", description="Matched SDSS object"),
+        bigint("rosatID", description="ROSAT source identifier"),
+        floating("distance", unit="arcsec", description="Match distance"),
+        floating("countRate", unit="counts/s", description="X-ray count rate"),
+        floating("countRateErr", unit="counts/s", description="Count rate error"),
+        floating("hardnessRatio1", description="Hardness ratio HR1"),
+        floating("hardnessRatio2", description="Hardness ratio HR2"),
+        floating("exposure", unit="s", description="Exposure time"),
+    ])
+
+
+def first_columns() -> List[Column]:
+    """Cross-match against the FIRST 20-cm radio survey."""
+    return _timestamped([
+        bigint("objID", description="Matched SDSS object"),
+        bigint("firstID", description="FIRST source identifier"),
+        floating("distance", unit="arcsec", description="Match distance"),
+        floating("peakFlux", unit="mJy", description="Peak radio flux density"),
+        floating("integratedFlux", unit="mJy", description="Integrated radio flux density"),
+        floating("rms", unit="mJy", description="Local noise estimate"),
+        floating("majorAxis", unit="arcsec", description="Fitted major axis"),
+        floating("minorAxis", unit="arcsec", description="Fitted minor axis"),
+    ])
+
+
+def photo_tables() -> dict[str, dict]:
+    """Definitions of every photographic-side table, keyed by table name."""
+    return {
+        "Field": {
+            "columns": field_columns(),
+            "primary_key": PrimaryKey(["fieldID"]),
+            "foreign_keys": [],
+            "description": "Processing metadata for one 10x13 arcminute field",
+        },
+        "Frame": {
+            "columns": frame_columns(),
+            "primary_key": PrimaryKey(["frameID"]),
+            "foreign_keys": [ForeignKey(["fieldID"], "Field", ["fieldID"],
+                                        name="fk_frame_field", allow_null=False)],
+            "description": "Image-pyramid tiles of a field at the four zoom levels",
+        },
+        "PhotoObj": {
+            "columns": photoobj_columns(),
+            "primary_key": PrimaryKey(["objID"]),
+            "foreign_keys": [ForeignKey(["fieldID"], "Field", ["fieldID"],
+                                        name="fk_photoobj_field", allow_null=False)],
+            "description": "All attributes of every photometric detection (the snowflake centre)",
+        },
+        "Profile": {
+            "columns": profile_columns(),
+            "primary_key": PrimaryKey(["objID"]),
+            "foreign_keys": [ForeignKey(["objID"], "PhotoObj", ["objID"],
+                                        name="fk_profile_photoobj", allow_null=False)],
+            "description": "Radial surface-brightness profile of each object",
+        },
+        "Neighbors": {
+            "columns": neighbors_columns(),
+            "primary_key": PrimaryKey(["objID", "neighborObjID"]),
+            "foreign_keys": [ForeignKey(["objID"], "PhotoObj", ["objID"],
+                                        name="fk_neighbors_photoobj", allow_null=False)],
+            "description": "Pre-computed list of objects within 0.5 arcminutes of each object",
+        },
+        "USNO": {
+            "columns": usno_columns(),
+            "primary_key": PrimaryKey(["objID"]),
+            "foreign_keys": [ForeignKey(["objID"], "PhotoObj", ["objID"],
+                                        name="fk_usno_photoobj", allow_null=False)],
+            "description": "Cross-matches against the USNO astrometric catalog",
+        },
+        "ROSAT": {
+            "columns": rosat_columns(),
+            "primary_key": PrimaryKey(["objID"]),
+            "foreign_keys": [ForeignKey(["objID"], "PhotoObj", ["objID"],
+                                        name="fk_rosat_photoobj", allow_null=False)],
+            "description": "Cross-matches against the ROSAT X-ray catalog",
+        },
+        "FIRST": {
+            "columns": first_columns(),
+            "primary_key": PrimaryKey(["objID"]),
+            "foreign_keys": [ForeignKey(["objID"], "PhotoObj", ["objID"],
+                                        name="fk_first_photoobj", allow_null=False)],
+            "description": "Cross-matches against the FIRST radio survey",
+        },
+    }

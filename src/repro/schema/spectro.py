@@ -1,0 +1,168 @@
+"""The spectroscopic snowflake schema (paper Figure 7, right).
+
+About 600 spectra are observed at once through a drilled plate; the
+1D pipeline extracts roughly 30 spectral lines per spectrum, analyses
+line groups (SpecLineIndex), and derives a cross-correlation redshift
+(xcRedShift) plus an emission-line-only redshift (elRedShift).
+Foreign keys tie every derived row back to its SpecObj, and SpecObj
+links back to PhotoObj when the photometric counterpart is known.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import (CURRENT_TIMESTAMP, Column, ForeignKey, PrimaryKey, bigint,
+                      blob, floating, integer, text, timestamp)
+
+
+def _timestamped(columns: List[Column]) -> List[Column]:
+    columns.append(timestamp("insertTime", default=CURRENT_TIMESTAMP,
+                             description="Load timestamp used by the loader's UNDO"))
+    return columns
+
+
+def plate_columns() -> List[Column]:
+    """The Plate table: one row per drilled spectroscopic plate."""
+    return _timestamped([
+        bigint("plateID", description="Unique plate identifier"),
+        integer("plateNumber", description="Physical plate number"),
+        floating("mjd", unit="days", description="Modified Julian Date of the observation"),
+        floating("ra", unit="deg", description="Right ascension of the plate centre"),
+        floating("dec", unit="deg", description="Declination of the plate centre"),
+        integer("nFibers", description="Number of fibers on the plate (about 600)"),
+        floating("exposureTime", unit="s", description="Total exposure time"),
+        text("program", description="Survey program the plate belongs to"),
+        integer("quality", description="Plate quality code"),
+    ])
+
+
+def specobj_columns() -> List[Column]:
+    """The SpecObj table: one row per observed spectrum."""
+    return _timestamped([
+        bigint("specObjID", description="Unique spectroscopic object identifier"),
+        bigint("plateID", description="Plate the spectrum was taken on"),
+        integer("fiberID", description="Fiber number on the plate (1..640)"),
+        bigint("objID", description="Matching photometric object (0 if unmatched)"),
+        floating("ra", unit="deg", description="J2000 right ascension of the fiber"),
+        floating("dec", unit="deg", description="J2000 declination of the fiber"),
+        floating("z", description="Final redshift"),
+        floating("zErr", description="Redshift error"),
+        floating("zConf", description="Redshift confidence (0..1)"),
+        integer("zStatus", description="Redshift measurement status code"),
+        integer("specClass", description="Spectral classification (fSpecClass)"),
+        floating("velDisp", unit="km/s", description="Velocity dispersion"),
+        floating("velDispErr", unit="km/s", description="Velocity dispersion error"),
+        floating("sn_0", description="Median signal-to-noise in the blue camera"),
+        floating("sn_1", description="Median signal-to-noise in the red camera"),
+        floating("mag_0", unit="mag", description="Fiber magnitude in g at targeting"),
+        floating("mag_1", unit="mag", description="Fiber magnitude in r at targeting"),
+        floating("mag_2", unit="mag", description="Fiber magnitude in i at targeting"),
+        blob("img", description="GIF rendering of the calibrated spectrum"),
+    ])
+
+
+def specline_columns() -> List[Column]:
+    """The SpecLine table: one row per measured spectral line."""
+    return _timestamped([
+        bigint("specLineID", description="Unique spectral-line identifier"),
+        bigint("specObjID", description="Spectrum the line was measured in"),
+        integer("lineID", description="Rest wavelength code naming the line (SpecLineNames)"),
+        floating("wave", unit="Angstrom", description="Observed central wavelength"),
+        floating("waveErr", unit="Angstrom", description="Wavelength error"),
+        floating("ew", unit="Angstrom", description="Equivalent width"),
+        floating("ewErr", unit="Angstrom", description="Equivalent width error"),
+        floating("height", description="Line height above the continuum"),
+        floating("sigma", unit="Angstrom", description="Gaussian width of the line"),
+        floating("continuum", description="Continuum level at the line"),
+        integer("category", description="1=emission, 2=absorption"),
+    ])
+
+
+def speclineindex_columns() -> List[Column]:
+    """The SpecLineIndex table: quantities derived from analysing line groups."""
+    return _timestamped([
+        bigint("specLineIndexID", description="Unique line-index identifier"),
+        bigint("specObjID", description="Spectrum the index was computed for"),
+        text("name", description="Index name (e.g. D4000, HdeltaA, Mg_b)"),
+        floating("value", description="Index value"),
+        floating("error", description="Index error"),
+        floating("continuum", description="Continuum level used"),
+    ])
+
+
+def xcredshift_columns() -> List[Column]:
+    """The xcRedShift table: cross-correlation redshifts against template spectra."""
+    return _timestamped([
+        bigint("xcRedShiftID", description="Unique cross-correlation redshift identifier"),
+        bigint("specObjID", description="Spectrum the redshift was measured for"),
+        floating("z", description="Cross-correlation redshift"),
+        floating("zErr", description="Redshift error"),
+        floating("r", description="Tonry-Davis correlation coefficient"),
+        integer("tempNo", description="Template spectrum number"),
+        floating("peakHeight", description="Correlation peak height"),
+        floating("width", description="Correlation peak width"),
+    ])
+
+
+def elredshift_columns() -> List[Column]:
+    """The elRedShift table: redshifts derived from emission lines only."""
+    return _timestamped([
+        bigint("elRedShiftID", description="Unique emission-line redshift identifier"),
+        bigint("specObjID", description="Spectrum the redshift was measured for"),
+        floating("z", description="Emission-line redshift"),
+        floating("zErr", description="Redshift error"),
+        integer("nLines", description="Number of emission lines used"),
+        floating("quality", description="Fit quality measure"),
+    ])
+
+
+def spectro_tables() -> dict[str, dict]:
+    """Definitions of every spectroscopic-side table, keyed by table name."""
+    return {
+        "Plate": {
+            "columns": plate_columns(),
+            "primary_key": PrimaryKey(["plateID"]),
+            "foreign_keys": [],
+            "description": "Drilled spectroscopic plates (about 600 fibers each)",
+        },
+        "SpecObj": {
+            "columns": specobj_columns(),
+            "primary_key": PrimaryKey(["specObjID"]),
+            "foreign_keys": [
+                ForeignKey(["plateID"], "Plate", ["plateID"],
+                           name="fk_specobj_plate", allow_null=False),
+                ForeignKey(["objID"], "PhotoObj", ["objID"],
+                           name="fk_specobj_photoobj", treat_zero_as_null=True),
+            ],
+            "description": "One row per observed spectrum, with the final redshift",
+        },
+        "SpecLine": {
+            "columns": specline_columns(),
+            "primary_key": PrimaryKey(["specLineID"]),
+            "foreign_keys": [ForeignKey(["specObjID"], "SpecObj", ["specObjID"],
+                                        name="fk_specline_specobj", allow_null=False)],
+            "description": "Measured emission and absorption lines (about 30 per spectrum)",
+        },
+        "SpecLineIndex": {
+            "columns": speclineindex_columns(),
+            "primary_key": PrimaryKey(["specLineIndexID"]),
+            "foreign_keys": [ForeignKey(["specObjID"], "SpecObj", ["specObjID"],
+                                        name="fk_speclineindex_specobj", allow_null=False)],
+            "description": "Quantities derived from analysing spectral line groups",
+        },
+        "xcRedShift": {
+            "columns": xcredshift_columns(),
+            "primary_key": PrimaryKey(["xcRedShiftID"]),
+            "foreign_keys": [ForeignKey(["specObjID"], "SpecObj", ["specObjID"],
+                                        name="fk_xcredshift_specobj", allow_null=False)],
+            "description": "Cross-correlation redshifts against template spectra",
+        },
+        "elRedShift": {
+            "columns": elredshift_columns(),
+            "primary_key": PrimaryKey(["elRedShiftID"]),
+            "foreign_keys": [ForeignKey(["specObjID"], "SpecObj", ["specObjID"],
+                                        name="fk_elredshift_specobj", allow_null=False)],
+            "description": "Redshifts derived from emission lines only",
+        },
+    }

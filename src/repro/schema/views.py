@@ -1,0 +1,70 @@
+"""Sub-classing views over PhotoObj and SpecObj (paper §9.1.3).
+
+    photoPrimary: PhotoObj with flags('primary' & 'OK run')
+    Star:         photoPrimary with type='star'
+    Galaxy:       photoPrimary with type='galaxy'
+
+"Most users work in terms of these views rather than the base table.
+This is the equivalent of sub-classing."  The engine's planner folds a
+view reference down to the base table and ANDs the view predicate into
+the query, so base-table indices benefit the views.
+"""
+
+from __future__ import annotations
+
+from ..engine import View
+from ..engine.sql import parse_expression
+from .flags import PhotoFlags, PhotoType, SpecClass
+
+
+def _flags_predicate(*flags: PhotoFlags) -> str:
+    mask = 0
+    for flag in flags:
+        mask |= int(flag)
+    return f"(flags & {mask}) = {mask}"
+
+
+def standard_views() -> list[View]:
+    """The views created in every SkyServer database."""
+    primary_predicate = _flags_predicate(PhotoFlags.PRIMARY, PhotoFlags.OK_RUN)
+    secondary_predicate = (f"(flags & {int(PhotoFlags.SECONDARY)}) = "
+                           f"{int(PhotoFlags.SECONDARY)}")
+    return [
+        View("PhotoPrimary", "PhotoObj", parse_expression(primary_predicate),
+             description="Primary survey-quality detections "
+                         "(flags 'primary' and 'OK run' both set)"),
+        View("PhotoSecondary", "PhotoObj", parse_expression(secondary_predicate),
+             description="Repeat detections in overlap regions"),
+        View("Star", "PhotoPrimary",
+             parse_expression(f"type = {int(PhotoType.STAR)}"),
+             description="Primary objects classified as stars"),
+        View("Galaxy", "PhotoPrimary",
+             parse_expression(f"type = {int(PhotoType.GALAXY)}"),
+             description="Primary objects classified as galaxies"),
+        View("Unknown", "PhotoPrimary",
+             parse_expression(f"type = {int(PhotoType.UNKNOWN)}"),
+             description="Primary objects the pipeline could not classify"),
+        View("Sky", "PhotoObj",
+             parse_expression(f"type = {int(PhotoType.SKY)}"),
+             description="Blank-sky detections used for calibration"),
+        View("SpecObjAll", "SpecObj", None,
+             description="All spectra, including low-confidence redshifts"),
+        View("SpecGalaxy", "SpecObj",
+             parse_expression(f"specClass = {int(SpecClass.GALAXY)} and zConf > 0.35"),
+             description="Confident galaxy spectra"),
+        View("SpecQSO", "SpecObj",
+             parse_expression(
+                 f"(specClass = {int(SpecClass.QSO)} or specClass = {int(SpecClass.HIZ_QSO)}) "
+                 "and zConf > 0.35"),
+             description="Confident quasar spectra (including high-redshift quasars)"),
+        View("SpecStar", "SpecObj",
+             parse_expression(f"specClass = {int(SpecClass.STAR)} and zConf > 0.35"),
+             description="Confident stellar spectra"),
+    ]
+
+
+def register_views(database) -> None:
+    """Create the standard views in ``database`` (idempotent)."""
+    for view in standard_views():
+        if not database.has_view(view.name):
+            database.create_view(view)

@@ -1,0 +1,66 @@
+"""The public SkyServer service layer."""
+
+from .education import (HubbleDiagram, HubblePoint, ProjectCatalogEntry,
+                        SketchTarget, hubble_diagram, old_time_astronomy_targets,
+                        project_catalog)
+from .formats import FORMATS, render, render_csv, render_fits_table, render_grid, render_xml
+from .limits import PUBLIC_ROW_LIMIT, PUBLIC_TIME_LIMIT_SECONDS, QueryLimits
+from .personal import PersonalExtractSummary, extract_personal_skyserver
+from .queries import (ADDITIONAL_SIMPLE_QUERIES, DATA_MINING_QUERIES,
+                      CATEGORY_AGGREGATE, CATEGORY_INDEX_LOOKUP, CATEGORY_JOIN,
+                      CATEGORY_SCAN, CATEGORY_SPATIAL, DataMiningQuery,
+                      all_query_ids, query_by_id)
+from .query_tool import ExecutionStatistics, QueryAnalyzer, QueryOutput
+from .server import QueryExecution, SkyServer
+from .spatial import (get_htm_id, get_nearby_objects, get_nearest_object,
+                      get_objects_in_rect, htm_cover_circle,
+                      register_spatial_functions)
+from .urls import (register_url_functions, url_for_frame, url_for_navigation,
+                   url_for_object, url_for_spectrum)
+
+__all__ = [
+    "SkyServer",
+    "QueryExecution",
+    "QueryAnalyzer",
+    "QueryOutput",
+    "ExecutionStatistics",
+    "QueryLimits",
+    "PUBLIC_ROW_LIMIT",
+    "PUBLIC_TIME_LIMIT_SECONDS",
+    "DataMiningQuery",
+    "DATA_MINING_QUERIES",
+    "ADDITIONAL_SIMPLE_QUERIES",
+    "CATEGORY_INDEX_LOOKUP",
+    "CATEGORY_SPATIAL",
+    "CATEGORY_SCAN",
+    "CATEGORY_JOIN",
+    "CATEGORY_AGGREGATE",
+    "query_by_id",
+    "all_query_ids",
+    "register_spatial_functions",
+    "get_nearby_objects",
+    "get_nearest_object",
+    "get_objects_in_rect",
+    "get_htm_id",
+    "htm_cover_circle",
+    "register_url_functions",
+    "url_for_object",
+    "url_for_spectrum",
+    "url_for_navigation",
+    "url_for_frame",
+    "render",
+    "render_grid",
+    "render_csv",
+    "render_xml",
+    "render_fits_table",
+    "FORMATS",
+    "extract_personal_skyserver",
+    "PersonalExtractSummary",
+    "hubble_diagram",
+    "HubbleDiagram",
+    "HubblePoint",
+    "old_time_astronomy_targets",
+    "SketchTarget",
+    "project_catalog",
+    "ProjectCatalogEntry",
+]

@@ -1,0 +1,39 @@
+"""Public-server resource limits.
+
+"The public SkyServer limits queries to 1,000 records or 30 seconds of
+computation.  For more demanding queries, the users must use a private
+SkyServer." (paper §4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The published public-server limits.
+PUBLIC_ROW_LIMIT = 1000
+PUBLIC_TIME_LIMIT_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class QueryLimits:
+    """Row-count and elapsed-time ceilings applied to a query."""
+
+    max_rows: Optional[int] = PUBLIC_ROW_LIMIT
+    max_seconds: Optional[float] = PUBLIC_TIME_LIMIT_SECONDS
+
+    @classmethod
+    def public(cls) -> "QueryLimits":
+        """The limits the public web site enforces."""
+        return cls(PUBLIC_ROW_LIMIT, PUBLIC_TIME_LIMIT_SECONDS)
+
+    @classmethod
+    def private(cls) -> "QueryLimits":
+        """A private SkyServer (or the batch loader): no limits."""
+        return cls(None, None)
+
+    def describe(self) -> str:
+        rows = "unlimited" if self.max_rows is None else f"{self.max_rows} rows"
+        seconds = ("unlimited" if self.max_seconds is None
+                   else f"{self.max_seconds:g} seconds")
+        return f"{rows} / {seconds}"

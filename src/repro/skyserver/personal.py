@@ -1,0 +1,121 @@
+"""The Personal SkyServer (paper §10).
+
+"A 1% subset of the SkyServer database (about .5 GB SQL Server
+database) can fit on a CD or be downloaded over the web.  This includes
+the web site and all the photo and spectrographic objects in a 6°
+square of the sky.  This personal SkyServer fits on laptops and
+desktops."
+
+``extract_personal_skyserver`` carves the same kind of subset out of a
+loaded database: every photo object inside a square patch of sky, plus
+everything reachable from those objects through the snowflake foreign
+keys (fields, frames, profiles, neighbours, cross-matches, spectra and
+their lines/redshifts and plates), into a brand-new database with the
+full schema, views, functions and indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine import Database
+from ..schema import create_skyserver_database
+from ..schema.build import table_load_order
+
+
+@dataclass
+class PersonalExtractSummary:
+    """What ended up in the personal database."""
+
+    center_ra: float
+    center_dec: float
+    size_degrees: float
+    row_counts: dict[str, int]
+    source_row_counts: dict[str, int]
+    bytes_total: int
+
+    def subset_fraction(self, table: str = "PhotoObj") -> float:
+        source = self.source_row_counts.get(table, 0)
+        if not source:
+            return 0.0
+        return self.row_counts.get(table, 0) / source
+
+
+def extract_personal_skyserver(source: Database, *, center_ra: float, center_dec: float,
+                               size_degrees: float = 0.25,
+                               name: str = "PersonalSkyServer",
+                               with_indices: bool = True
+                               ) -> tuple[Database, PersonalExtractSummary]:
+    """Extract the square patch ``size_degrees`` on a side around the centre.
+
+    The real Personal SkyServer is a 6-degree square of an 80 GB
+    database (≈1%); at reproduction scale the survey footprint is much
+    smaller, so the default patch is 0.25 degrees — the caller chooses
+    the size that yields the subset fraction they want.
+    """
+    half = size_degrees / 2.0
+    ra_min, ra_max = center_ra - half, center_ra + half
+    dec_min, dec_max = center_dec - half, center_dec + half
+
+    personal = create_skyserver_database(name, with_indices=False)
+
+    photo = source.table("PhotoObj")
+    selected_objects: set[int] = set()
+    selected_fields: set[int] = set()
+    photo_rows = []
+    for _row_id, row in photo.iter_rows():
+        if ra_min <= row["ra"] <= ra_max and dec_min <= row["dec"] <= dec_max:
+            photo_rows.append(row)
+            selected_objects.add(row["objid"])
+            selected_fields.add(row["fieldid"])
+
+    selected_spectra: set[int] = set()
+    spec_rows = []
+    selected_plates: set[int] = set()
+    if source.has_table("SpecObj"):
+        for _row_id, row in source.table("SpecObj").iter_rows():
+            if row["objid"] in selected_objects or (
+                    ra_min <= row["ra"] <= ra_max and dec_min <= row["dec"] <= dec_max):
+                spec_rows.append(row)
+                selected_spectra.add(row["specobjid"])
+                selected_plates.add(row["plateid"])
+
+    def copy_table(table_name: str, predicate) -> int:
+        if not source.has_table(table_name) or not personal.has_table(table_name):
+            return 0
+        source_table = source.table(table_name)
+        target_table = personal.table(table_name)
+        rows = [dict(row) for _rid, row in source_table.iter_rows() if predicate(row)]
+        # Preserve the original load timestamps rather than stamping extraction time.
+        target_table.insert_many(rows, database=personal, skip_fk=True)
+        return len(rows)
+
+    copied: dict[str, int] = {}
+    copied["Field"] = copy_table("Field", lambda row: row["fieldid"] in selected_fields)
+    copied["Frame"] = copy_table("Frame", lambda row: row["fieldid"] in selected_fields)
+    copied["PhotoObj"] = copy_table("PhotoObj", lambda row: row["objid"] in selected_objects)
+    copied["Profile"] = copy_table("Profile", lambda row: row["objid"] in selected_objects)
+    copied["Neighbors"] = copy_table(
+        "Neighbors", lambda row: row["objid"] in selected_objects
+        and row["neighborobjid"] in selected_objects)
+    for survey in ("USNO", "ROSAT", "FIRST"):
+        copied[survey] = copy_table(survey, lambda row: row["objid"] in selected_objects)
+    copied["Plate"] = copy_table("Plate", lambda row: row["plateid"] in selected_plates)
+    copied["SpecObj"] = copy_table("SpecObj", lambda row: row["specobjid"] in selected_spectra)
+    for table_name in ("SpecLine", "SpecLineIndex", "xcRedShift", "elRedShift"):
+        copied[table_name] = copy_table(
+            table_name, lambda row: row["specobjid"] in selected_spectra)
+
+    if with_indices:
+        from ..schema.indices import create_indices
+
+        create_indices(personal)
+
+    source_counts = {name: source.table(name).row_count for name in table_load_order()
+                     if source.has_table(name)}
+    summary = PersonalExtractSummary(
+        center_ra=center_ra, center_dec=center_dec, size_degrees=size_degrees,
+        row_counts=copied, source_row_counts=source_counts,
+        bytes_total=personal.total_bytes())
+    return personal, summary

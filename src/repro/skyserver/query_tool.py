@@ -1,0 +1,132 @@
+"""SkyServerQA: the query-analyzer tool, minus the GUI (paper §4).
+
+The Java applet's value was (a) an object browser over the database
+schema with tool-tip documentation, (b) text query execution with
+per-query statistics (execution time rounded to the nearest second,
+connection information, catalog and server name) and (c) result export
+in grid / CSV / XML / FITS formats.  All three are provided here as a
+plain Python class over a :class:`~repro.skyserver.server.SkyServer`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..engine import QueryResult
+from .formats import FORMATS, render
+from .server import SkyServer
+
+
+@dataclass
+class ExecutionStatistics:
+    """The status-window contents shown after each query."""
+
+    elapsed_seconds: float
+    rounded_seconds: int
+    row_count: int
+    catalog: str
+    server: str
+    user: str
+
+    def describe(self) -> str:
+        return (f"{self.row_count} rows in {self.rounded_seconds} s "
+                f"(user {self.user} on {self.server}, catalog {self.catalog})")
+
+
+@dataclass
+class QueryOutput:
+    """A query's rendered result plus its execution statistics."""
+
+    result: QueryResult
+    rendered: str | bytes
+    statistics: ExecutionStatistics
+
+
+class QueryAnalyzer:
+    """The SkyServerQA substitute: schema browsing + query execution + export."""
+
+    def __init__(self, server: SkyServer, *, user: str = "guest"):
+        self.server = server
+        self.user = user
+
+    # -- query execution -----------------------------------------------------
+
+    def execute(self, sql: str, output_format: str = "grid") -> QueryOutput:
+        """Run a query and return its rendered output and statistics."""
+        if output_format.lower() not in FORMATS:
+            raise ValueError(f"unknown output format {output_format!r}; expected one of {FORMATS}")
+        started = time.perf_counter()
+        result = self.server.query(sql)
+        elapsed = time.perf_counter() - started
+        statistics = ExecutionStatistics(
+            elapsed_seconds=elapsed,
+            rounded_seconds=int(round(elapsed)),
+            row_count=len(result.rows),
+            catalog=self.server.database.name,
+            server=self.server.site_name,
+            user=self.user,
+        )
+        return QueryOutput(result=result, rendered=render(result, output_format),
+                           statistics=statistics)
+
+    def explain(self, sql: str) -> str:
+        return self.server.explain(sql)
+
+    # -- the object browser -----------------------------------------------------
+
+    def tables(self) -> list[str]:
+        return self.server.database.table_names()
+
+    def views(self) -> list[str]:
+        return self.server.database.view_names()
+
+    def functions(self) -> dict[str, list[dict[str, str]]]:
+        return self.server.database.functions.describe()
+
+    def columns(self, table_name: str) -> list[dict[str, Any]]:
+        """Columns with data types, nullability, units and tool-tip descriptions."""
+        return self.server.database.table(table_name).describe()["columns"]
+
+    def tooltip(self, table_name: str, column_name: Optional[str] = None) -> str:
+        """The tool-tip text shown when a table or column is selected."""
+        table = self.server.database.table(table_name)
+        if column_name is None:
+            return table.description or table.name
+        column = table.column(column_name)
+        if column is None:
+            raise KeyError(f"no column {column_name!r} in {table_name}")
+        unit = f" [{column.unit}]" if column.unit else ""
+        return f"{column.name} ({column.dtype.value}){unit}: {column.description}"
+
+    def indexes(self, table_name: str) -> list[dict[str, Any]]:
+        """Indices of a table: the columns on which they are built."""
+        return [index.describe() for index in
+                self.server.database.table(table_name).indexes.values()]
+
+    def constraints(self, table_name: str) -> dict[str, Any]:
+        """Primary- and foreign-key constraints, with referenced tables."""
+        table = self.server.database.table(table_name)
+        return {
+            "primary_key": table.primary_key_columns(),
+            "foreign_keys": [
+                {
+                    "columns": list(fk.columns),
+                    "references": fk.referenced_table,
+                    "referenced_columns": list(fk.referenced_columns),
+                }
+                for fk in table.foreign_keys
+            ],
+        }
+
+    def dependencies(self, view_name: str) -> list[str]:
+        """The chain of relations a view depends on, ending at the base table."""
+        database = self.server.database
+        chain: list[str] = []
+        current = view_name
+        while database.has_view(current):
+            view = database.view(current)
+            chain.append(view.base)
+            current = view.base
+        return chain

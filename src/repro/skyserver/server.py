@@ -1,0 +1,225 @@
+"""The SkyServer facade: the paper's web site / query service in library form.
+
+A :class:`SkyServer` wraps a loaded schema database and exposes what the
+ASP pages and SkyServerQA expose: free-form SQL (with the public row and
+time limits when asked for), the spatial search forms (cone and
+rectangle), the object explorer (the "drill down to the whole record"
+page of Figure 2), the famous-places gallery, the schema browser and the
+20-query data-mining suite used by the evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..engine import Database, QueryResult, SqlSession
+from ..loader import SkyServerLoader
+from ..pipeline import PipelineOutput, SurveyConfig, SyntheticSurvey
+from ..schema import create_skyserver_database
+from .formats import render
+from .limits import QueryLimits
+from .queries import (ADDITIONAL_SIMPLE_QUERIES, DATA_MINING_QUERIES,
+                      DataMiningQuery, fill_placeholders, query_by_id)
+from .spatial import (get_nearby_objects, get_objects_in_rect,
+                      register_spatial_functions)
+from .urls import register_url_functions, url_for_navigation, url_for_object
+
+
+@dataclass
+class QueryExecution:
+    """Timing and results of one benchmark query run."""
+
+    query: DataMiningQuery
+    result: QueryResult
+    elapsed_seconds: float
+    cpu_seconds: float
+
+    @property
+    def query_id(self) -> str:
+        return self.query.query_id
+
+    @property
+    def row_count(self) -> int:
+        return len(self.result.rows)
+
+    def plan_text(self) -> str:
+        return self.result.plan.explain()
+
+
+class SkyServer:
+    """Public access point to one SkyServer database."""
+
+    def __init__(self, database: Database, *,
+                 limits: Optional[QueryLimits] = None,
+                 site_name: str = "SkyServer (reproduction)"):
+        self.database = database
+        self.limits = limits or QueryLimits.private()
+        self.site_name = site_name
+        register_spatial_functions(database)
+        register_url_functions(database)
+        self.session = SqlSession(database,
+                                  row_limit=self.limits.max_rows,
+                                  time_limit_seconds=self.limits.max_seconds)
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_survey(cls, config: Optional[SurveyConfig] = None, *,
+                    limits: Optional[QueryLimits] = None,
+                    build_neighbors: bool = True) -> tuple["SkyServer", PipelineOutput]:
+        """Generate a synthetic survey, load it and return the running server.
+
+        This is the one-call path the examples and benchmarks use:
+        schema → pipeline → loader → server.
+        """
+        output = SyntheticSurvey(config or SurveyConfig()).run()
+        database = create_skyserver_database(with_indices=False)
+        loader = SkyServerLoader(database)
+        report = loader.load_pipeline_output(output, build_neighbors=build_neighbors)
+        if not report.succeeded:
+            failures = [result.error for result in report.step_results if not result.succeeded]
+            raise RuntimeError("survey load failed: " + "; ".join(failures))
+        return cls(database, limits=limits), output
+
+    # -- free-form SQL -----------------------------------------------------------
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a SQL batch and return the final SELECT's result."""
+        return self.session.query(sql)
+
+    def submit(self, sql: str, output_format: str = "csv") -> str | bytes:
+        """Run a query and render it in one of the public output formats."""
+        return render(self.query(sql), output_format)
+
+    def explain(self, sql: str) -> str:
+        """The query plan, as the engine's EXPLAIN rendering."""
+        return self.session.explain(sql)
+
+    # -- the data-mining suite ----------------------------------------------------
+
+    def run_data_mining_query(self, query_id: str) -> QueryExecution:
+        """Run one of the 20 benchmark queries (or an SX extra) by id."""
+        query = query_by_id(query_id)
+        sql = self._resolve_placeholders(query)
+        started_wall = time.perf_counter()
+        started_cpu = time.process_time()
+        result = self.query(sql)
+        return QueryExecution(
+            query=query,
+            result=result,
+            elapsed_seconds=time.perf_counter() - started_wall,
+            cpu_seconds=time.process_time() - started_cpu,
+        )
+
+    def run_all_data_mining_queries(self, query_ids: Optional[Sequence[str]] = None, *,
+                                    include_additional: bool = False) -> list[QueryExecution]:
+        """Run the whole suite (Figure 13's measurement loop)."""
+        if query_ids is None:
+            queries = list(DATA_MINING_QUERIES)
+            if include_additional:
+                queries += ADDITIONAL_SIMPLE_QUERIES
+            query_ids = [query.query_id for query in queries]
+        return [self.run_data_mining_query(query_id) for query_id in query_ids]
+
+    def _resolve_placeholders(self, query: DataMiningQuery) -> str:
+        objid = None
+        specobjid = None
+        if "{objid}" in query.sql:
+            photo = self.database.table("PhotoObj")
+            for _row_id, row in photo.iter_rows():
+                objid = row["objid"]
+                break
+        if "{specobjid}" in query.sql:
+            spec = self.database.table("SpecObj")
+            for _row_id, row in spec.iter_rows():
+                specobjid = row["specobjid"]
+                break
+        return fill_placeholders(query, objid=objid, specobjid=specobjid)
+
+    # -- the point-and-click interfaces ---------------------------------------------
+
+    def cone_search(self, ra: float, dec: float, radius_arcmin: float) -> list[dict]:
+        """The radial search form: objects within a radius, nearest first."""
+        return get_nearby_objects(self.database, ra, dec, radius_arcmin)
+
+    def rectangle_search(self, ra_min: float, dec_min: float,
+                         ra_max: float, dec_max: float) -> list[dict]:
+        """The rectangular search form."""
+        return get_objects_in_rect(self.database, ra_min, dec_min, ra_max, dec_max)
+
+    def explore_object(self, obj_id: int) -> dict[str, Any]:
+        """The Object Explorer page: the whole record plus everything linked to it."""
+        photo = self.database.table("PhotoObj")
+        record: Optional[dict] = None
+        index = photo.find_index_on(["objID"])
+        if index is not None:
+            for row_id in index.seek((obj_id,)):
+                record = photo.get_row(row_id)
+                break
+        if record is None:
+            for _row_id, row in photo.iter_rows():
+                if row["objid"] == obj_id:
+                    record = row
+                    break
+        if record is None:
+            raise KeyError(f"no PhotoObj with objID {obj_id}")
+        neighbors = [row for _rid, row in self.database.table("Neighbors").iter_rows()
+                     if row["objid"] == obj_id] if self.database.has_table("Neighbors") else []
+        spectrum = None
+        lines: list[dict] = []
+        if record["specobjid"]:
+            spec = self.database.table("SpecObj")
+            for _row_id, row in spec.iter_rows():
+                if row["specobjid"] == record["specobjid"]:
+                    spectrum = row
+                    break
+            line_table = self.database.table("SpecLine")
+            line_index = line_table.find_index_on(["specObjID"])
+            if line_index is not None:
+                lines = [line_table.get_row(rid) for rid in line_index.seek((record["specobjid"],))]
+            else:
+                lines = [row for _rid, row in line_table.iter_rows()
+                         if row["specobjid"] == record["specobjid"]]
+        crossmatches = {}
+        for survey in ("USNO", "ROSAT", "FIRST"):
+            matches = [row for _rid, row in self.database.table(survey).iter_rows()
+                       if row["objid"] == obj_id]
+            if matches:
+                crossmatches[survey] = matches[0]
+        return {
+            "photo": record,
+            "neighbors": neighbors,
+            "spectrum": spectrum,
+            "spectral_lines": [line for line in lines if line is not None],
+            "crossmatches": crossmatches,
+            "explorer_url": url_for_object(obj_id),
+            "navigation_url": url_for_navigation(record["ra"], record["dec"]),
+        }
+
+    def famous_places(self, count: int = 10) -> list[dict]:
+        """The 'coffee-table atlas': the most photogenic (brightest large) galaxies."""
+        result = self.query(f"""
+            select top {int(count)} objID, ra, dec, modelMag_r, petroRad_r,
+                   dbo.fGetUrlExpId(objID) as url
+            from Galaxy
+            where petroRad_r > 2
+            order by modelMag_r
+        """)
+        return result.rows
+
+    # -- metadata -------------------------------------------------------------------
+
+    def schema_browser(self) -> dict[str, Any]:
+        """The SkyServerQA object-browser tree (tables, views, functions, indexes)."""
+        return self.database.describe()
+
+    def site_statistics(self) -> dict[str, Any]:
+        """Row counts and sizes: the 'about the data' page."""
+        return {
+            "site": self.site_name,
+            "limits": self.limits.describe(),
+            "tables": self.database.size_report(),
+            "total_bytes": self.database.total_bytes(),
+        }

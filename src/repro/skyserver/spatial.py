@@ -1,0 +1,141 @@
+"""Spatial access functions (paper §9.1.4).
+
+``spHTM_Cover(<area>)`` returns the HTM ranges covering an area, and the
+"simpler functions" layered on top return actual objects:
+``fGetNearbyObjEq(ra, dec, radius_arcmin)`` lists every object within
+the radius (with its distance), ``fGetNearestObjEq`` returns the single
+closest one, and ``fGetObjFromRectEq`` returns the objects inside an
+(ra, dec) rectangle.  All of them are table-valued functions the SQL
+layer can join against PhotoObj — Query 1's plan (Figure 10) is exactly
+such a join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..engine import Database, bigint, floating, integer
+from ..htm import (DEFAULT_DEPTH, HtmRange, arcmin_between, cover,
+                   cover_circle, lookup_id, RectangleEq)
+
+
+def htm_cover_circle(ra: float, dec: float, radius_arcmin: float) -> list[dict]:
+    """``spHTM_Cover`` for a circle: rows of (htmIDstart, htmIDend)."""
+    return [{"htmIDstart": r.low, "htmIDend": r.high}
+            for r in cover_circle(ra, dec, radius_arcmin)]
+
+
+def _candidate_rows(database: Database, ranges: Iterable[HtmRange]) -> Iterable[dict]:
+    """Rows of PhotoObj whose htmID falls in any cover range.
+
+    Uses the htmID B-tree index when it exists (the design's fast path);
+    falls back to a scan otherwise so the functions still work on
+    databases loaded without indices.
+    """
+    photo = database.table("PhotoObj")
+    index = photo.find_index_on(["htmID"])
+    if index is not None:
+        seen: set[int] = set()
+        for htm_range in ranges:
+            for row_id in index.range((htm_range.low,), (htm_range.high,)):
+                if row_id in seen:
+                    continue
+                seen.add(row_id)
+                row = photo.get_row(row_id)
+                if row is not None:
+                    yield row
+        return
+    range_list = list(ranges)
+    for _row_id, row in photo.iter_rows():
+        htm_id = row["htmid"]
+        if any(r.low <= htm_id <= r.high for r in range_list):
+            yield row
+
+
+def get_nearby_objects(database: Database, ra: float, dec: float,
+                       radius_arcmin: float) -> list[dict]:
+    """``fGetNearbyObjEq``: objID, distance (arcmin), type and mode of nearby objects."""
+    rows = []
+    for row in _candidate_rows(database, cover_circle(ra, dec, radius_arcmin)):
+        distance = arcmin_between(ra, dec, row["ra"], row["dec"])
+        if distance <= radius_arcmin:
+            rows.append({
+                "objID": row["objid"],
+                "distance": distance,
+                "type": row["type"],
+                "mode": row["mode"],
+                "ra": row["ra"],
+                "dec": row["dec"],
+            })
+    rows.sort(key=lambda entry: entry["distance"])
+    return rows
+
+
+def get_nearest_object(database: Database, ra: float, dec: float,
+                       radius_arcmin: float = 1.0) -> list[dict]:
+    """``fGetNearestObjEq``: at most one row — the closest object within the radius."""
+    nearby = get_nearby_objects(database, ra, dec, radius_arcmin)
+    return nearby[:1]
+
+
+def get_objects_in_rect(database: Database, ra_min: float, dec_min: float,
+                        ra_max: float, dec_max: float) -> list[dict]:
+    """``fGetObjFromRectEq``: objects inside an (ra, dec) bounding box."""
+    region = RectangleEq(ra_min, ra_max, dec_min, dec_max)
+    rows = []
+    for row in _candidate_rows(database, cover(region, cover_depth=8)):
+        if region.contains_radec(row["ra"], row["dec"]):
+            rows.append({
+                "objID": row["objid"],
+                "ra": row["ra"],
+                "dec": row["dec"],
+                "type": row["type"],
+                "mode": row["mode"],
+                "modelMag_r": row["modelmag_r"],
+            })
+    rows.sort(key=lambda entry: (entry["ra"], entry["dec"]))
+    return rows
+
+
+def get_htm_id(ra: float, dec: float, depth: int = DEFAULT_DEPTH) -> int:
+    """``fHTM_Lookup``: the HTM id of a position at the given depth."""
+    return lookup_id(ra, dec, depth)
+
+
+def register_spatial_functions(database: Database) -> None:
+    """Register the spatial table-valued and scalar functions on a database."""
+    database.register_table_function(
+        "spHTM_Cover",
+        [bigint("htmIDstart"), bigint("htmIDend")],
+        lambda ra, dec, radius: htm_cover_circle(ra, dec, radius),
+        description="HTM trixel ranges covering a circle (ra, dec, radius arcmin)",
+        row_estimate=12, replace=True)
+    database.register_table_function(
+        "fGetNearbyObjEq",
+        [bigint("objID"), floating("distance"), integer("type"), integer("mode"),
+         floating("ra"), floating("dec")],
+        lambda ra, dec, radius: get_nearby_objects(database, ra, dec, radius),
+        description="Objects within radius arcminutes of (ra, dec), nearest first",
+        row_estimate=20, replace=True)
+    database.register_table_function(
+        "fGetNearestObjEq",
+        [bigint("objID"), floating("distance"), integer("type"), integer("mode"),
+         floating("ra"), floating("dec")],
+        lambda ra, dec, radius=1.0: get_nearest_object(database, ra, dec, radius),
+        description="The single nearest object within radius arcminutes of (ra, dec)",
+        row_estimate=1, replace=True)
+    database.register_table_function(
+        "fGetObjFromRectEq",
+        [bigint("objID"), floating("ra"), floating("dec"), integer("type"),
+         integer("mode"), floating("modelMag_r")],
+        lambda ra_min, dec_min, ra_max, dec_max: get_objects_in_rect(
+            database, ra_min, dec_min, ra_max, dec_max),
+        description="Objects inside an (ra, dec) rectangle",
+        row_estimate=100, replace=True)
+    database.register_scalar_function(
+        "fHTM_Lookup", get_htm_id,
+        description="HTM id of an (ra, dec) position", replace=True)
+    database.register_scalar_function(
+        "fDistanceArcMinEq", arcmin_between,
+        description="Arc distance in arcminutes between two (ra, dec) positions",
+        replace=True)

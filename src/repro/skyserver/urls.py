@@ -1,0 +1,53 @@
+"""URL helper functions.
+
+Query 15 selects ``dbo.fGetUrlExpId(objID) as Url`` "so that it can be
+easily examined" — the function renders the web site's object-explorer
+URL for an object id.  The equivalent helpers for navigation and chart
+URLs are provided as well, and all are registered as scalar functions.
+"""
+
+from __future__ import annotations
+
+from ..engine import Database
+from ..pipeline.photometric import decode_obj_id
+
+#: Base URL of the public server (the reproduction keeps the real site's layout).
+BASE_URL = "http://skyserver.sdss.org/en"
+
+
+def url_for_object(obj_id: int) -> str:
+    """``fGetUrlExpId``: the object-explorer URL for an objID."""
+    return f"{BASE_URL}/tools/explore/obj.asp?id={int(obj_id)}"
+
+
+def url_for_spectrum(spec_obj_id: int) -> str:
+    """``fGetUrlSpecImg``: the spectrum-image URL for a specObjID."""
+    return f"{BASE_URL}/get/specById.asp?id={int(spec_obj_id)}"
+
+
+def url_for_navigation(ra: float, dec: float, zoom: int = 0) -> str:
+    """``fGetUrlNavEq``: the pan/zoom navigation URL for a position."""
+    return f"{BASE_URL}/tools/chart/navi.asp?ra={ra:.5f}&dec={dec:.5f}&zoom={int(zoom)}"
+
+
+def url_for_frame(obj_id: int, zoom: int = 0) -> str:
+    """``fGetUrlFrameImg``: the frame-image URL for an object's field."""
+    parts = decode_obj_id(int(obj_id))
+    return (f"{BASE_URL}/get/frameByRCFZ.asp?run={parts['run']}&camcol={parts['camcol']}"
+            f"&field={parts['field']}&zoom={int(zoom)}")
+
+
+def register_url_functions(database: Database) -> None:
+    """Register the URL helpers as scalar SQL functions."""
+    database.register_scalar_function(
+        "fGetUrlExpId", url_for_object,
+        description="Object-explorer URL for an objID (used by Query 15)", replace=True)
+    database.register_scalar_function(
+        "fGetUrlSpecImg", url_for_spectrum,
+        description="Spectrum-image URL for a specObjID", replace=True)
+    database.register_scalar_function(
+        "fGetUrlNavEq", url_for_navigation,
+        description="Navigation (pan/zoom) URL for an (ra, dec) position", replace=True)
+    database.register_scalar_function(
+        "fGetUrlFrameImg", url_for_frame,
+        description="Frame-image URL for an object's field", replace=True)

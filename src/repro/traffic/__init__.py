@@ -1,0 +1,19 @@
+"""Web-site usage synthesis and analysis (Figure 5, Section 7)."""
+
+from .analyze import DailyPoint, TrafficReport, analyze, ascii_chart
+from .weblog import (DEFAULT_END, DEFAULT_START, LogRecord, Session,
+                     TrafficModelConfig, WebLog, generate_weblog)
+
+__all__ = [
+    "TrafficModelConfig",
+    "WebLog",
+    "LogRecord",
+    "Session",
+    "generate_weblog",
+    "DEFAULT_START",
+    "DEFAULT_END",
+    "analyze",
+    "ascii_chart",
+    "TrafficReport",
+    "DailyPoint",
+]

@@ -1,0 +1,138 @@
+"""Web-log analysis: the numbers behind Figure 5 and Section 7.
+
+The analyzer consumes a :class:`~repro.traffic.weblog.WebLog` (or just
+its daily records) and produces the same statistics the paper reports:
+total hits / page views / sessions, the daily series of Figure 5,
+monthly aggregates, sub-web and education shares, crawler share,
+hacker-attempt rate, uptime percentage and the sustained daily usage.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .weblog import LogRecord, WebLog
+
+
+@dataclass
+class DailyPoint:
+    """One point of the Figure 5 time series."""
+
+    date: _dt.date
+    hits: int
+    page_views: int
+    sessions: int
+
+
+@dataclass
+class TrafficReport:
+    """Aggregate statistics over the whole operating period."""
+
+    days: int
+    total_hits: int
+    total_page_views: int
+    total_sessions: int
+    crawler_hit_fraction: float
+    japanese_page_fraction: float
+    german_page_fraction: float
+    education_page_fraction: float
+    education_page_views_per_day: float
+    hacker_attempts_per_day: float
+    uptime_percent: float
+    mean_sessions_per_day: float
+    mean_page_views_per_day: float
+    peak_day: _dt.date
+    peak_to_mean_page_ratio: float
+    daily: list[DailyPoint] = field(default_factory=list)
+    monthly: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Human-readable (metric, value) pairs for the benchmark report."""
+        return [
+            ("days of operation", str(self.days)),
+            ("total hits", f"{self.total_hits:,}"),
+            ("total page views", f"{self.total_page_views:,}"),
+            ("total sessions", f"{self.total_sessions:,}"),
+            ("crawler share of hits", f"{self.crawler_hit_fraction:.1%}"),
+            ("Japanese sub-web share", f"{self.japanese_page_fraction:.1%}"),
+            ("German sub-web share", f"{self.german_page_fraction:.1%}"),
+            ("education share of page views", f"{self.education_page_fraction:.1%}"),
+            ("education page views per day", f"{self.education_page_views_per_day:.0f}"),
+            ("hacker attempts per day", f"{self.hacker_attempts_per_day:.1f}"),
+            ("uptime", f"{self.uptime_percent:.2f}%"),
+            ("sustained sessions per day", f"{self.mean_sessions_per_day:.0f}"),
+            ("sustained page views per day", f"{self.mean_page_views_per_day:.0f}"),
+            ("peak day", self.peak_day.isoformat()),
+            ("peak-to-mean page views", f"{self.peak_to_mean_page_ratio:.1f}x"),
+        ]
+
+
+def analyze(log: WebLog | Sequence[LogRecord]) -> TrafficReport:
+    """Compute the full traffic report from a log."""
+    daily_records = list(log.daily if isinstance(log, WebLog) else log)
+    if not daily_records:
+        raise ValueError("cannot analyze an empty web log")
+
+    total_hits = sum(record.hits for record in daily_records)
+    total_pages = sum(record.page_views for record in daily_records)
+    total_sessions = sum(record.sessions for record in daily_records)
+    crawler_hits = sum(record.crawler_hits for record in daily_records)
+    education_pages = sum(record.education_page_views for record in daily_records)
+    japanese_pages = sum(record.japanese_page_views for record in daily_records)
+    german_pages = sum(record.german_page_views for record in daily_records)
+    hacker_attempts = sum(record.hacker_attempts for record in daily_records)
+    days = len(daily_records)
+
+    daily_points = [DailyPoint(record.date, record.hits, record.page_views, record.sessions)
+                    for record in daily_records]
+    peak = max(daily_records, key=lambda record: record.page_views)
+    mean_pages = total_pages / days
+
+    monthly: dict[str, dict[str, int]] = {}
+    for record in daily_records:
+        key = record.date.strftime("%Y-%m")
+        bucket = monthly.setdefault(key, {"hits": 0, "page_views": 0, "sessions": 0})
+        bucket["hits"] += record.hits
+        bucket["page_views"] += record.page_views
+        bucket["sessions"] += record.sessions
+
+    return TrafficReport(
+        days=days,
+        total_hits=total_hits,
+        total_page_views=total_pages,
+        total_sessions=total_sessions,
+        crawler_hit_fraction=crawler_hits / total_hits if total_hits else 0.0,
+        japanese_page_fraction=japanese_pages / total_pages if total_pages else 0.0,
+        german_page_fraction=german_pages / total_pages if total_pages else 0.0,
+        education_page_fraction=education_pages / total_pages if total_pages else 0.0,
+        education_page_views_per_day=education_pages / days,
+        hacker_attempts_per_day=hacker_attempts / days,
+        uptime_percent=100.0 * sum(record.uptime_fraction for record in daily_records) / days,
+        mean_sessions_per_day=total_sessions / days,
+        mean_page_views_per_day=mean_pages,
+        peak_day=peak.date,
+        peak_to_mean_page_ratio=peak.page_views / mean_pages if mean_pages else 0.0,
+        daily=daily_points,
+        monthly=monthly,
+    )
+
+
+def ascii_chart(report: TrafficReport, *, width: int = 60, monthly: bool = True) -> str:
+    """A log-scale ASCII rendering of Figure 5 (hits / page views / sessions)."""
+    import math
+
+    lines = ["SkyServer traffic (log scale)",
+             f"{'month' if monthly else 'date':>8s}  {'hits':>9s} {'pages':>9s} {'sessions':>9s}"]
+    if monthly:
+        series = [(month, values["hits"], values["page_views"], values["sessions"])
+                  for month, values in sorted(report.monthly.items())]
+    else:
+        series = [(point.date.isoformat(), point.hits, point.page_views, point.sessions)
+                  for point in report.daily]
+    peak = max((hits for _label, hits, _p, _s in series), default=1)
+    for label, hits, pages, sessions in series:
+        bar_length = int(width * math.log10(max(hits, 1) + 1) / math.log10(peak + 1))
+        lines.append(f"{label:>8s}  {hits:9d} {pages:9d} {sessions:9d}  " + "#" * bar_length)
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Planner and executor tests: access paths, joins, views, aggregation."""
+
+import pytest
+
+from repro.engine import Database, PrimaryKey, View, bigint, floating, integer, text
+from repro.engine.explain import plan_operators
+from repro.engine.sql import SqlSession, parse_expression
+
+
+@pytest.fixture()
+def session(toy_photo_database):
+    return SqlSession(toy_photo_database)
+
+
+class TestAccessPaths:
+    def test_primary_key_equality_uses_index_seek(self, session, toy_photo_database):
+        plan = session.plan("select ra from PhotoObj where objID = 42")
+        assert "Index Seek" in plan_operators(plan)
+        result = plan.execute()
+        assert len(result.rows) == 1
+
+    def test_unindexed_predicate_uses_table_scan(self, session):
+        plan = session.plan("select objID from PhotoObj where rowv > 20")
+        assert "Table Scan" in plan_operators(plan)
+
+    def test_covering_index_used_when_columns_covered(self, session):
+        plan = session.plan("select type, modelMag_r from PhotoObj where modelMag_r < 15 and type = type")
+        # All referenced columns (type, modelMag_r, objID) are covered by ix_type.
+        labels = plan_operators(plan)
+        assert "Covering Index Scan" in labels or "Index Seek" in labels
+
+    def test_index_seek_on_composite_prefix(self, session):
+        plan = session.plan("select objID from PhotoObj where run = 756 and camcol = 3")
+        assert "Index Seek" in plan_operators(plan)
+        rows = plan.execute().rows
+        assert rows and all(True for _ in rows)
+
+    def test_scan_results_match_seek_results(self, session, toy_photo_database):
+        seek = session.query("select objID from PhotoObj where run = 756 and camcol = 3 order by objID")
+        toy_photo_database.table("PhotoObj").drop_index("ix_field")
+        scan = session.query("select objID from PhotoObj where run = 756 and camcol = 3 order by objID")
+        assert seek.rows == scan.rows
+        toy_photo_database.table("PhotoObj").create_index("ix_field", ["run", "camcol", "field"])
+
+
+class TestViews:
+    def test_view_folds_to_base_table(self, toy_photo_database):
+        toy_photo_database.create_view(
+            View("GalaxyView", "PhotoObj", parse_expression("type = 'galaxy'")))
+        session = SqlSession(toy_photo_database)
+        result = session.query("select count(*) as n from GalaxyView")
+        direct = session.query("select count(*) as n from PhotoObj where type = 'galaxy'")
+        assert result.scalar() == direct.scalar()
+
+    def test_nested_views(self, toy_photo_database):
+        toy_photo_database.create_view(
+            View("BrightView", "PhotoObj", parse_expression("modelMag_r < 18")), replace=True)
+        toy_photo_database.create_view(
+            View("BrightGalaxies", "BrightView", parse_expression("type = 'galaxy'")))
+        session = SqlSession(toy_photo_database)
+        combined = session.query("select count(*) as n from BrightGalaxies").scalar()
+        manual = session.query(
+            "select count(*) as n from PhotoObj where modelMag_r < 18 and type = 'galaxy'").scalar()
+        assert combined == manual
+
+
+class TestJoins:
+    @pytest.fixture()
+    def spectro_database(self, toy_photo_database):
+        table = toy_photo_database.create_table("SpecObj", [
+            bigint("specObjID"), bigint("objID"), floating("z"), integer("specClass"),
+        ], primary_key=PrimaryKey(["specObjID"]))
+        rows = [{"specObjID": 1000 + i, "objID": i * 5 + 1, "z": 0.02 * i, "specClass": 2}
+                for i in range(40)]
+        table.insert_many(rows, database=toy_photo_database)
+        table.create_index("ix_obj", ["objID"])
+        return toy_photo_database
+
+    def test_equality_join_uses_index_nested_loop(self, spectro_database):
+        session = SqlSession(spectro_database)
+        plan = session.plan(
+            "select p.objID, s.z from SpecObj s join PhotoObj p on p.objID = s.objID")
+        assert "Index Nested Loop Join" in plan_operators(plan)
+        result = plan.execute()
+        assert len(result.rows) == 40
+
+    def test_join_results_are_correct(self, spectro_database):
+        session = SqlSession(spectro_database)
+        result = session.query(
+            "select p.objID, s.z from SpecObj s join PhotoObj p on p.objID = s.objID "
+            "where s.z > 0.5 order by s.z")
+        assert all(row["z"] > 0.5 for row in result.rows)
+        assert [row["z"] for row in result.rows] == sorted(row["z"] for row in result.rows)
+
+    def test_comma_join_with_where(self, spectro_database):
+        session = SqlSession(spectro_database)
+        result = session.query(
+            "select p.objID from PhotoObj p, SpecObj s where p.objID = s.objID and s.z < 0.1")
+        assert len(result.rows) == 5
+
+    def test_self_join(self, spectro_database):
+        session = SqlSession(spectro_database)
+        result = session.query("""
+            select a.objID as a_id, b.objID as b_id
+            from PhotoObj a join PhotoObj b on b.run = a.run and b.camcol = a.camcol
+            where a.objID = 1 and b.objID <> 1 and b.field = a.field
+        """)
+        assert all(row["a_id"] == 1 and row["b_id"] != 1 for row in result.rows)
+
+    def test_cross_join_without_condition(self, spectro_database):
+        session = SqlSession(spectro_database)
+        result = session.query(
+            "select count(*) as n from SpecObj a, SpecObj b where a.specObjID = 1000 and b.specObjID = 1001")
+        assert result.scalar() == 1
+
+    def test_three_way_join(self, spectro_database):
+        table = spectro_database.create_table("SpecLine", [
+            bigint("lineID"), bigint("specObjID"), floating("ew"),
+        ], primary_key=PrimaryKey(["lineID"]))
+        table.insert_many([{"lineID": i, "specObjID": 1000 + i % 40, "ew": float(i)}
+                           for i in range(120)], database=spectro_database)
+        table.create_index("ix_spec", ["specObjID"])
+        session = SqlSession(spectro_database)
+        result = session.query("""
+            select p.objID, l.ew
+            from PhotoObj p
+            join SpecObj s on s.objID = p.objID
+            join SpecLine l on l.specObjID = s.specObjID
+            where l.ew > 100
+        """)
+        assert len(result.rows) == 19
+        assert all(row["ew"] > 100 for row in result.rows)
+
+
+class TestAggregationAndOrdering:
+    def test_count_star(self, session):
+        assert session.query("select count(*) as n from PhotoObj").scalar() == 500
+
+    def test_group_by_with_having(self, session):
+        result = session.query(
+            "select type, count(*) as n, avg(modelMag_r) as meanmag from PhotoObj "
+            "group by type having count(*) > 10 order by n desc")
+        assert len(result.rows) == 2
+        assert result.rows[0]["n"] >= result.rows[1]["n"]
+
+    def test_min_max_sum(self, session):
+        result = session.query(
+            "select min(modelMag_r) as lo, max(modelMag_r) as hi, sum(modelMag_r) as total from PhotoObj")
+        row = result.rows[0]
+        assert row["lo"] <= row["hi"]
+        assert row["total"] == pytest.approx(row["lo"] * 0 + row["total"])
+
+    def test_group_by_expression(self, session):
+        result = session.query(
+            "select round(modelMag_r, 0) as bin, count(*) as n from PhotoObj "
+            "group by round(modelMag_r, 0) order by bin")
+        assert sum(row["n"] for row in result.rows) == 500
+
+    def test_aggregate_over_empty_input(self, session):
+        result = session.query("select count(*) as n from PhotoObj where modelMag_r > 999")
+        assert result.scalar() == 0
+
+    def test_order_by_alias(self, session):
+        result = session.query(
+            "select objID, rowv*rowv + colv*colv as speed2 from PhotoObj order by speed2 desc")
+        speeds = [row["speed2"] for row in result.rows]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_top_limits_rows(self, session):
+        result = session.query("select top 7 objID from PhotoObj order by objID")
+        assert len(result.rows) == 7
+
+    def test_distinct(self, session):
+        result = session.query("select distinct type from PhotoObj")
+        assert sorted(row["type"] for row in result.rows) == ["galaxy", "star"]
+
+    def test_select_into_then_requery(self, session, toy_photo_database):
+        session.query("select objID, type into ##subset from PhotoObj where modelMag_r < 16")
+        count = session.query("select count(*) as n from ##subset").scalar()
+        assert count == toy_photo_database.table("##subset").row_count
+
+    def test_scalar_select_without_from(self, session):
+        assert session.query("select 6 * 7 as answer").scalar() == 42
+
+    def test_execution_statistics_populated(self, session):
+        result = session.query("select count(*) as n from PhotoObj where modelMag_r > 0")
+        assert result.statistics.rows_scanned == 500
+        assert result.statistics.bytes_scanned > 0
+        assert result.statistics.elapsed_seconds >= 0.0

@@ -1,0 +1,205 @@
+"""Unit tests for the SQL lexer, parser and session."""
+
+import pytest
+
+from repro.engine import Database, PrimaryKey, SQLSyntaxError, bigint, floating, text
+from repro.engine.logical import FunctionRef, TableRef
+from repro.engine.sql import SqlSession, parse_batch, parse_expression, parse_select
+from repro.engine.sql.ast import DeclareStatement, SelectStatement, SetStatement
+from repro.engine.sql.lexer import TokenType, tokenize
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("select objID from PhotoObj where ra > 185.5")
+        kinds = [token.type for token in tokens]
+        assert TokenType.NAME in kinds and TokenType.NUMBER in kinds
+        assert tokens[-1].type is TokenType.END
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("select 'it''s'")
+        strings = [token for token in tokens if token.type is TokenType.STRING]
+        assert strings[0].value == "it's"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("select 1 -- this is a comment\n + 2")
+        text = [token.value for token in tokens if token.type is not TokenType.END]
+        assert "comment" not in " ".join(text)
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("select /* noise */ 1")
+        assert len([t for t in tokens if t.type is TokenType.NUMBER]) == 1
+
+    def test_variable_token(self):
+        tokens = tokenize("set @saturated = 4")
+        assert any(token.type is TokenType.VARIABLE and token.value == "saturated"
+                   for token in tokens)
+
+    def test_temp_table_name(self):
+        tokens = tokenize("select 1 into ##results")
+        assert any(token.type is TokenType.NAME and token.value == "##results"
+                   for token in tokens)
+
+    def test_scientific_notation(self):
+        tokens = tokenize("select 1.5e-3")
+        numbers = [token for token in tokens if token.type is TokenType.NUMBER]
+        assert numbers[0].value == "1.5e-3"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select 'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select ?")
+
+
+class TestParser:
+    def test_simple_select(self):
+        query = parse_select("select objID, ra from PhotoObj where ra > 180 order by ra desc")
+        assert len(query.select) == 2
+        assert isinstance(query.relations[0], TableRef)
+        assert query.order_by[0].descending is True
+
+    def test_select_star(self):
+        query = parse_select("select * from PhotoObj")
+        assert len(query.select) == 1
+
+    def test_top_and_distinct(self):
+        query = parse_select("select top 10 distinct type from PhotoObj")
+        assert query.top == 10 and query.distinct is True
+
+    def test_into_clause(self):
+        query = parse_select("select objID into ##results from PhotoObj")
+        assert query.into == "##results"
+
+    def test_alias_forms(self):
+        query = parse_select("select p.ra as alpha, p.dec delta from PhotoObj as p")
+        assert query.select[0].alias == "alpha"
+        assert query.select[1].alias == "delta"
+        assert query.relations[0].alias == "p"
+
+    def test_explicit_join_with_on(self):
+        query = parse_select(
+            "select p.objID from PhotoObj p join SpecObj s on s.objID = p.objID")
+        assert len(query.joins) == 1
+        assert query.joins[0].condition is not None
+
+    def test_comma_join(self):
+        query = parse_select("select r.objID from PhotoObj r, PhotoObj g where r.run = g.run")
+        assert len(query.relations) == 2
+
+    def test_table_valued_function_in_from(self):
+        query = parse_select(
+            "select GN.objID from fGetNearbyObjEq(185, -0.5, 1) as GN")
+        assert isinstance(query.relations[0], FunctionRef)
+        assert len(query.relations[0].args) == 3
+
+    def test_dbo_prefix_stripped_from_from_clause(self):
+        query = parse_select("select * from dbo.fGetNearbyObjEq(1, 1, 1) as n")
+        assert query.relations[0].name == "fGetNearbyObjEq"
+
+    def test_group_by_and_having(self):
+        query = parse_select(
+            "select type, count(*) as n from PhotoObj group by type having count(*) > 5")
+        assert len(query.group_by) == 1
+        assert query.having is not None
+
+    def test_batch_with_declare_and_set(self):
+        statements = parse_batch("""
+            declare @saturated bigint;
+            set @saturated = dbo.fPhotoFlags('saturated');
+            select 1
+        """)
+        assert isinstance(statements[0], DeclareStatement)
+        assert isinstance(statements[1], SetStatement)
+        assert isinstance(statements[2], SelectStatement)
+
+    def test_multiple_declares_in_one_statement(self):
+        statements = parse_batch("declare @a int, @b float")
+        assert statements[0].names == ["a", "b"]
+
+    def test_missing_from_keyword_is_fine(self):
+        query = parse_select("select 1 + 1 as two")
+        assert not query.relations
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select 1 from PhotoObj nonsense nonsense nonsense(")
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_batch("update PhotoObj set ra = 0")
+
+    def test_expression_entry_point(self):
+        expression = parse_expression("power(q_r, 2) + power(u_r, 2) > 0.111111")
+        assert ("power" in expression.sql().lower())
+
+
+class TestSession:
+    @pytest.fixture()
+    def database(self):
+        database = Database("sql-session")
+        table = database.create_table("Obj", [
+            bigint("objID"), text("kind"), floating("mag"),
+        ], primary_key=PrimaryKey(["objID"]))
+        table.insert_many([
+            {"objID": index, "kind": "galaxy" if index % 2 == 0 else "star",
+             "mag": 15.0 + index * 0.5}
+            for index in range(20)
+        ], database=database)
+        database.register_scalar_function("fDouble", lambda value: value * 2)
+        return database
+
+    def test_simple_query(self, database):
+        session = SqlSession(database)
+        result = session.query("select objID from Obj where mag < 17 order by objID")
+        assert [row["objID"] for row in result.rows] == [0, 1, 2, 3]
+
+    def test_declare_set_and_use_variable(self, database):
+        session = SqlSession(database)
+        result = session.query("""
+            declare @limit float;
+            set @limit = 16.0;
+            select count(*) as n from Obj where mag < @limit
+        """)
+        assert result.scalar() == 2
+
+    def test_variable_uses_registered_function(self, database):
+        session = SqlSession(database)
+        result = session.query("""
+            declare @x bigint;
+            set @x = dbo.fDouble(8);
+            select @x as doubled
+        """)
+        assert result.rows[0]["doubled"] == 16
+
+    def test_select_into_creates_table(self, database):
+        session = SqlSession(database)
+        session.query("select objID, mag into ##bright from Obj where mag < 16")
+        assert database.has_table("##bright")
+        assert database.table("##bright").row_count == 2
+
+    def test_row_limit_enforced(self, database):
+        from repro.engine import QueryLimitExceeded
+
+        session = SqlSession(database, row_limit=5)
+        with pytest.raises(QueryLimitExceeded):
+            session.query("select objID from Obj")
+
+    def test_explain_produces_plan_text(self, database):
+        session = SqlSession(database)
+        plan_text = session.explain("select objID from Obj where objID = 3")
+        assert "Index Seek" in plan_text or "Table Scan" in plan_text
+
+    def test_query_without_select_raises(self, database):
+        session = SqlSession(database)
+        with pytest.raises(SQLSyntaxError):
+            session.query("declare @x int")
+
+    def test_statement_results_reported(self, database):
+        session = SqlSession(database)
+        outcomes = session.execute("declare @x int; set @x = 3; select @x as v")
+        kinds = [outcome.kind for outcome in outcomes]
+        assert kinds == ["declare", "set", "select"]
+        assert outcomes[1].value == 3

@@ -1,0 +1,234 @@
+"""Unit tests for tables, constraints and B-tree indices."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine import (CheckConstraint, Database, ForeignKey, ForeignKeyViolation,
+                          NotNullViolation, PrimaryKey, PrimaryKeyViolation,
+                          SchemaError, bigint, floating, integer, text, timestamp)
+from repro.engine.sql import parse_expression
+from repro.engine.types import CURRENT_TIMESTAMP
+
+
+def make_table(database, name="t", with_pk=True):
+    return database.create_table(name, [
+        bigint("id"),
+        text("name", nullable=True),
+        floating("mag", nullable=True),
+    ], primary_key=PrimaryKey(["id"]) if with_pk else None)
+
+
+class TestTableBasics:
+    def test_insert_and_count(self, empty_database):
+        table = make_table(empty_database)
+        table.insert({"id": 1, "name": "a", "mag": 20.0})
+        table.insert({"id": 2, "name": "b", "mag": 21.0})
+        assert table.row_count == 2
+        assert len(list(table)) == 2
+
+    def test_column_names_case_insensitive(self, empty_database):
+        table = make_table(empty_database)
+        table.insert({"ID": 3, "NAME": "x", "MAG": 1.0})
+        row = next(iter(table))
+        assert row["name"] == "x"
+
+    def test_unknown_column_rejected(self, empty_database):
+        table = make_table(empty_database)
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "nonsense": 5})
+
+    def test_not_null_enforced(self, empty_database):
+        table = make_table(empty_database)
+        with pytest.raises(NotNullViolation):
+            table.insert({"id": None, "name": "x"})
+
+    def test_primary_key_enforced(self, empty_database):
+        table = make_table(empty_database)
+        table.insert({"id": 1})
+        with pytest.raises(PrimaryKeyViolation):
+            table.insert({"id": 1})
+
+    def test_duplicate_detected_on_bulk_rebuild(self, empty_database):
+        table = make_table(empty_database)
+        with pytest.raises(PrimaryKeyViolation):
+            table.insert_many([{"id": 5}, {"id": 5}])
+
+    def test_delete_row(self, empty_database):
+        table = make_table(empty_database)
+        row_id = table.insert({"id": 1, "mag": 5.0})
+        assert table.delete_row(row_id)
+        assert table.row_count == 0
+        assert table.get_row(row_id) is None
+
+    def test_delete_where(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": i, "mag": float(i)} for i in range(10)])
+        deleted = table.delete_where(lambda row: row["mag"] >= 5)
+        assert deleted == 5
+        assert table.row_count == 5
+
+    def test_truncate(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": i} for i in range(5)])
+        table.truncate()
+        assert table.row_count == 0
+
+    def test_data_bytes_tracks_inserts_and_deletes(self, empty_database):
+        table = make_table(empty_database)
+        row_id = table.insert({"id": 1, "name": "hello", "mag": 1.0})
+        bytes_with_row = table.data_bytes
+        assert bytes_with_row > 0
+        table.delete_row(row_id)
+        assert table.data_bytes == 0
+
+    def test_timestamp_default(self, empty_database):
+        table = empty_database.create_table("stamped", [
+            bigint("id"),
+            timestamp("insertTime", default=CURRENT_TIMESTAMP),
+        ], primary_key=PrimaryKey(["id"]))
+        table.insert({"id": 1})
+        row = next(iter(table))
+        assert isinstance(row["inserttime"], dt.datetime)
+
+    def test_clock_override(self, empty_database):
+        fixed = dt.datetime(2001, 6, 5, tzinfo=dt.timezone.utc)
+        empty_database.set_clock(lambda: fixed)
+        table = empty_database.create_table("stamped", [
+            bigint("id"),
+            timestamp("insertTime", default=CURRENT_TIMESTAMP),
+        ])
+        table.insert({"id": 1})
+        assert next(iter(table))["inserttime"] == fixed
+
+    def test_describe_contains_columns_and_indexes(self, empty_database):
+        table = make_table(empty_database)
+        description = table.describe()
+        assert description["name"] == "t"
+        assert any(column["name"] == "mag" for column in description["columns"])
+        assert description["primary_key"] == ["id"]
+
+
+class TestConstraints:
+    def test_foreign_key_enforced(self, empty_database):
+        parent = empty_database.create_table("parent", [bigint("pid")],
+                                             primary_key=PrimaryKey(["pid"]))
+        child = empty_database.create_table("child", [
+            bigint("cid"), bigint("pid"),
+        ], primary_key=PrimaryKey(["cid"]),
+            foreign_keys=[ForeignKey(["pid"], "parent", ["pid"], allow_null=False)])
+        parent.insert({"pid": 1})
+        child.insert({"cid": 10, "pid": 1}, database=empty_database)
+        with pytest.raises(ForeignKeyViolation):
+            child.insert({"cid": 11, "pid": 99}, database=empty_database)
+
+    def test_foreign_key_zero_treated_as_null(self, empty_database):
+        parent = empty_database.create_table("parent", [bigint("pid")],
+                                             primary_key=PrimaryKey(["pid"]))
+        child = empty_database.create_table("child", [
+            bigint("cid"), bigint("pid"),
+        ], primary_key=PrimaryKey(["cid"]),
+            foreign_keys=[ForeignKey(["pid"], "parent", ["pid"], treat_zero_as_null=True)])
+        child.insert({"cid": 1, "pid": 0}, database=empty_database)
+        assert child.row_count == 1
+
+    def test_check_constraint(self, empty_database):
+        from repro.engine import CheckViolation
+
+        table = empty_database.create_table("checked", [
+            bigint("id"), floating("ra"),
+        ], checks=[CheckConstraint(parse_expression("ra >= 0 and ra < 360"), name="ra_range")])
+        table.insert({"id": 1, "ra": 185.0})
+        with pytest.raises(CheckViolation):
+            table.insert({"id": 2, "ra": 500.0})
+
+    def test_validate_reports_dangling_keys(self, empty_database):
+        parent = empty_database.create_table("parent", [bigint("pid")],
+                                             primary_key=PrimaryKey(["pid"]))
+        child = empty_database.create_table("child", [
+            bigint("cid"), bigint("pid"),
+        ], primary_key=PrimaryKey(["cid"]),
+            foreign_keys=[ForeignKey(["pid"], "parent", ["pid"], allow_null=False)])
+        parent.insert({"pid": 1})
+        child.insert({"cid": 1, "pid": 1}, database=empty_database)
+        # Bypass FK checking to create a dangling reference, then validate.
+        child.insert({"cid": 2, "pid": 42}, database=empty_database, skip_fk=True)
+        report = empty_database.validate_table("child")
+        assert not report.ok
+        assert any("dangling" in violation for violation in report.violations)
+
+
+class TestIndexes:
+    def test_seek_returns_matching_rows(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": i, "name": "even" if i % 2 == 0 else "odd"}
+                           for i in range(20)])
+        index = table.create_index("ix_name", ["name"])
+        even_rows = [table.get_row(rid)["id"] for rid in index.seek(("even",))]
+        assert sorted(even_rows) == list(range(0, 20, 2))
+
+    def test_range_scan_inclusive(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": i, "mag": float(i)} for i in range(10)])
+        index = table.create_index("ix_mag", ["mag"])
+        ids = [table.get_row(rid)["id"] for rid in index.range((3.0,), (6.0,))]
+        assert sorted(ids) == [3, 4, 5, 6]
+
+    def test_open_ended_range(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": i, "mag": float(i)} for i in range(10)])
+        index = table.create_index("ix_mag", ["mag"])
+        ids = [table.get_row(rid)["id"] for rid in index.range((7.0,), None)]
+        assert sorted(ids) == [7, 8, 9]
+
+    def test_composite_prefix_seek(self, toy_photo_database):
+        table = toy_photo_database.table("PhotoObj")
+        index = table.find_index_on(["run", "camcol"])
+        assert index is not None
+        rows = [table.get_row(rid) for rid in index.seek((756, 1))]
+        assert rows
+        assert all(row["run"] == 756 and row["camcol"] == 1 for row in rows)
+
+    def test_scan_is_ordered(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": i, "mag": float(10 - i)} for i in range(10)])
+        index = table.create_index("ix_mag", ["mag"])
+        mags = [table.get_row(rid)["mag"] for rid in index.scan()]
+        assert mags == sorted(mags)
+
+    def test_nulls_sort_first(self, empty_database):
+        table = make_table(empty_database)
+        table.insert_many([{"id": 1, "mag": None}, {"id": 2, "mag": 1.0}])
+        index = table.create_index("ix_mag", ["mag"])
+        first_row = table.get_row(next(iter(index.scan())))
+        assert first_row["mag"] is None
+
+    def test_covering_detection(self, toy_photo_database):
+        table = toy_photo_database.table("PhotoObj")
+        index = table.indexes["ix_type"]
+        assert index.covers(["type", "modelMag_r", "objID"])
+        assert not index.covers(["type", "rowv"])
+
+    def test_index_maintained_on_delete(self, empty_database):
+        table = make_table(empty_database)
+        row_id = table.insert({"id": 1, "name": "x"})
+        index = table.create_index("ix_name", ["name"])
+        assert list(index.seek(("x",))) == [row_id]
+        table.delete_row(row_id)
+        assert list(index.seek(("x",))) == []
+
+    def test_index_on_missing_column_rejected(self, empty_database):
+        table = make_table(empty_database)
+        with pytest.raises(SchemaError):
+            table.create_index("ix_bad", ["nope"])
+
+    def test_duplicate_index_name_rejected(self, empty_database):
+        table = make_table(empty_database)
+        table.create_index("ix_name", ["name"])
+        with pytest.raises(SchemaError):
+            table.create_index("IX_NAME", ["name"])
+
+    def test_index_byte_size_positive(self, toy_photo_database):
+        table = toy_photo_database.table("PhotoObj")
+        assert table.index_bytes() > 0
+        assert table.indexes["ix_type"].byte_size() > 0

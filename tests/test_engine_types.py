@@ -1,0 +1,108 @@
+"""Unit tests for column types and value coercion."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine import Column, DataType, TypeMismatchError
+from repro.engine.types import (CURRENT_TIMESTAMP, bigint, blob, boolean,
+                                coerce_value, floating, integer, text,
+                                timestamp, value_byte_size)
+
+
+class TestCoercion:
+    def test_integer_from_string(self):
+        assert coerce_value(" 42 ", DataType.INTEGER) == 42
+
+    def test_integer_from_integral_float(self):
+        assert coerce_value(42.0, DataType.BIGINT) == 42
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(1.5, DataType.INTEGER)
+
+    def test_float_from_string(self):
+        assert coerce_value("3.25", DataType.FLOAT) == pytest.approx(3.25)
+
+    def test_float_from_int(self):
+        assert coerce_value(7, DataType.FLOAT) == 7.0
+
+    def test_text_from_number(self):
+        assert coerce_value(12, DataType.TEXT) == "12"
+
+    def test_boolean_from_strings(self):
+        assert coerce_value("true", DataType.BOOLEAN) is True
+        assert coerce_value("0", DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", DataType.BOOLEAN)
+
+    def test_timestamp_from_iso_string(self):
+        value = coerce_value("2001-06-05T12:00:00", DataType.TIMESTAMP)
+        assert value == dt.datetime(2001, 6, 5, 12, 0, 0)
+
+    def test_timestamp_from_datetime_passthrough(self):
+        now = dt.datetime.now(tz=dt.timezone.utc)
+        assert coerce_value(now, DataType.TIMESTAMP) is now
+
+    def test_blob_from_string(self):
+        assert coerce_value("abc", DataType.BLOB) == b"abc"
+
+    def test_blob_from_bytes(self):
+        assert coerce_value(bytearray(b"xyz"), DataType.BLOB) == b"xyz"
+
+    def test_null_passes_through(self):
+        assert coerce_value(None, DataType.FLOAT) is None
+
+    def test_bad_int_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", DataType.INTEGER)
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(Exception):
+            Column("bad name!", DataType.INTEGER)
+
+    def test_helpers_set_types(self):
+        assert integer("a").dtype is DataType.INTEGER
+        assert bigint("a").dtype is DataType.BIGINT
+        assert floating("a").dtype is DataType.FLOAT
+        assert text("a").dtype is DataType.TEXT
+        assert boolean("a").dtype is DataType.BOOLEAN
+        assert timestamp("a").dtype is DataType.TIMESTAMP
+        assert blob("a").dtype is DataType.BLOB
+
+    def test_blob_nullable_by_default(self):
+        assert blob("img").nullable is True
+
+    def test_non_blob_not_nullable_by_default(self):
+        assert floating("ra").nullable is False
+
+    def test_current_timestamp_default_marker(self):
+        column = timestamp("insertTime", default=CURRENT_TIMESTAMP)
+        assert column.default == CURRENT_TIMESTAMP
+
+    def test_coerce_via_column(self):
+        assert floating("mag").coerce("21.5") == pytest.approx(21.5)
+
+
+class TestByteAccounting:
+    def test_fixed_width_types(self):
+        assert value_byte_size(1, DataType.INTEGER) == 4
+        assert value_byte_size(1, DataType.BIGINT) == 8
+        assert value_byte_size(1.0, DataType.FLOAT) == 8
+
+    def test_text_uses_length(self):
+        assert value_byte_size("hello", DataType.TEXT) == 5
+
+    def test_blob_uses_length(self):
+        assert value_byte_size(b"12345678", DataType.BLOB) == 8
+
+    def test_null_is_one_byte(self):
+        assert value_byte_size(None, DataType.FLOAT) == 1
+
+    def test_byte_width_property(self):
+        assert DataType.BIGINT.byte_width == 8
+        assert DataType.BOOLEAN.byte_width == 1

@@ -1,0 +1,173 @@
+"""Unit tests for the Hierarchical Triangular Mesh package."""
+
+import math
+
+import pytest
+
+from repro import htm
+
+
+class TestVectors:
+    def test_radec_roundtrip(self):
+        for ra, dec in [(0.0, 0.0), (185.0, -0.5), (359.9, 89.0), (42.0, -42.0)]:
+            vector = htm.radec_to_unit(ra, dec)
+            back_ra, back_dec = htm.unit_to_radec(vector)
+            assert back_ra == pytest.approx(ra, abs=1e-9)
+            assert back_dec == pytest.approx(dec, abs=1e-9)
+
+    def test_unit_vector_is_normalised(self):
+        x, y, z = htm.radec_to_unit(123.4, 56.7)
+        assert x * x + y * y + z * z == pytest.approx(1.0)
+
+    def test_angular_distance_quarter_circle(self):
+        assert htm.angular_distance((1, 0, 0), (0, 1, 0)) == pytest.approx(90.0)
+
+    def test_angular_distance_small_angles_accurate(self):
+        a = htm.radec_to_unit(185.0, -0.5)
+        b = htm.radec_to_unit(185.0, -0.5 + 1.0 / 3600.0)   # one arcsecond
+        assert htm.angular_distance(a, b) * 3600.0 == pytest.approx(1.0, rel=1e-6)
+
+    def test_arcmin_between(self):
+        assert htm.arcmin_between(185.0, 0.0, 185.0, 0.5) == pytest.approx(30.0, rel=1e-9)
+
+    def test_normalize_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            htm.normalize((0.0, 0.0, 0.0))
+
+
+class TestTrixels:
+    def test_eight_roots_cover_the_sphere(self):
+        total_area = sum(trixel.area_steradians() for trixel in htm.root_trixels())
+        assert total_area == pytest.approx(4.0 * math.pi, rel=1e-9)
+
+    def test_children_partition_parent_area(self):
+        parent = next(htm.root_trixels())
+        child_area = sum(child.area_steradians() for child in parent.children())
+        assert child_area == pytest.approx(parent.area_steradians(), rel=1e-9)
+
+    def test_child_ids_extend_parent_id(self):
+        parent = next(htm.root_trixels())
+        for index, child in enumerate(parent.children()):
+            assert child.htm_id == (parent.htm_id << 2) | index
+            assert htm.htm_level(child.htm_id) == 1
+
+    def test_name_roundtrip(self):
+        htm_id = htm.lookup_id(185.0, -0.5, 8)
+        name = htm.htm_id_to_name(htm_id)
+        assert htm.htm_name_to_id(name) == htm_id
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(ValueError):
+            htm.htm_level(5)
+        with pytest.raises(ValueError):
+            htm.htm_level(16)       # odd bit length
+
+    def test_level_encoding(self):
+        assert htm.htm_level(8) == 0
+        assert htm.htm_level(8 << 2) == 1
+        assert htm.htm_level(15 << 40) == 20
+
+
+class TestLookup:
+    def test_lookup_id_contained_in_returned_trixel(self):
+        for ra, dec in [(185.0, -0.5), (0.1, 0.1), (270.0, 45.0), (90.0, -60.0)]:
+            htm_id = htm.lookup_id(ra, dec, 10)
+            trixel = htm.trixel(htm_id)
+            assert trixel.contains(htm.radec_to_unit(ra, dec))
+
+    def test_lookup_depth_controls_level(self):
+        assert htm.htm_level(htm.lookup_id(10.0, 10.0, 6)) == 6
+        assert htm.htm_level(htm.lookup_id(10.0, 10.0, 20)) == 20
+
+    def test_deeper_lookup_is_descendant_of_shallower(self):
+        shallow = htm.lookup_id(185.0, -0.5, 8)
+        deep = htm.lookup_id(185.0, -0.5, 14)
+        assert htm.parent_id(deep, 6) == shallow
+
+    def test_id_range_at_depth_nesting(self):
+        htm_id = htm.lookup_id(185.0, -0.5, 8)
+        low, high = htm.id_range_at_depth(htm_id, 20)
+        deep = htm.lookup_id(185.0, -0.5, 20)
+        assert low <= deep <= high
+
+    def test_id_range_shallower_than_id_rejected(self):
+        htm_id = htm.lookup_id(185.0, -0.5, 8)
+        with pytest.raises(ValueError):
+            htm.id_range_at_depth(htm_id, 4)
+
+    def test_triangle_side_shrinks_with_depth(self):
+        assert htm.triangle_side_arcsec(20) < 1.0
+        assert htm.triangle_side_arcsec(6) > htm.triangle_side_arcsec(10)
+
+    def test_poles_and_equator_resolve(self):
+        for ra, dec in [(0, 90), (0, -90), (180, 0), (0, 0)]:
+            assert htm.htm_level(htm.lookup_id(ra, dec, 12)) == 12
+
+
+class TestCovers:
+    def test_circle_cover_contains_center(self):
+        ranges = htm.cover_circle(185.0, -0.5, 1.0)
+        center_id = htm.lookup_id(185.0, -0.5)
+        assert htm.ranges_contain(ranges, center_id)
+
+    def test_circle_cover_contains_all_interior_points(self):
+        import random
+
+        rng = random.Random(11)
+        ranges = htm.cover_circle(185.0, -0.5, 2.0)
+        for _ in range(200):
+            d_ra = rng.uniform(-2 / 60, 2 / 60)
+            d_dec = rng.uniform(-2 / 60, 2 / 60)
+            ra, dec = 185.0 + d_ra, -0.5 + d_dec
+            if htm.arcmin_between(185.0, -0.5, ra, dec) <= 2.0:
+                assert htm.ranges_contain(ranges, htm.lookup_id(ra, dec))
+
+    def test_far_away_points_not_covered(self):
+        ranges = htm.cover_circle(185.0, -0.5, 1.0)
+        assert not htm.ranges_contain(ranges, htm.lookup_id(10.0, 60.0))
+
+    def test_ranges_are_sorted_and_disjoint(self):
+        ranges = htm.cover_circle(185.0, -0.5, 5.0)
+        for first, second in zip(ranges, ranges[1:]):
+            assert first.high < second.low
+
+    def test_smaller_radius_gives_no_larger_cover(self):
+        small = htm.cover_circle(185.0, -0.5, 0.5, cover_depth=10)
+        large = htm.cover_circle(185.0, -0.5, 5.0, cover_depth=10)
+        area_small = sum(r.high - r.low + 1 for r in small)
+        area_large = sum(r.high - r.low + 1 for r in large)
+        assert area_small <= area_large
+
+    def test_rectangle_region_contains(self):
+        region = htm.RectangleEq(184.0, 186.0, -1.0, 0.0)
+        assert region.contains_radec(185.0, -0.5)
+        assert not region.contains_radec(190.0, -0.5)
+
+    def test_rectangle_wrap_around_zero_ra(self):
+        region = htm.RectangleEq(359.0, 1.0, -1.0, 1.0)
+        assert region.contains_radec(0.5, 0.0)
+        assert region.contains_radec(359.5, 0.0)
+        assert not region.contains_radec(180.0, 0.0)
+
+    def test_polygon_region(self):
+        polygon = htm.Polygon(((184.5, -1.0), (185.5, -1.0), (185.5, 0.0), (184.5, 0.0)))
+        assert polygon.contains_radec(185.0, -0.5)
+        assert not polygon.contains_radec(183.0, -0.5)
+
+    def test_polygon_cover_contains_interior(self):
+        polygon = htm.Polygon(((184.8, -0.7), (185.2, -0.7), (185.2, -0.3), (184.8, -0.3)))
+        ranges = htm.cover(polygon, cover_depth=9)
+        assert htm.ranges_contain(ranges, htm.lookup_id(185.0, -0.5))
+
+    def test_halfspace_hemisphere(self):
+        hemisphere = htm.Halfspace((0.0, 0.0, 1.0), 0.0)
+        assert hemisphere.contains(htm.radec_to_unit(10.0, 45.0))
+        assert not hemisphere.contains(htm.radec_to_unit(10.0, -45.0))
+
+    def test_merge_ranges(self):
+        merged = htm.merge_ranges([htm.HtmRange(10, 20), htm.HtmRange(21, 30),
+                                   htm.HtmRange(50, 60), htm.HtmRange(55, 58)])
+        assert merged == [htm.HtmRange(10, 30), htm.HtmRange(50, 60)]
+
+    def test_depth_for_radius_monotone(self):
+        assert htm.depth_for_radius(0.5) >= htm.depth_for_radius(30.0)

@@ -1,0 +1,251 @@
+"""Tests for the synthetic survey pipeline (geometry, population, measurement)."""
+
+import random
+
+import pytest
+
+from repro.htm import arcmin_between, htm_level
+from repro.pipeline import (CLASS_FRACTIONS, FramesPipeline, PlantedPopulations,
+                            SurveyConfig, SyntheticSurvey, decode_obj_id,
+                            deblend_family, encode_field_id, encode_obj_id,
+                            make_geometry, overlap_fraction, primary_fraction,
+                            synthesize_population)
+from repro.pipeline.geometry import BANDS_PER_STRIPE, STRIPE_WIDTH_DEG
+from repro.schema.flags import PhotoFlags, PhotoType
+
+
+class TestGeometry:
+    @pytest.fixture(scope="class")
+    def geometry(self):
+        return make_geometry(24, center_ra=185.0, seed=5)
+
+    def test_field_count_close_to_requested(self, geometry):
+        assert len(geometry) in (24, 36)
+
+    def test_stripe_width(self, geometry):
+        assert geometry.dec_max - geometry.dec_min == pytest.approx(STRIPE_WIDTH_DEG)
+
+    def test_two_runs_and_six_camcols(self, geometry):
+        runs = {field.run for field in geometry}
+        camcols = {field.camcol for field in geometry}
+        assert len(runs) == 2
+        assert camcols == set(range(1, 7))
+
+    def test_every_interior_point_is_covered(self, geometry):
+        rng = random.Random(3)
+        for _ in range(200):
+            ra = rng.uniform(geometry.ra_min + 1e-6, geometry.ra_max - 1e-6)
+            dec = rng.uniform(geometry.dec_min + 1e-6, geometry.dec_max - 1e-6)
+            assert geometry.fields_containing(ra, dec)
+
+    def test_overlap_fraction_near_eleven_percent(self, geometry):
+        fraction = overlap_fraction(geometry, sample_points=4000)
+        assert 0.05 <= fraction <= 0.18
+
+    def test_primary_field_is_deterministic(self, geometry):
+        candidates = None
+        for field in geometry:
+            # Find a point covered by two fields.
+            probe_dec = field.dec_max - 1e-4
+            covering = geometry.fields_containing(field.ra_center, probe_dec)
+            if len(covering) >= 2:
+                candidates = (field.ra_center, probe_dec)
+                break
+        assert candidates is not None
+        primary = geometry.primary_field_for(*candidates)
+        assert primary is geometry.primary_field_for(*candidates)
+
+    def test_adjacent_fields_share_run_and_camcol(self):
+        geometry = make_geometry(48, center_ra=185.0, seed=5)
+        field = geometry.fields[0]
+        for neighbour in geometry.adjacent_fields(field):
+            assert neighbour.run == field.run and neighbour.camcol == field.camcol
+            assert abs(neighbour.field - field.field) == 1
+
+    def test_bands_per_stripe_constant(self):
+        assert BANDS_PER_STRIPE == 12
+
+
+class TestPopulation:
+    @pytest.fixture(scope="class")
+    def population(self):
+        geometry = make_geometry(12, center_ra=185.0, seed=5)
+        return synthesize_population(geometry, rng=random.Random(1),
+                                     density_per_sq_deg=4000.0)
+
+    def test_class_mix_roughly_matches_fractions(self, population):
+        counts = {}
+        for source in population:
+            counts[source.kind] = counts.get(source.kind, 0) + 1
+        total = len(population)
+        assert counts["galaxy"] / total == pytest.approx(CLASS_FRACTIONS["galaxy"], abs=0.08)
+        assert counts["star"] / total == pytest.approx(CLASS_FRACTIONS["star"], abs=0.08)
+
+    def test_magnitudes_in_survey_range(self, population):
+        for source in population:
+            assert 10.0 < source.mag_r < 24.5
+
+    def test_quasars_are_blue(self, population):
+        quasars = [source for source in population if source.kind == "qso"]
+        assert quasars
+        mean_ug = sum(source.colors["u"] - source.colors["g"] for source in quasars) / len(quasars)
+        assert mean_ug < 0.6
+
+    def test_q1_cluster_planted(self, population):
+        cluster = [source for source in population if source.tag == "q1_cluster"]
+        assert len(cluster) >= 10
+        for source in cluster:
+            assert arcmin_between(source.ra, source.dec, 185.0, -0.5) <= 1.0
+
+    def test_saturated_interlopers_planted(self, population):
+        saturated = [source for source in population if source.tag == "q1_saturated"]
+        assert saturated
+        assert all(source.mag_r < 14.0 for source in saturated)
+
+    def test_asteroid_velocities_in_query_window(self, population):
+        asteroids = [source for source in population
+                     if source.kind == "asteroid" and not source.tag]
+        assert asteroids
+        for source in asteroids:
+            speed2 = source.rowv ** 2 + source.colv ** 2
+            assert 50.0 <= speed2 <= 1000.0
+            assert source.rowv >= 0 and source.colv >= 0
+
+    def test_neo_pairs_planted_close_together(self, population):
+        reds = {source.tag: source for source in population if source.tag.endswith("_red")}
+        greens = {source.tag: source for source in population if source.tag.endswith("_green")}
+        assert len(reds) >= 3
+        for tag, red in reds.items():
+            green = greens[tag.replace("_red", "_green")]
+            assert arcmin_between(red.ra, red.dec, green.ra, green.dec) < 4.0
+
+
+class TestFramesPipeline:
+    @pytest.fixture()
+    def measured(self):
+        geometry = make_geometry(12, center_ra=185.0, seed=5)
+        population = synthesize_population(geometry, rng=random.Random(2),
+                                           density_per_sq_deg=800.0)
+        frames = FramesPipeline(random.Random(3))
+        field = geometry.fields[0]
+        rows = []
+        for number, source in enumerate(population[:50], start=1):
+            rows.append(frames.measure(source, field, number))
+        return field, rows
+
+    def test_objid_encoding_roundtrip(self):
+        obj_id = encode_obj_id(756, 44, 3, 112, 57)
+        decoded = decode_obj_id(obj_id)
+        assert decoded == {"run": 756, "rerun": 44, "camcol": 3, "field": 112, "obj": 57}
+
+    def test_field_id_embedded_in_obj_id(self):
+        field_id = encode_field_id(756, 44, 3, 112)
+        obj_id = encode_obj_id(756, 44, 3, 112, 57)
+        assert decode_obj_id(obj_id)["field"] == field_id & 0xFFFF
+
+    def test_measured_rows_have_spatial_columns(self, measured):
+        _field, rows = measured
+        for row in rows:
+            assert htm_level(row["htmID"]) == 20
+            norm = row["cx"] ** 2 + row["cy"] ** 2 + row["cz"] ** 2
+            assert norm == pytest.approx(1.0, abs=1e-9)
+
+    def test_magnitude_errors_grow_for_faint_objects(self, measured):
+        _field, rows = measured
+        bright = [row for row in rows if row["modelMag_r"] < 18]
+        faint = [row for row in rows if row["modelMag_r"] > 21]
+        if bright and faint:
+            mean_bright = sum(row["modelMagErr_r"] for row in bright) / len(bright)
+            mean_faint = sum(row["modelMagErr_r"] for row in faint) / len(faint)
+            assert mean_faint > mean_bright
+
+    def test_saturated_flag_for_bright_objects(self, measured):
+        _field, rows = measured
+        for row in rows:
+            if row["psfMag_r"] < 13.0:
+                assert row["flags"] & int(PhotoFlags.SATURATED)
+
+    def test_frame_rows_cover_zoom_levels(self, measured):
+        field, _rows = measured
+        frames = FramesPipeline(random.Random(3)).frame_rows(field)
+        assert [frame["zoom"] for frame in frames] == [0, 1, 2, 3, 4]
+        assert all(isinstance(frame["img"], bytes) and frame["img"] for frame in frames)
+
+    def test_profile_row_blob_lengths(self, measured):
+        from repro.schema.photo import PROFILE_BINS
+
+        geometry = make_geometry(12, center_ra=185.0, seed=5)
+        population = synthesize_population(geometry, rng=random.Random(2),
+                                           density_per_sq_deg=200.0)
+        frames = FramesPipeline(random.Random(3))
+        row = frames.measure(population[0], geometry.fields[0], 1)
+        profile = frames.profile_row(row, population[0])
+        assert len(profile["profMean"]) == PROFILE_BINS * 5 * 4
+        assert profile["objID"] == row["objID"]
+
+
+class TestDeblendAndSurvey:
+    def test_deblend_family_creates_two_children(self):
+        rng = random.Random(1)
+        row = {"objID": encode_obj_id(756, 44, 1, 100, 5), "obj": 5, "type": int(PhotoType.GALAXY),
+               "flags": 0, "nChild": 0, "parentID": 0, "ra": 185.0, "dec": -0.5,
+               "petroRad_r": 3.0, "modelMag_r": 19.0, "probPSF": 0.1}
+        rows, next_number = deblend_family(row, rng, 20001, force=True)
+        assert len(rows) == 3
+        parent, child_a, child_b = rows
+        assert parent["flags"] & int(PhotoFlags.BLENDED)
+        assert parent["nChild"] == 2
+        for child in (child_a, child_b):
+            assert child["parentID"] == parent["objID"]
+            assert child["flags"] & int(PhotoFlags.CHILD)
+            assert child["modelMag_r"] > parent["modelMag_r"]
+        assert next_number == 20003
+
+    def test_deblend_family_can_skip(self):
+        rng = random.Random(1)
+        row = {"objID": 1, "obj": 1, "type": int(PhotoType.STAR), "flags": 0, "nChild": 0,
+               "parentID": 0, "ra": 1.0, "dec": 1.0, "petroRad_r": 1.0, "probPSF": 0.9}
+        rows, next_number = deblend_family(row, rng, 100, force=False)
+        assert rows == [row]
+        assert next_number == 100
+
+    def test_survey_counts_and_ratios(self, survey_output):
+        counts = survey_output.counts()
+        assert counts["PhotoObj"] > 1000
+        assert counts["Profile"] == counts["PhotoObj"]
+        assert counts["Frame"] == 5 * counts["Field"]
+        assert counts["SpecLine"] >= 20 * counts["SpecObj"]
+        assert counts["xcRedShift"] == 30 * counts["SpecObj"]
+        assert counts["Plate"] >= 1
+
+    def test_primary_fraction_near_eighty_percent(self, survey_output):
+        fraction = primary_fraction(survey_output.tables["PhotoObj"])
+        assert 0.70 <= fraction <= 0.92
+
+    def test_duplicate_fraction_near_eleven_percent(self, survey_output):
+        photo = survey_output.tables["PhotoObj"]
+        top_level = [row for row in photo if row["parentID"] == 0]
+        secondaries = [row for row in top_level
+                       if not row["flags"] & int(PhotoFlags.PRIMARY)]
+        fraction = len(secondaries) / len(top_level)
+        assert 0.04 <= fraction <= 0.20
+
+    def test_spec_objects_point_back_to_photo(self, survey_output):
+        photo_ids = {row["objID"] for row in survey_output.tables["PhotoObj"]}
+        for spec in survey_output.tables["SpecObj"]:
+            assert spec["objID"] in photo_ids
+
+    def test_specobjid_backfilled_on_photoobj(self, survey_output):
+        spec_ids = {row["specObjID"] for row in survey_output.tables["SpecObj"]}
+        linked = {row["specObjID"] for row in survey_output.tables["PhotoObj"]
+                  if row["specObjID"]}
+        assert linked == spec_ids
+
+    def test_export_csv_roundtrip(self, survey_output, tmp_path):
+        from repro.pipeline import read_csv
+
+        paths = survey_output.export_csv(tmp_path / "csv")
+        assert set(paths) == set(survey_output.tables)
+        columns, rows = read_csv(paths["Field"])
+        assert len(rows) == len(survey_output.tables["Field"])
+        assert "fieldID" in columns

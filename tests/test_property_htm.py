@@ -1,0 +1,77 @@
+"""Property-based tests for the HTM spatial index."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import htm
+
+settings.register_profile("repro-htm", deadline=None, max_examples=80)
+settings.load_profile("repro-htm")
+
+ras = st.floats(min_value=0.0, max_value=359.999, allow_nan=False)
+decs = st.floats(min_value=-89.5, max_value=89.5, allow_nan=False)
+
+
+@given(ras, decs, st.integers(min_value=0, max_value=14))
+def test_lookup_returns_containing_trixel(ra, dec, depth):
+    """The trixel returned by lookup always geometrically contains the point."""
+    htm_id = htm.lookup_id(ra, dec, depth)
+    assert htm.htm_level(htm_id) == depth
+    assert htm.trixel(htm_id).contains(htm.radec_to_unit(ra, dec))
+
+
+@given(ras, decs)
+def test_deep_id_falls_in_shallow_ancestor_range(ra, dec):
+    """B-tree property: descendants occupy a contiguous id range of the ancestor."""
+    shallow = htm.lookup_id(ra, dec, 6)
+    deep = htm.lookup_id(ra, dec, 20)
+    low, high = htm.id_range_at_depth(shallow, 20)
+    assert low <= deep <= high
+
+
+@given(ras, decs, st.floats(min_value=0.1, max_value=30.0, allow_nan=False))
+def test_cover_never_misses_the_center(ra, dec, radius_arcmin):
+    ranges = htm.cover_circle(ra, dec, radius_arcmin)
+    assert htm.ranges_contain(ranges, htm.lookup_id(ra, dec))
+
+
+@given(ras, decs,
+       st.floats(min_value=0.2, max_value=10.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=2 * math.pi, allow_nan=False))
+def test_cover_contains_every_point_inside_the_circle(ra, dec, radius_arcmin,
+                                                      radial_fraction, angle):
+    """Superset property: any point inside the circle falls inside the cover."""
+    ranges = htm.cover_circle(ra, dec, radius_arcmin)
+    offset_deg = radius_arcmin / 60.0 * radial_fraction * 0.98
+    point_dec = max(-89.9, min(89.9, dec + offset_deg * math.sin(angle)))
+    cos_dec = max(0.05, math.cos(math.radians(dec)))
+    point_ra = (ra + offset_deg * math.cos(angle) / cos_dec) % 360.0
+    if htm.arcmin_between(ra, dec, point_ra, point_dec) <= radius_arcmin:
+        assert htm.ranges_contain(ranges, htm.lookup_id(point_ra, point_dec))
+
+
+@given(ras, decs, ras, decs)
+def test_angular_distance_is_a_metric(ra1, dec1, ra2, dec2):
+    forward = htm.angular_distance_radec(ra1, dec1, ra2, dec2)
+    backward = htm.angular_distance_radec(ra2, dec2, ra1, dec1)
+    assert forward == backward
+    assert 0.0 <= forward <= 180.0 + 1e-9
+    assert htm.angular_distance_radec(ra1, dec1, ra1, dec1) < 1e-9
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=10 ** 12),
+                          st.integers(min_value=0, max_value=10 ** 6)),
+                max_size=30))
+def test_merge_ranges_preserves_membership(raw):
+    ranges = [htm.HtmRange(low, low + span) for low, span in raw]
+    merged = htm.merge_ranges(ranges)
+    # Sorted and non-overlapping.
+    for first, second in zip(merged, merged[1:]):
+        assert first.high + 1 < second.low
+    # Every original endpoint is still covered.
+    for original in ranges:
+        assert htm.ranges_contain(merged, original.low)
+        assert htm.ranges_contain(merged, original.high)

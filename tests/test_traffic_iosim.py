@@ -1,0 +1,134 @@
+"""Tests for the traffic model (Figure 5) and the I/O throughput model (Figure 15)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.bench import same_order_of_magnitude
+from repro.iosim import (CpuModel, DiskConfiguration, ServerHardware,
+                         SQL_COUNT_MAX_MBPS, controllers_for,
+                         figure15_configurations, figure15_table,
+                         measure_engine_scan, predict_bandwidth, saturation_points,
+                         sweep_figure15)
+from repro.traffic import TrafficModelConfig, analyze, ascii_chart, generate_weblog
+
+
+@pytest.fixture(scope="module")
+def weblog():
+    return generate_weblog(TrafficModelConfig(seed=7))
+
+
+@pytest.fixture(scope="module")
+def report(weblog):
+    return analyze(weblog)
+
+
+class TestTrafficModel:
+    def test_totals_match_paper_aggregates(self, report):
+        # "In 7 months the SkyServer processed about 2 million page hits, about
+        # a million pages, and about 70 thousand sessions."
+        assert same_order_of_magnitude(2.5e6, report.total_hits, tolerance=2.0)
+        assert same_order_of_magnitude(1.0e6, report.total_page_views, tolerance=2.0)
+        assert abs(report.total_sessions - 70000) / 70000 < 0.15
+
+    def test_subweb_and_education_shares(self, report):
+        assert report.japanese_page_fraction == pytest.approx(0.04, abs=0.015)
+        assert report.german_page_fraction == pytest.approx(0.03, abs=0.015)
+        assert report.education_page_fraction == pytest.approx(0.08, abs=0.02)
+
+    def test_crawler_share(self, report):
+        assert report.crawler_hit_fraction == pytest.approx(0.30, abs=0.05)
+
+    def test_uptime_high_but_not_perfect(self, report):
+        assert 99.0 <= report.uptime_percent < 100.0
+
+    def test_outage_days_show_traffic_dips(self, weblog, report):
+        by_date = {point.date: point for point in report.daily}
+        outage = by_date[dt.date(2001, 6, 22)]
+        neighbours = [by_date[dt.date(2001, 6, 21)], by_date[dt.date(2001, 6, 23)]]
+        assert outage.page_views < 0.5 * min(n.page_views for n in neighbours)
+
+    def test_tv_show_spike_is_the_peak(self, report):
+        assert report.peak_day == dt.date(2001, 10, 2)
+        assert report.peak_to_mean_page_ratio > 5.0
+
+    def test_sustained_usage_near_paper_figures(self, report):
+        # "The sustained usage is about 500 people accessing about 4,000 pages per day."
+        assert same_order_of_magnitude(4000, report.mean_page_views_per_day, tolerance=3.0)
+        assert same_order_of_magnitude(500, report.mean_sessions_per_day, tolerance=3.0)
+
+    def test_hacker_attempts_about_five_per_day(self, report):
+        assert 2.0 <= report.hacker_attempts_per_day <= 8.0
+
+    def test_monthly_aggregates_cover_period(self, report):
+        assert "2001-06" in report.monthly and "2002-02" in report.monthly
+        assert sum(month["sessions"] for month in report.monthly.values()) == report.total_sessions
+
+    def test_ascii_chart_renders(self, report):
+        chart = ascii_chart(report)
+        assert "2001-10" in chart
+        assert "#" in chart
+
+    def test_analyze_empty_log_raises(self):
+        with pytest.raises(ValueError):
+            analyze([])
+
+    def test_generation_is_deterministic_per_seed(self):
+        first = analyze(generate_weblog(TrafficModelConfig(seed=3)))
+        second = analyze(generate_weblog(TrafficModelConfig(seed=3)))
+        assert first.total_hits == second.total_hits
+
+
+class TestIoModel:
+    def test_single_disk_is_disk_bound(self):
+        prediction = predict_bandwidth(ServerHardware(), DiskConfiguration("1disk", 1, 1))
+        assert prediction.achieved_mbps == pytest.approx(40.0)
+        assert prediction.bottleneck == "disks"
+
+    def test_three_disks_saturate_one_controller(self):
+        prediction = predict_bandwidth(ServerHardware(), DiskConfiguration("3disk", 3, 1))
+        assert prediction.achieved_mbps == pytest.approx(119.0)
+        assert prediction.bottleneck == "controller"
+
+    def test_nine_disks_hit_the_sql_cpu_ceiling(self):
+        prediction = predict_bandwidth(ServerHardware(), DiskConfiguration("9disk", 9, 3))
+        assert prediction.achieved_mbps == pytest.approx(SQL_COUNT_MAX_MBPS)
+        assert prediction.bottleneck == "cpu"
+        assert prediction.cpu_utilisation == pytest.approx(0.75, abs=0.01)
+
+    def test_bandwidth_is_monotone_in_disks(self):
+        sweep = sweep_figure15()
+        achieved = [prediction.achieved_mbps for prediction in sweep]
+        assert all(later >= earlier for earlier, later in zip(achieved, achieved[1:]))
+
+    def test_predicate_scan_caps_lower(self):
+        count_scan = predict_bandwidth(ServerHardware(), DiskConfiguration("9disk", 9, 3))
+        predicate_scan = predict_bandwidth(ServerHardware(), DiskConfiguration("9disk", 9, 3),
+                                           predicate_scan=True)
+        assert predicate_scan.achieved_mbps < count_scan.achieved_mbps
+        assert predicate_scan.achieved_mbps == pytest.approx(140.0)
+
+    def test_configurations_and_controllers(self):
+        configurations = figure15_configurations()
+        assert len(configurations) == 13
+        assert controllers_for(3) == 1 and controllers_for(4) == 2 and controllers_for(12) == 4
+
+    def test_saturation_annotations(self):
+        annotations = saturation_points(ServerHardware(), figure15_configurations())
+        assert annotations.one_controller_saturates_at_disks == 3
+        assert annotations.sql_cpu_saturates_at_disks == 9
+
+    def test_cpu_model_record_rate(self):
+        cpu = CpuModel()
+        # "SQL is evaluating 2.6 million 128-byte tag records per second."
+        assert same_order_of_magnitude(2.6e6, cpu.records_per_second(), tolerance=1.5)
+
+    def test_figure15_table_renders(self):
+        table = figure15_table(sweep_figure15())
+        assert "12disk 2vol" in table and "bottleneck" in table
+
+    def test_engine_scan_measurement(self, loaded_database):
+        measurement = measure_engine_scan(loaded_database, "PhotoObj")
+        assert measurement.rows == loaded_database.table("PhotoObj").row_count
+        assert measurement.rows_per_second > 0
+        assert measurement.mbps > 0
