@@ -1,0 +1,127 @@
+"""Compiled expression pipeline vs the interpreted evaluator.
+
+Every row of a scan used to pay recursive ``Expression.evaluate``
+dispatch plus a fresh ``RowScope``; hot operators now compile their
+expressions once per execution into plain Python closures, and a
+single-table scan→filter→project plan fuses into one tight loop over
+the row dicts.  This benchmark measures both effects on a 50k-row
+filter+project scan (the shape of the paper's "complex colour cut"
+queries of §11) and the session plan cache on a hot repeated query.
+
+Acceptance: the compiled+fused path is at least 2x the interpreted
+path on the 50k-row scan.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import print_report
+from repro.bench import ExperimentReport
+from repro.engine import (Database, Planner, PrimaryKey, SqlSession, bigint,
+                          floating)
+from repro.engine.sql import parse_select
+
+ROW_COUNT = 50_000
+SQL = ("select id, ra + dec as pos, modelmag_r * 2 - 1 as m2 "
+       "from photoobj "
+       "where modelmag_r > 15 and modelmag_r < 22 and flags & 3 = 1")
+
+
+def _build_database(row_count: int = ROW_COUNT) -> Database:
+    database = Database("bench_compiled")
+    table = database.create_table("photoobj", [
+        bigint("id"), floating("ra"), floating("dec"),
+        bigint("flags"), floating("modelmag_r"),
+    ], primary_key=PrimaryKey(["id"]))
+    rng = random.Random(2002)
+    table.insert_many([
+        {"id": index,
+         "ra": rng.uniform(0.0, 360.0),
+         "dec": rng.uniform(-90.0, 90.0),
+         "flags": rng.randrange(16),
+         "modelmag_r": rng.uniform(14.0, 24.0)}
+        for index in range(row_count)
+    ])
+    return database
+
+
+def _best_of(thunk, repeats: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_compiled_scan_speedup_at_least_2x():
+    database = _build_database()
+    query = parse_select(SQL)
+    interpreted_plan = Planner(database, enable_fusion=False).plan(query)
+    compiled_plan = Planner(database).plan(query)
+
+    interpreted_s, interpreted_result = _best_of(
+        lambda: interpreted_plan.execute(compiled=False))
+    compiled_s, compiled_result = _best_of(lambda: compiled_plan.execute())
+
+    assert compiled_result.rows == interpreted_result.rows
+    speedup = interpreted_s / compiled_s
+
+    report = ExperimentReport(
+        "Compiled expression pipeline — 50k-row filter+project scan",
+        "Interpreted per-row Expression.evaluate vs compiled closures with "
+        "the fused scan→filter→project loop.")
+    report.add("interpreted elapsed", "", round(interpreted_s, 4), unit="s")
+    report.add("compiled+fused elapsed", "", round(compiled_s, 4), unit="s")
+    report.add("speedup", ">= 2x", f"{speedup:.1f}x")
+    report.add("rows selected", "", len(compiled_result.rows))
+    report.add("exprs compiled", "", compiled_result.statistics.exprs_compiled)
+    print_report(report)
+
+    assert speedup >= 2.0, f"compiled path only {speedup:.2f}x faster"
+
+
+def test_compiled_without_fusion_still_faster():
+    """Compiled closures alone (no fused loop) must not regress the scan."""
+    database = _build_database(20_000)
+    query = parse_select(SQL)
+    plan = Planner(database, enable_fusion=False).plan(query)
+    interpreted_s, _ = _best_of(lambda: plan.execute(compiled=False))
+    compiled_s, _ = _best_of(lambda: plan.execute())
+    report = ExperimentReport(
+        "Compiled closures without fusion — 20k-row scan",
+        "Same unfused plan, compiled vs interpreted expression evaluation.")
+    report.add("interpreted elapsed", "", round(interpreted_s, 4), unit="s")
+    report.add("compiled elapsed", "", round(compiled_s, 4), unit="s")
+    report.add("speedup", "> 1x", f"{interpreted_s / compiled_s:.2f}x")
+    print_report(report)
+    assert compiled_s < interpreted_s
+
+
+def test_plan_cache_hot_query():
+    """The second execution of an identical batch skips lex/parse/plan."""
+    database = _build_database(5_000)
+    session = SqlSession(database)
+    repeats = 50
+
+    cold_s, _ = _best_of(lambda: session.query(SQL), repeats=1)
+    assert session.plan_cache.misses == 1
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        session.query(SQL)
+    hot_s = (time.perf_counter() - started) / repeats
+    assert session.plan_cache.hits == repeats
+    assert session.planner.plans_built == 1  # never re-planned
+
+    report = ExperimentReport(
+        "Plan cache — hot repeated SkyServer query",
+        "The SkyServer traffic of §7 repeats hot template queries; cached "
+        "plans skip the lexer, parser and planner on every repeat.")
+    report.add("first execution (parse+plan+run)", "", round(cold_s * 1e3, 3), unit="ms")
+    report.add("cached execution (run only)", "", round(hot_s * 1e3, 3), unit="ms")
+    report.add("cache hits", repeats, session.plan_cache.hits)
+    print_report(report)

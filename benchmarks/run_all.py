@@ -1,0 +1,92 @@
+"""Run every ``bench_*.py`` and write a perf snapshot (``BENCH_pr1.json``).
+
+One pytest invocation covers the whole ``benchmarks/`` directory (so the
+session-scoped synthetic survey is generated and loaded once), and a
+small plugin records the outcome and call duration of every benchmark
+test.  The snapshot aggregates per-file totals so future PRs have a
+trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/run_all.py [pytest args...]
+
+Extra arguments are forwarded to pytest (e.g. ``--repro-scale 0.002``).
+The snapshot is written next to this script.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import pytest
+
+SNAPSHOT_NAME = "BENCH_pr1.json"
+
+
+class _DurationCollector:
+    """Pytest plugin: collects (nodeid, outcome, duration) per test call."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def pytest_runtest_logreport(self, report) -> None:
+        if report.when != "call":
+            return
+        self.records.append({
+            "nodeid": report.nodeid,
+            "file": report.nodeid.split("::", 1)[0],
+            "outcome": report.outcome,
+            "duration_seconds": round(report.duration, 4),
+        })
+
+
+def _aggregate_by_file(records: list[dict]) -> dict[str, dict]:
+    by_file: dict[str, dict] = {}
+    for record in records:
+        entry = by_file.setdefault(record["file"], {
+            "tests": 0, "passed": 0, "failed": 0, "skipped": 0,
+            "total_seconds": 0.0,
+        })
+        entry["tests"] += 1
+        entry[record["outcome"]] = entry.get(record["outcome"], 0) + 1
+        entry["total_seconds"] = round(
+            entry["total_seconds"] + record["duration_seconds"], 4)
+    return dict(sorted(by_file.items()))
+
+
+def main(argv: list[str]) -> int:
+    bench_dir = pathlib.Path(__file__).resolve().parent
+    # bench_*.py does not match pytest's default collection pattern, so the
+    # files are passed explicitly (one invocation shares the session-scoped
+    # survey fixtures).
+    bench_files = sorted(str(path) for path in bench_dir.glob("bench_*.py"))
+    if not bench_files:
+        print("no bench_*.py files found", file=sys.stderr)
+        return 2
+    collector = _DurationCollector()
+    started = time.time()
+    exit_code = pytest.main(
+        [*bench_files, "-q", "-p", "no:cacheprovider", *argv],
+        plugins=[collector])
+    wall_seconds = time.time() - started
+
+    snapshot = {
+        "snapshot": SNAPSHOT_NAME,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "pytest_exit_code": int(exit_code),
+        "wall_seconds": round(wall_seconds, 2),
+        "per_file": _aggregate_by_file(collector.records),
+        "tests": collector.records,
+    }
+    target = bench_dir / SNAPSHOT_NAME
+    target.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"\nwrote {target} ({len(collector.records)} benchmark tests, "
+          f"{wall_seconds:.1f}s wall)")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,6 +10,8 @@ a SQL subset front-end so the paper's query text runs verbatim.
 """
 
 from .catalog import Database
+from .compile import (compile_expression, compile_row_expression,
+                      supports_row_mode)
 from .constraints import CheckConstraint, ForeignKey, PrimaryKey
 from .errors import (BindError, CatalogError, CheckViolation, ConstraintViolation,
                      EngineError, ExpressionError, ForeignKeyViolation, LoadError,
@@ -24,7 +26,7 @@ from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, Query,
                       SelectItem, TableRef)
 from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult)
 from .planner import Planner
-from .sql import SqlSession, parse_batch, parse_expression, parse_select
+from .sql import PlanCache, SqlSession, parse_batch, parse_expression, parse_select
 from .table import Table
 from .types import (CURRENT_TIMESTAMP, Column, DataType, NULL, bigint, blob,
                     boolean, floating, integer, text, timestamp)
@@ -61,9 +63,13 @@ __all__ = [
     "QueryResult",
     "ExecutionStatistics",
     "SqlSession",
+    "PlanCache",
     "parse_batch",
     "parse_select",
     "parse_expression",
+    "compile_expression",
+    "compile_row_expression",
+    "supports_row_mode",
     "Expression",
     "Literal",
     "ColumnRef",

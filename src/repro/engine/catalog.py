@@ -32,6 +32,13 @@ class Database:
         self.views: dict[str, View] = {}
         self.functions = FunctionRegistry()
         self._clock: Callable[[], _dt.datetime] = lambda: _dt.datetime.now(tz=_dt.timezone.utc)
+        #: Bumped by every DDL change (tables, views, indexes, functions);
+        #: the session plan cache invalidates entries planned under an
+        #: older version.
+        self.schema_version = 0
+
+    def bump_schema_version(self) -> None:
+        self.schema_version += 1
 
     # -- clock (shared by all tables, lets the loader control timestamps) --
 
@@ -59,13 +66,16 @@ class Database:
         table = Table(name, columns, primary_key=primary_key,
                       foreign_keys=foreign_keys, checks=checks, description=description)
         table.set_clock(self._clock)
+        table.on_schema_change(self.bump_schema_version)
         self.tables[name] = table
+        self.bump_schema_version()
         return table
 
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
         for existing in list(self.tables):
             if existing.lower() == name.lower():
                 del self.tables[existing]
+                self.bump_schema_version()
                 return
         if not if_exists:
             raise CatalogError(f"no table named {name!r}")
@@ -95,6 +105,7 @@ class Database:
         if key in self._lowered_table_names():
             raise CatalogError(f"a table named {view.name!r} already exists")
         self.views[view.name] = view
+        self.bump_schema_version()
         return view
 
     def has_view(self, name: str) -> bool:
@@ -123,6 +134,7 @@ class Database:
                                  description: str = "", replace: bool = False) -> None:
         self.functions.register_scalar(name, implementation,
                                        description=description, replace=replace)
+        self.bump_schema_version()
 
     def register_table_function(self, name: str, columns: Sequence[Column],
                                 implementation: Callable[..., Iterable[Mapping[str, Any]]], *,
@@ -131,6 +143,7 @@ class Database:
         self.functions.register_table_valued(name, columns, implementation,
                                              description=description,
                                              row_estimate=row_estimate, replace=replace)
+        self.bump_schema_version()
 
     def evaluation_context(self, variables: Optional[Mapping[str, Any]] = None) -> EvaluationContext:
         """Build the ambient context used to evaluate expressions in this database."""

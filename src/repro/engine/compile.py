@@ -1,0 +1,576 @@
+"""Expression compilation: AST subtrees become plain Python closures.
+
+The interpreted evaluator (:meth:`Expression.evaluate`) pays a virtual
+dispatch, an operator-string comparison and often a fresh ``RowScope``
+for every row.  For the hot operators that is the dominant CPU cost of a
+query, so each operator instead compiles its expressions **once per
+execution** into closures:
+
+* :func:`compile_expression` produces ``Callable[[RowScope], Any]`` —
+  a drop-in replacement for ``expression.evaluate(scope, context)``
+  with identical SQL three-valued-NULL semantics, short-circuit
+  AND/OR, and identical error behaviour;
+* :func:`compile_row_expression` produces ``Callable[[dict], Any]``
+  for the fused single-table fast path: column references become
+  direct dictionary reads, skipping ``RowScope`` construction and its
+  case-insensitive key scans entirely.  It raises
+  :class:`RowCompileError` when an expression cannot be resolved
+  against the one table (the caller then falls back to the general
+  path);
+* constant subtrees are folded at compile time (``2*3+1`` evaluates
+  once, session variables are frozen to their per-execution values,
+  constant LIKE patterns pre-compile their regex, constant IN lists
+  pre-evaluate their candidates).
+
+Folding is conservative: a constant subtree whose evaluation raises is
+left as a lazy closure so errors surface exactly where the interpreter
+would raise them (or not at all, when short-circuiting skips them).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from operator import eq, ge, gt, itemgetter, le, lt, ne
+from typing import Any, Callable
+
+from .errors import ExpressionError, UnknownColumnError, UnknownFunctionError
+from .expressions import (_ARITHMETIC, _BITWISE, _BUILTIN_FUNCTIONS,
+                          _COMPARISON, AggregateCall, Between,
+                          BinaryOp, CaseWhen, ColumnRef, EvaluationContext,
+                          Expression, FunctionCall, InList, Like, Literal,
+                          Star, UnaryOp, Variable, like_regex)
+from .types import NULL
+
+#: A compiled scalar expression.  The single argument is a RowScope for
+#: :func:`compile_expression` and a plain row dict for
+#: :func:`compile_row_expression`.
+CompiledExpression = Callable[[Any], Any]
+
+
+class RowCompileError(Exception):
+    """An expression cannot be compiled in direct-row mode.
+
+    Raised during :func:`compile_row_expression` when a node references
+    a column outside the scanned table, contains an aggregate, or is a
+    node type the row-mode compiler does not support.  Callers fall
+    back to the general scope-based path.
+    """
+
+
+_COMPARATORS = {"=": eq, "<>": ne, "!=": ne, "<": lt, "<=": le, ">": gt, ">=": ge}
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def compile_expression(expression: Expression,
+                       evaluation: EvaluationContext) -> CompiledExpression:
+    """Compile ``expression`` to a closure over a :class:`RowScope`.
+
+    ``compiled(scope)`` is equivalent to
+    ``expression.evaluate(scope, evaluation)`` for the ``evaluation``
+    context given here (session variables are frozen at compile time,
+    which is sound because compilation happens per execution).
+    """
+    fn, _is_const = _Compiler(evaluation).compile(expression)
+    return fn
+
+
+def compile_row_expression(expression: Expression, evaluation: EvaluationContext,
+                           table: "Any", binding_name: str) -> CompiledExpression:
+    """Compile ``expression`` to a closure over a plain row dict.
+
+    Column references must resolve to columns of ``table`` (qualified by
+    ``binding_name`` or unqualified); raises :class:`RowCompileError`
+    otherwise.
+    """
+    fn, _is_const = _RowCompiler(evaluation, table, binding_name).compile(expression)
+    return fn
+
+
+def supports_row_mode(expression: Expression, table: "Any", binding_name: str) -> bool:
+    """True when :func:`compile_row_expression` would accept ``expression``."""
+    try:
+        _RowModeProbe(table, binding_name).check(expression)
+    except RowCompileError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+class _Compiler:
+    """Bottom-up compiler producing ``(closure, is_constant)`` pairs."""
+
+    def __init__(self, evaluation: EvaluationContext):
+        self.evaluation = evaluation
+
+    # -- dispatch -----------------------------------------------------------
+
+    def compile(self, node: Expression) -> tuple[CompiledExpression, bool]:
+        if isinstance(node, Literal):
+            value = node.value
+            return (lambda _target: value), True
+        if isinstance(node, ColumnRef):
+            return self.column(node)
+        if isinstance(node, Variable):
+            return self.variable(node)
+        if isinstance(node, BinaryOp):
+            return self.binary(node)
+        if isinstance(node, UnaryOp):
+            return self.unary(node)
+        if isinstance(node, Between):
+            return self.between(node)
+        if isinstance(node, InList):
+            return self.in_list(node)
+        if isinstance(node, Like):
+            return self.like(node)
+        if isinstance(node, FunctionCall):
+            return self.function_call(node)
+        if isinstance(node, CaseWhen):
+            return self.case_when(node)
+        if isinstance(node, AggregateCall):
+            return self.aggregate(node)
+        if isinstance(node, Star):
+            def star(_target: Any) -> Any:
+                raise ExpressionError("'*' cannot be evaluated as a scalar expression")
+            return star, False
+        return self.fallback(node)
+
+    def fallback(self, node: Expression) -> tuple[CompiledExpression, bool]:
+        """Unknown node subclass: defer to the interpreter."""
+        evaluation = self.evaluation
+        return (lambda scope: node.evaluate(scope, evaluation)), False
+
+    # -- leaves -------------------------------------------------------------
+
+    def column(self, node: ColumnRef) -> tuple[CompiledExpression, bool]:
+        name, qualifier = node.name, node.qualifier
+        return (lambda scope: scope.lookup(name, qualifier)), False
+
+    def variable(self, node: Variable) -> tuple[CompiledExpression, bool]:
+        evaluation = self.evaluation
+        try:
+            value = evaluation.variable(node.name)
+        except ExpressionError:
+            # Undeclared: raise at evaluation time, exactly like the interpreter.
+            name = node.name
+            return (lambda _target: evaluation.variable(name)), False
+        return (lambda _target: value), True
+
+    # -- folding ------------------------------------------------------------
+
+    def _fold(self, fn: CompiledExpression) -> tuple[CompiledExpression, bool]:
+        """Evaluate a constant closure once; stay lazy if it raises."""
+        try:
+            value = fn(None)
+        except Exception:
+            return fn, False
+        return (lambda _target: value), True
+
+    # -- operators ----------------------------------------------------------
+
+    def binary(self, node: BinaryOp) -> tuple[CompiledExpression, bool]:
+        op = node.op
+        left_fn, left_const = self.compile(node.left)
+        right_fn, right_const = self.compile(node.right)
+        if op == "and":
+            fn = _compile_and(left_fn, right_fn)
+        elif op == "or":
+            fn = _compile_or(left_fn, right_fn)
+        elif op in _COMPARISON:
+            fn = _compile_comparison(op, left_fn, right_fn)
+        elif op in _ARITHMETIC:
+            fn = _compile_arithmetic(op, left_fn, right_fn)
+        elif op in _BITWISE:
+            fn = _compile_bitwise(op, left_fn, right_fn)
+        else:
+            def fn(_target: Any) -> Any:
+                raise ExpressionError(f"unknown binary operator {op!r}")
+        if left_const and right_const:
+            return self._fold(fn)
+        return fn, False
+
+    def unary(self, node: UnaryOp) -> tuple[CompiledExpression, bool]:
+        op = node.op
+        operand_fn, operand_const = self.compile(node.operand)
+        if op == "is null":
+            fn: CompiledExpression = lambda target: operand_fn(target) is NULL
+        elif op == "is not null":
+            fn = lambda target: operand_fn(target) is not NULL
+        elif op == "-":
+            def fn(target: Any) -> Any:
+                value = operand_fn(target)
+                return NULL if value is NULL else -value
+        elif op == "+":
+            def fn(target: Any) -> Any:
+                value = operand_fn(target)
+                return NULL if value is NULL else value
+        elif op == "not":
+            def fn(target: Any) -> Any:
+                value = operand_fn(target)
+                return NULL if value is NULL else not bool(value)
+        else:
+            def fn(target: Any) -> Any:
+                if operand_fn(target) is NULL:
+                    return NULL
+                raise ExpressionError(f"unknown unary operator {op!r}")
+        if operand_const:
+            return self._fold(fn)
+        return fn, False
+
+    def between(self, node: Between) -> tuple[CompiledExpression, bool]:
+        operand_fn, operand_const = self.compile(node.operand)
+        low_fn, low_const = self.compile(node.low)
+        high_fn, high_const = self.compile(node.high)
+        negated = node.negated
+
+        def fn(target: Any) -> Any:
+            value = operand_fn(target)
+            low = low_fn(target)
+            high = high_fn(target)
+            if value is NULL or low is NULL or high is NULL:
+                return NULL
+            result = low <= value <= high
+            return (not result) if negated else result
+
+        if operand_const and low_const and high_const:
+            return self._fold(fn)
+        return fn, False
+
+    def in_list(self, node: InList) -> tuple[CompiledExpression, bool]:
+        operand_fn, operand_const = self.compile(node.operand)
+        compiled_items = [self.compile(item) for item in node.items]
+        negated = node.negated
+        if all(is_const for _fn, is_const in compiled_items):
+            candidates = [item_fn(None) for item_fn, _is_const in compiled_items]
+
+            def fn(target: Any) -> Any:
+                value = operand_fn(target)
+                if value is NULL:
+                    return NULL
+                return _in_candidates(value, candidates, negated)
+
+            if operand_const:
+                return self._fold(fn)
+            return fn, False
+
+        item_fns = [item_fn for item_fn, _is_const in compiled_items]
+
+        def fn(target: Any) -> Any:
+            value = operand_fn(target)
+            if value is NULL:
+                return NULL
+            # The generator keeps the interpreter's laziness: items after
+            # the first match are never evaluated (so they cannot raise).
+            return _in_candidates(value, (item_fn(target) for item_fn in item_fns),
+                                  negated)
+
+        return fn, False
+
+    def like(self, node: Like) -> tuple[CompiledExpression, bool]:
+        operand_fn, operand_const = self.compile(node.operand)
+        pattern_fn, pattern_const = self.compile(node.pattern)
+        negated = node.negated
+        if pattern_const:
+            pattern = pattern_fn(None)
+            if pattern is NULL:
+                def fn(target: Any) -> Any:
+                    operand_fn(target)  # preserve evaluation-order errors
+                    return NULL
+            else:
+                regex = re.compile(like_regex(pattern), re.IGNORECASE)
+
+                def fn(target: Any) -> Any:
+                    value = operand_fn(target)
+                    if value is NULL:
+                        return NULL
+                    result = regex.match(str(value)) is not None
+                    return (not result) if negated else result
+            if operand_const:
+                return self._fold(fn)
+            return fn, False
+
+        def fn(target: Any) -> Any:
+            value = operand_fn(target)
+            pattern = pattern_fn(target)
+            if value is NULL or pattern is NULL:
+                return NULL
+            result = re.match(like_regex(pattern), str(value),
+                              flags=re.IGNORECASE) is not None
+            return (not result) if negated else result
+
+        return fn, False
+
+    def function_call(self, node: FunctionCall) -> tuple[CompiledExpression, bool]:
+        arg_fns = [fn for fn, _is_const in (self.compile(arg) for arg in node.args)]
+        lowered = node.name.lower()
+        bare = lowered[len("dbo."):] if lowered.startswith("dbo.") else lowered
+        evaluation = self.evaluation
+        func = (evaluation.functions.get(lowered) or evaluation.functions.get(bare)
+                or _BUILTIN_FUNCTIONS.get(bare))
+        if func is None:
+            name = node.name
+
+            def fn(target: Any) -> Any:
+                for arg_fn in arg_fns:  # arguments evaluate first, as interpreted
+                    arg_fn(target)
+                raise UnknownFunctionError(f"unknown function {name!r}")
+
+            return fn, False
+        # Functions may be impure (fGetUrlExpId, random samplers): never folded.
+        return (lambda target: func(*[arg_fn(target) for arg_fn in arg_fns])), False
+
+    def case_when(self, node: CaseWhen) -> tuple[CompiledExpression, bool]:
+        branches = [(self.compile(condition), self.compile(value))
+                    for condition, value in node.branches]
+        branch_fns = [(cond_fn, val_fn)
+                      for (cond_fn, _cc), (val_fn, _vc) in branches]
+        default = self.compile(node.default) if node.default is not None else None
+
+        if default is not None:
+            default_fn, default_const = default
+        else:
+            default_fn, default_const = (lambda _target: NULL), True
+
+        def fn(target: Any) -> Any:
+            for cond_fn, val_fn in branch_fns:
+                if cond_fn(target) is True:
+                    return val_fn(target)
+            return default_fn(target)
+
+        all_const = default_const and all(
+            cc and vc for (_f, cc), (_g, vc) in branches)
+        if all_const:
+            return self._fold(fn)
+        return fn, False
+
+    def aggregate(self, node: AggregateCall) -> tuple[CompiledExpression, bool]:
+        key = node.result_key()
+        rendering = node.sql()
+
+        def fn(scope: Any) -> Any:
+            try:
+                return scope.lookup(key)
+            except UnknownColumnError:
+                raise ExpressionError(
+                    f"aggregate {rendering} evaluated outside an aggregation operator")
+
+        return fn, False
+
+
+class _RowCompiler(_Compiler):
+    """Compiles against a plain row dict of one table (the fused fast path)."""
+
+    def __init__(self, evaluation: EvaluationContext, table: Any, binding_name: str):
+        super().__init__(evaluation)
+        self.table = table
+        self.binding_name = binding_name.lower()
+
+    def column(self, node: ColumnRef) -> tuple[CompiledExpression, bool]:
+        qualifier = (node.qualifier or "").lower()
+        if qualifier and qualifier != self.binding_name:
+            raise RowCompileError(f"column {node.sql()} is outside {self.binding_name!r}")
+        if not self.table.has_column(node.name):
+            raise RowCompileError(f"no column {node.name!r} in {self.table.name!r}")
+        # Table rows are keyed by lower-cased column name with every column
+        # present, so a direct C-level itemgetter replaces scope.lookup.
+        return itemgetter(node.name.lower()), False
+
+    def aggregate(self, node: AggregateCall) -> tuple[CompiledExpression, bool]:
+        raise RowCompileError("aggregates cannot run in the fused scan path")
+
+    def fallback(self, node: Expression) -> tuple[CompiledExpression, bool]:
+        raise RowCompileError(f"unsupported node {type(node).__name__} in row mode")
+
+
+class _RowModeProbe:
+    """Structural check for :func:`supports_row_mode` (no context needed)."""
+
+    _SUPPORTED = (Literal, ColumnRef, Variable, BinaryOp, UnaryOp, Between,
+                  InList, Like, FunctionCall, CaseWhen)
+
+    def __init__(self, table: Any, binding_name: str):
+        self.table = table
+        self.binding_name = binding_name.lower()
+
+    def check(self, node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            qualifier = (node.qualifier or "").lower()
+            if qualifier and qualifier != self.binding_name:
+                raise RowCompileError(node.sql())
+            if not self.table.has_column(node.name):
+                raise RowCompileError(node.sql())
+            return
+        if isinstance(node, AggregateCall) or not isinstance(node, self._SUPPORTED):
+            raise RowCompileError(type(node).__name__)
+        for child in node.children():
+            self.check(child)
+
+
+# ---------------------------------------------------------------------------
+# Operator closures (shared between scope mode and row mode)
+# ---------------------------------------------------------------------------
+
+def _compile_and(left_fn: CompiledExpression,
+                 right_fn: CompiledExpression) -> CompiledExpression:
+    def fn(target: Any) -> Any:
+        left = left_fn(target)
+        if left is False:
+            return False
+        right = right_fn(target)
+        if right is False:
+            return False
+        if left is NULL or right is NULL:
+            return NULL
+        return bool(left) and bool(right)
+    return fn
+
+
+def _compile_or(left_fn: CompiledExpression,
+                right_fn: CompiledExpression) -> CompiledExpression:
+    def fn(target: Any) -> Any:
+        left = left_fn(target)
+        if left is True:
+            return True
+        right = right_fn(target)
+        if right is True:
+            return True
+        if left is NULL or right is NULL:
+            return NULL
+        return bool(left) or bool(right)
+    return fn
+
+
+def _compile_comparison(op: str, left_fn: CompiledExpression,
+                        right_fn: CompiledExpression) -> CompiledExpression:
+    compare = _COMPARATORS[op]
+
+    def fn(target: Any) -> Any:
+        left = left_fn(target)
+        right = right_fn(target)
+        if left is NULL or right is NULL:
+            return NULL
+        if isinstance(left, str) and isinstance(right, str):
+            left, right = left.lower(), right.lower()
+        try:
+            return compare(left, right)
+        except TypeError as exc:
+            raise ExpressionError(f"cannot compare {left!r} {op} {right!r}") from exc
+
+    return fn
+
+
+def _compile_arithmetic(op: str, left_fn: CompiledExpression,
+                        right_fn: CompiledExpression) -> CompiledExpression:
+    if op == "+":
+        def fn(target: Any) -> Any:
+            left = left_fn(target)
+            right = right_fn(target)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                return left + right
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot apply {op!r} to {left!r} and {right!r}") from exc
+    elif op == "-":
+        def fn(target: Any) -> Any:
+            left = left_fn(target)
+            right = right_fn(target)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                return left - right
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot apply {op!r} to {left!r} and {right!r}") from exc
+    elif op == "*":
+        def fn(target: Any) -> Any:
+            left = left_fn(target)
+            right = right_fn(target)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                return left * right
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot apply {op!r} to {left!r} and {right!r}") from exc
+    elif op == "/":
+        def fn(target: Any) -> Any:
+            left = left_fn(target)
+            right = right_fn(target)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                if right == 0:
+                    return NULL
+                if isinstance(left, int) and isinstance(right, int):
+                    # SQL Server integer division truncates toward zero.
+                    quotient = abs(left) // abs(right)
+                    return quotient if (left >= 0) == (right >= 0) else -quotient
+                return left / right
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot apply {op!r} to {left!r} and {right!r}") from exc
+    elif op == "%":
+        def fn(target: Any) -> Any:
+            left = left_fn(target)
+            right = right_fn(target)
+            if left is NULL or right is NULL:
+                return NULL
+            try:
+                if right == 0:
+                    return NULL
+                if isinstance(left, float) or isinstance(right, float):
+                    return math.fmod(left, right)
+                return left % right
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot apply {op!r} to {left!r} and {right!r}") from exc
+    else:
+        def fn(_target: Any) -> Any:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+    return fn
+
+
+def _compile_bitwise(op: str, left_fn: CompiledExpression,
+                     right_fn: CompiledExpression) -> CompiledExpression:
+    def fn(target: Any) -> Any:
+        left = left_fn(target)
+        right = right_fn(target)
+        if left is NULL or right is NULL:
+            return NULL
+        try:
+            left_int, right_int = int(left), int(right)
+        except (TypeError, ValueError) as exc:
+            raise ExpressionError(f"bitwise {op!r} requires integers") from exc
+        if op == "&":
+            return left_int & right_int
+        if op == "|":
+            return left_int | right_int
+        return left_int ^ right_int
+    return fn
+
+
+def _in_candidates(value: Any, candidates: "Any", negated: bool) -> Any:
+    saw_null = False
+    value_is_str = isinstance(value, str)
+    for candidate in candidates:
+        if candidate is NULL:
+            saw_null = True
+            continue
+        if value_is_str and isinstance(candidate, str):
+            if value.lower() == candidate.lower():
+                return not negated
+        elif candidate == value:
+            return not negated
+    if saw_null:
+        return NULL
+    return negated
+
+

@@ -40,7 +40,13 @@ def render_plan(plan: "PhysicalPlan") -> str:
     header = []
     if plan.description:
         header.append(plan.description)
-    return "\n".join(header + render_operator(plan.root))
+    lines = header + render_operator(plan.root)
+    statistics = plan.last_statistics
+    if statistics is not None:
+        lines.append(f"[compiled exprs={statistics.exprs_compiled}; "
+                     f"plan cache hits={statistics.plan_cache_hits} "
+                     f"misses={statistics.plan_cache_misses}]")
+    return "\n".join(lines)
 
 
 def plan_operators(plan: "PhysicalPlan") -> list[str]:

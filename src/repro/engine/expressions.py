@@ -93,6 +93,10 @@ class RowScope:
 class Expression:
     """Base class for expression AST nodes."""
 
+    # Subclasses declare their own __slots__; an empty tuple here keeps
+    # instances __dict__-free so per-node allocation stays small.
+    __slots__ = ()
+
     def evaluate(self, scope: RowScope, context: "EvaluationContext") -> Any:
         raise NotImplementedError
 
@@ -117,7 +121,7 @@ class Expression:
         return f"<{type(self).__name__} {self.sql()}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvaluationContext:
     """Ambient evaluation state: scalar functions and session variables."""
 
@@ -465,15 +469,24 @@ class Like(Expression):
             return NULL
         import re
 
-        regex = "^" + re.escape(str(pattern)).replace("%", ".*").replace("_", ".") + "$"
-        # re.escape escapes % and _ as themselves (no backslash needed), so the
-        # replacements above operate on the literal characters.
-        result = re.match(regex, str(value), flags=re.IGNORECASE) is not None
+        result = re.match(like_regex(pattern), str(value),
+                          flags=re.IGNORECASE) is not None
         return (not result) if self.negated else result
 
     def sql(self) -> str:
         keyword = "NOT LIKE" if self.negated else "LIKE"
         return f"({self.operand.sql()} {keyword} {self.pattern.sql()})"
+
+
+def like_regex(pattern: Any) -> str:
+    """The regex for a SQL LIKE pattern (shared by interpreter and compiler).
+
+    ``re.escape`` leaves ``%`` and ``_`` unescaped, so the replacements act
+    on the literal wildcard characters.
+    """
+    import re
+
+    return "^" + re.escape(str(pattern)).replace("%", ".*").replace("_", ".") + "$"
 
 
 class FunctionCall(Expression):

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from .catalog import Database
-from .errors import PlanError
+from .compile import (CompiledExpression, RowCompileError,
+                      compile_expression, compile_row_expression)
+from .errors import PlanError, UnknownColumnError
 from .expressions import (AggregateCall, ColumnRef, EvaluationContext,
                           Expression, RowScope, Star)
 from .functions import TableValuedFunction
@@ -49,6 +51,11 @@ class ExecutionStatistics:
     random_lookups: int = 0
     elapsed_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    #: Expression trees compiled to closures during this execution.
+    exprs_compiled: int = 0
+    #: 1 when this execution reused a cached plan / 1 when it had to plan.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def merge_scan(self, rows: int, row_bytes: float) -> None:
         self.rows_scanned += rows
@@ -62,6 +69,31 @@ class ExecutionContext:
     database: Database
     evaluation: EvaluationContext
     statistics: ExecutionStatistics = field(default_factory=ExecutionStatistics)
+    #: When False, operators evaluate expressions through the interpreted
+    #: ``Expression.evaluate`` path (the pre-compilation behaviour; kept for
+    #: the ablation benchmark and as a safety hatch).
+    compile_enabled: bool = True
+
+    def compile(self, expression: Optional[Expression]) -> Optional[CompiledExpression]:
+        """Compile an expression once for this execution (or wrap the interpreter)."""
+        if expression is None:
+            return None
+        if not self.compile_enabled:
+            evaluation = self.evaluation
+            return lambda scope: expression.evaluate(scope, evaluation)
+        self.statistics.exprs_compiled += 1
+        return compile_expression(expression, self.evaluation)
+
+    def compile_row(self, expression: Expression, table: "Table",
+                    binding_name: str) -> CompiledExpression:
+        """Row-mode compile for the fused scan path (raises RowCompileError).
+
+        Does not touch the ``exprs_compiled`` counter: the caller counts
+        once per expression only after the whole fused compilation
+        succeeds (a partial attempt falls back and recompiles).
+        """
+        return compile_row_expression(expression, self.evaluation,
+                                      table, binding_name)
 
 
 class PhysicalOperator:
@@ -106,18 +138,24 @@ class TableScan(PhysicalOperator):
         self.predicate = predicate
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
-        row_bytes = self.table.average_row_bytes()
+        row_bytes = int(self.table.average_row_bytes())
         statistics = context.statistics
-        predicate = self.predicate
+        binding_name = self.binding_name
+        predicate = self._compiled_predicate(context)
         scope = RowScope()
-        for _row_id, row in self.table.iter_rows():
+        for row in self.table.rows:
+            if row is None:
+                continue
             statistics.rows_scanned += 1
-            statistics.bytes_scanned += int(row_bytes)
+            statistics.bytes_scanned += row_bytes
             if predicate is not None:
-                scope.bind(self.binding_name, row)
-                if predicate.evaluate(scope, context.evaluation) is not True:
+                scope.bind(binding_name, row)
+                if predicate(scope) is not True:
                     continue
-            yield self._emit({self.binding_name: row})
+            yield self._emit({binding_name: row})
+
+    def _compiled_predicate(self, context: ExecutionContext) -> Optional[CompiledExpression]:
+        return context.compile(self.predicate)
 
     def details(self) -> str:
         where = f" WHERE {self.predicate.sql()}" if self.predicate is not None else ""
@@ -148,7 +186,8 @@ class CoveringIndexScan(PhysicalOperator):
         statistics = context.statistics
         entry_bytes = self.index.entry_byte_width()
         table = self.index.table
-        predicate = self.predicate
+        binding_name = self.binding_name
+        predicate = context.compile(self.predicate)
         scope = RowScope()
         for row_id in self.index.scan():
             row = table.get_row(row_id)
@@ -158,10 +197,10 @@ class CoveringIndexScan(PhysicalOperator):
             statistics.bytes_scanned += entry_bytes
             statistics.index_entries_read += 1
             if predicate is not None:
-                scope.bind(self.binding_name, row)
-                if predicate.evaluate(scope, context.evaluation) is not True:
+                scope.bind(binding_name, row)
+                if predicate(scope) is not True:
                     continue
-            yield self._emit({self.binding_name: row})
+            yield self._emit({binding_name: row})
 
     def details(self) -> str:
         where = f" WHERE {self.predicate.sql()}" if self.predicate is not None else ""
@@ -195,31 +234,33 @@ class IndexRangeScan(PhysicalOperator):
         if bound is None:
             return None
         scope = RowScope()
-        return [expression.evaluate(scope, context.evaluation) for expression in bound]
+        return [context.compile(expression)(scope) for expression in bound]
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
         statistics = context.statistics
         table = self.index.table
-        row_bytes = (self.index.entry_byte_width() if self.covering
-                     else table.average_row_bytes())
+        row_bytes = int(self.index.entry_byte_width() if self.covering
+                        else table.average_row_bytes())
+        covering = self.covering
+        binding_name = self.binding_name
         low = self._bound_values(self.low, context)
         high = self._bound_values(self.high, context)
-        predicate = self.predicate
+        predicate = context.compile(self.predicate)
         scope = RowScope()
         for row_id in self.index.range(low, high):
             row = table.get_row(row_id)
             if row is None:
                 continue
             statistics.rows_scanned += 1
-            statistics.bytes_scanned += int(row_bytes)
+            statistics.bytes_scanned += row_bytes
             statistics.index_entries_read += 1
-            if not self.covering:
+            if not covering:
                 statistics.random_lookups += 1
             if predicate is not None:
-                scope.bind(self.binding_name, row)
-                if predicate.evaluate(scope, context.evaluation) is not True:
+                scope.bind(binding_name, row)
+                if predicate(scope) is not True:
                     continue
-            yield self._emit({self.binding_name: row})
+            yield self._emit({binding_name: row})
 
     def details(self) -> str:
         low_text = "[" + ", ".join(e.sql() for e in self.low) + "]" if self.low else "-inf"
@@ -300,13 +341,13 @@ class NestedLoopJoin(PhysicalOperator):
         return (self.outer, self.inner)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
-        condition = self.condition
+        condition = context.compile(self.condition)
+        scopes = _BindingScopes()
         for outer_binding in self.outer.rows(context):
             for inner_binding in self.inner.rows(context):
                 merged = {**outer_binding, **inner_binding}
                 if condition is not None:
-                    scope = _scope_for(merged)
-                    if condition.evaluate(scope, context.evaluation) is not True:
+                    if condition(scopes.scope_for(merged)) is not True:
                         continue
                 yield self._emit(merged)
 
@@ -342,22 +383,25 @@ class IndexNestedLoopJoin(PhysicalOperator):
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
         statistics = context.statistics
-        row_bytes = self.inner_table.average_row_bytes()
+        row_bytes = int(self.inner_table.average_row_bytes())
+        inner_binding = self.inner_binding
+        key_fns = [context.compile(expression) for expression in self.outer_key]
+        residual = context.compile(self.residual)
+        outer_scopes = _BindingScopes()
+        merged_scopes = _BindingScopes()
         for outer_binding in self.outer.rows(context):
-            outer_scope = _scope_for(outer_binding)
-            key = tuple(expression.evaluate(outer_scope, context.evaluation)
-                        for expression in self.outer_key)
+            outer_scope = outer_scopes.scope_for(outer_binding)
+            key = tuple(key_fn(outer_scope) for key_fn in key_fns)
             for row_id in self.index.seek(key):
                 row = self.inner_table.get_row(row_id)
                 if row is None:
                     continue
                 statistics.rows_scanned += 1
-                statistics.bytes_scanned += int(row_bytes)
+                statistics.bytes_scanned += row_bytes
                 statistics.random_lookups += 1
-                merged = {**outer_binding, self.inner_binding: row}
-                if self.residual is not None:
-                    scope = _scope_for(merged)
-                    if self.residual.evaluate(scope, context.evaluation) is not True:
+                merged = {**outer_binding, inner_binding: row}
+                if residual is not None:
+                    if residual(merged_scopes.scope_for(merged)) is not True:
                         continue
                 yield self._emit(merged)
 
@@ -390,25 +434,28 @@ class HashJoin(PhysicalOperator):
         return (self.build, self.probe)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        build_fns = [context.compile(expression) for expression in self.build_keys]
+        probe_fns = [context.compile(expression) for expression in self.probe_keys]
+        residual = context.compile(self.residual)
         hash_table: dict[tuple, list[Binding]] = {}
+        build_scopes = _BindingScopes()
         for binding in self.build.rows(context):
-            scope = _scope_for(binding)
-            key = tuple(expression.evaluate(scope, context.evaluation)
-                        for expression in self.build_keys)
+            scope = build_scopes.scope_for(binding)
+            key = tuple(key_fn(scope) for key_fn in build_fns)
             if any(part is NULL for part in key):
                 continue
             hash_table.setdefault(key, []).append(binding)
+        probe_scopes = _BindingScopes()
+        merged_scopes = _BindingScopes()
         for probe_binding in self.probe.rows(context):
-            scope = _scope_for(probe_binding)
-            key = tuple(expression.evaluate(scope, context.evaluation)
-                        for expression in self.probe_keys)
+            scope = probe_scopes.scope_for(probe_binding)
+            key = tuple(key_fn(scope) for key_fn in probe_fns)
             if any(part is NULL for part in key):
                 continue
             for build_binding in hash_table.get(key, ()):
                 merged = {**build_binding, **probe_binding}
-                if self.residual is not None:
-                    merged_scope = _scope_for(merged)
-                    if self.residual.evaluate(merged_scope, context.evaluation) is not True:
+                if residual is not None:
+                    if residual(merged_scopes.scope_for(merged)) is not True:
                         continue
                 yield self._emit(merged)
 
@@ -439,9 +486,10 @@ class FilterOp(PhysicalOperator):
         return (self.child,)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        predicate = context.compile(self.predicate)
+        scopes = _BindingScopes()
         for binding in self.child.rows(context):
-            scope = _scope_for(binding)
-            if self.predicate.evaluate(scope, context.evaluation) is True:
+            if predicate(scopes.scope_for(binding)) is True:
                 yield self._emit(binding)
 
     def details(self) -> str:
@@ -466,13 +514,14 @@ class SortOp(PhysicalOperator):
         return (self.child,)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        key_fns = [(_compile_projected(expression, context), descending)
+                   for expression, descending in self.keys]
+        scopes = _BindingScopes()
         materialised: list[tuple[list, Binding]] = []
         for binding in self.child.rows(context):
-            scope = _scope_for(binding)
-            key = []
-            for expression, descending in self.keys:
-                value = evaluate_projected(expression, scope, context.evaluation)
-                key.append(_SortKey(value, descending))
+            scope = scopes.scope_for(binding)
+            key = [_SortKey(key_fn(scope), descending)
+                   for key_fn, descending in key_fns]
             materialised.append((key, binding))
         materialised.sort(key=lambda pair: pair[0])
         for _key, binding in materialised:
@@ -575,12 +624,17 @@ class GroupAggregate(PhysicalOperator):
         return (self.child,)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        group_fns = [context.compile(expression) for expression in self.group_by]
+        argument_fns = [(aggregate.result_key(),
+                         context.compile(aggregate.argument)
+                         if aggregate.argument is not None else None)
+                        for aggregate in self.aggregates]
+        scopes = _BindingScopes()
         groups: dict[tuple, dict[str, Any]] = {}
         order: list[tuple] = []
         for binding in self.child.rows(context):
-            scope = _scope_for(binding)
-            key = tuple(expression.evaluate(scope, context.evaluation)
-                        for expression in self.group_by)
+            scope = scopes.scope_for(binding)
+            key = tuple(group_fn(scope) for group_fn in group_fns)
             state = groups.get(key)
             if state is None:
                 state = {"__count__": 0, "values": {agg.result_key(): _AggState(agg)
@@ -588,10 +642,10 @@ class GroupAggregate(PhysicalOperator):
                 groups[key] = state
                 order.append(key)
             state["__count__"] += 1
-            for aggregate in self.aggregates:
-                argument = (aggregate.argument.evaluate(scope, context.evaluation)
-                            if aggregate.argument is not None else 1)
-                state["values"][aggregate.result_key()].update(argument)
+            values = state["values"]
+            for result_key, argument_fn in argument_fns:
+                argument = argument_fn(scope) if argument_fn is not None else 1
+                values[result_key].update(argument)
         if not groups and not self.group_by:
             # Aggregates over an empty input still produce one row (count=0, others NULL).
             empty = {aggregate.result_key(): _AggState(aggregate).result()
@@ -667,31 +721,146 @@ class _AggState:
 
 
 class ProjectOp(PhysicalOperator):
-    """Evaluates the select list, producing output-row bindings."""
+    """Evaluates the select list, producing output-row bindings.
+
+    When the input is a single ``TableScan`` (possibly under residual
+    ``FilterOp``s) and every expression compiles in direct-row mode, the
+    scan, filters and projection fuse into one tight loop over the
+    table's row dicts — no per-row RowScope or binding-dict churn.
+    """
 
     label = "Compute Scalar"
 
     def __init__(self, child: PhysicalOperator, items: Sequence[SelectItem],
-                 database: Database):
+                 database: Database, allow_fused: bool = True):
         super().__init__()
         self.child = child
         self.items = list(items)
         self.database = database
+        self.allow_fused = allow_fused
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        if self.allow_fused and context.compile_enabled:
+            fused = self._fused_rows(context)
+            if fused is not None:
+                yield from fused
+                return
+        compiled_items: list[tuple[Any, Optional[str], Optional[CompiledExpression]]] = []
+        for position, item in enumerate(self.items):
+            if isinstance(item.expression, Star):
+                compiled_items.append((item.expression, None, None))
+            else:
+                compiled_items.append((item.expression, item.output_name(position),
+                                       _compile_projected(item.expression, context)))
+        scopes = _BindingScopes()
         for binding in self.child.rows(context):
-            scope = _scope_for(binding)
+            scope = scopes.scope_for(binding)
             output: dict[str, Any] = {}
+            for expression, name, value_fn in compiled_items:
+                if value_fn is None:
+                    self._expand_star(expression, binding, output)
+                else:
+                    output[name] = value_fn(scope)
+            yield self._emit({**binding, OUTPUT_BINDING: output})
+
+    # -- the fused single-table fast path ---------------------------------
+
+    def _fused_rows(self, context: ExecutionContext) -> Optional[Iterator[Binding]]:
+        """A fused scan→filter→project generator, or None when not applicable."""
+        filters: list[FilterOp] = []
+        node: PhysicalOperator = self.child
+        while isinstance(node, FilterOp):
+            filters.append(node)
+            node = node.child
+        if not isinstance(node, TableScan):
+            return None
+        scan = node
+        table = scan.table
+        binding_name = scan.binding_name
+        compiled_count = 0
+        try:
+            scan_predicate = None
+            if scan.predicate is not None:
+                scan_predicate = context.compile_row(scan.predicate, table, binding_name)
+                compiled_count += 1
+            # Filters stack project-downward; rows meet them scan-upward.
+            filter_fns = []
+            for filter_op in reversed(filters):
+                filter_fns.append(
+                    (filter_op,
+                     context.compile_row(filter_op.predicate, table, binding_name)))
+                compiled_count += 1
+            compiled_items: list[tuple[Optional[str], Optional[CompiledExpression]]] = []
             for position, item in enumerate(self.items):
                 if isinstance(item.expression, Star):
-                    self._expand_star(item.expression, binding, output)
+                    qualifier = (item.expression.qualifier or "").lower()
+                    if qualifier and qualifier != binding_name.lower():
+                        return None
+                    compiled_items.append((None, None))
+                else:
+                    compiled_items.append(
+                        (item.output_name(position),
+                         context.compile_row(item.expression, table, binding_name)))
+                    compiled_count += 1
+        except RowCompileError:
+            return None
+        context.statistics.exprs_compiled += compiled_count
+        return self._run_fused(context, scan, table, binding_name,
+                               scan_predicate, filter_fns, compiled_items)
+
+    def _run_fused(self, context: ExecutionContext, scan: "TableScan", table: Table,
+                   binding_name: str, scan_predicate: Optional[CompiledExpression],
+                   filter_fns: Sequence[tuple["FilterOp", CompiledExpression]],
+                   compiled_items: Sequence[tuple[Optional[str], Optional[CompiledExpression]]]
+                   ) -> Iterator[Binding]:
+        statistics = context.statistics
+        row_bytes = int(table.average_row_bytes())
+        has_star = any(value_fn is None for _name, value_fn in compiled_items)
+        predicates = [fn for _op, fn in filter_fns]
+        # Counters accumulate in locals and flush once (also on early close,
+        # e.g. under a TOP that stops pulling).
+        scanned = 0
+        scan_passed = 0
+        filter_passed = [0] * len(predicates)
+        emitted = 0
+        try:
+            for row in table.rows:
+                if row is None:
                     continue
-                output[item.output_name(position)] = evaluate_projected(
-                    item.expression, scope, context.evaluation)
-            yield self._emit({**binding, OUTPUT_BINDING: output})
+                scanned += 1
+                if scan_predicate is not None and scan_predicate(row) is not True:
+                    continue
+                scan_passed += 1
+                rejected = False
+                for position, predicate in enumerate(predicates):
+                    if predicate(row) is not True:
+                        rejected = True
+                        break
+                    filter_passed[position] += 1
+                if rejected:
+                    continue
+                if has_star:
+                    output: dict[str, Any] = {}
+                    for name, value_fn in compiled_items:
+                        if value_fn is None:
+                            for column, value in row.items():
+                                output.setdefault(column, value)
+                        else:
+                            output[name] = value_fn(row)
+                else:
+                    output = {name: value_fn(row) for name, value_fn in compiled_items}
+                emitted += 1
+                yield {binding_name: row, OUTPUT_BINDING: output}
+        finally:
+            statistics.rows_scanned += scanned
+            statistics.bytes_scanned += scanned * row_bytes
+            scan.actual_rows += scan_passed
+            for (filter_op, _fn), passed in zip(filter_fns, filter_passed):
+                filter_op.actual_rows += passed
+            self.actual_rows += emitted
 
     def _expand_star(self, star: Star, binding: Binding, output: dict[str, Any]) -> None:
         names = ([star.qualifier.lower()] if star.qualifier
@@ -835,6 +1004,50 @@ def _scope_for(binding: Binding) -> RowScope:
     return scope
 
 
+class _BindingScopes:
+    """Reuses one RowScope across consecutive rows of a binding stream.
+
+    The alias set of an operator's bindings is fixed by the plan shape, so
+    instead of building a fresh scope (dict + list + lower-cased binds) per
+    row, the previous scope is re-bound in place whenever the alias set is
+    unchanged.
+    """
+
+    __slots__ = ("_scope", "_keys")
+
+    def __init__(self) -> None:
+        self._scope: Optional[RowScope] = None
+        self._keys: Optional[set[str]] = None
+
+    def scope_for(self, binding: Binding) -> RowScope:
+        keys = binding.keys()
+        scope = self._scope
+        if scope is None or self._keys != keys:
+            scope = _scope_for(binding)
+            self._scope = scope
+            self._keys = set(keys)
+            return scope
+        for name, row in binding.items():
+            scope.bind(name, row)
+        return scope
+
+
+def _compile_projected(expression: Expression,
+                       context: ExecutionContext) -> CompiledExpression:
+    """Compiled :func:`evaluate_projected`: tolerates aggregation output rows."""
+    compiled = context.compile(expression)
+
+    def fn(scope: RowScope) -> Any:
+        try:
+            return compiled(scope)
+        except UnknownColumnError:
+            if isinstance(expression, ColumnRef):
+                return scope.lookup(expression.name)
+            return scope.lookup(expression.sql())
+
+    return fn
+
+
 # ---------------------------------------------------------------------------
 # Plan wrapper and result
 # ---------------------------------------------------------------------------
@@ -868,22 +1081,44 @@ class QueryResult:
 
 @dataclass
 class PhysicalPlan:
-    """A root operator plus the projection metadata needed to run it."""
+    """A root operator plus the projection metadata needed to run it.
+
+    Plans are reusable: the session's plan cache executes the same plan
+    object for every repetition of a hot query, so per-run state (the
+    operators' actual-row counters) is reset at the start of each
+    execution and the statistics of the most recent run are kept on
+    :attr:`last_statistics` for EXPLAIN output.
+    """
 
     root: PhysicalOperator
     output_names: list[str]
     database: Database
     description: str = ""
+    last_statistics: Optional[ExecutionStatistics] = None
+
+    def reset_actuals(self) -> None:
+        """Zero the per-run actual-row counters before a (re-)execution."""
+
+        def walk(operator: PhysicalOperator) -> None:
+            operator.actual_rows = 0
+            for child in operator.children():
+                walk(child)
+
+        walk(self.root)
 
     def execute(self, variables: Optional[dict[str, Any]] = None, *,
                 row_limit: Optional[int] = None,
-                time_limit_seconds: Optional[float] = None) -> QueryResult:
+                time_limit_seconds: Optional[float] = None,
+                compiled: bool = True) -> QueryResult:
         from .errors import QueryLimitExceeded
 
+        self.reset_actuals()
         context = ExecutionContext(
             database=self.database,
             evaluation=self.database.evaluation_context(variables),
+            compile_enabled=compiled,
         )
+        self.last_statistics = context.statistics
         started_wall = time.perf_counter()
         started_cpu = time.process_time()
         rows: list[dict[str, Any]] = []

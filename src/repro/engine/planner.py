@@ -154,7 +154,8 @@ class Planner:
     RANGE_SELECTIVITY = 0.25
     RESIDUAL_SELECTIVITY = 0.5
 
-    def __init__(self, database: Database, *, enable_hash_join: bool = True):
+    def __init__(self, database: Database, *, enable_hash_join: bool = True,
+                 enable_fusion: bool = True):
         self.database = database
         #: When False, equality joins without a usable index fall back to a
         #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
@@ -162,10 +163,17 @@ class Planner:
         #: (Figure 12's "about 10 minutes" case).  The ablation benchmark uses
         #: this to reproduce that comparison.
         self.enable_hash_join = enable_hash_join
+        #: When False, single-table plans never take the fused
+        #: scan→filter→project fast path (the compilation benchmark's baseline).
+        self.enable_fusion = enable_fusion
+        #: Number of plans built; the plan-cache tests assert a cache hit
+        #: leaves this untouched.
+        self.plans_built = 0
 
     # -- public API ---------------------------------------------------------
 
     def plan(self, query: LogicalQuery) -> PhysicalPlan:
+        self.plans_built += 1
         if not query.select:
             raise PlanError("query has an empty select list")
         if not query.all_relations():
@@ -549,7 +557,8 @@ class Planner:
                     for order in query.order_by]
             root = SortOp(root, keys)
 
-        root = ProjectOp(root, query.select, self.database)
+        root = ProjectOp(root, query.select, self.database,
+                         allow_fused=self.enable_fusion)
         if query.distinct:
             root = DistinctOp(root)
         if query.top is not None:
@@ -576,7 +585,8 @@ class Planner:
         root: PhysicalOperator = source
         if query.where is not None:
             root = FilterOp(root, query.where)
-        root = ProjectOp(root, query.select, self.database)
+        root = ProjectOp(root, query.select, self.database,
+                         allow_fused=self.enable_fusion)
         if query.top is not None:
             root = TopOp(root, query.top)
         if query.into:

@@ -10,7 +10,7 @@ FROM clause, ``WHERE`` with arithmetic, bitwise flags, ``BETWEEN``,
 
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_batch, parse_expression, parse_select
-from .session import SqlSession, StatementResult
+from .session import PlanCache, SqlSession, StatementResult
 
 __all__ = [
     "Token",
@@ -19,6 +19,7 @@ __all__ = [
     "parse_batch",
     "parse_expression",
     "parse_select",
+    "PlanCache",
     "SqlSession",
     "StatementResult",
 ]

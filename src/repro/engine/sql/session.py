@@ -6,10 +6,22 @@ it from ``dbo.fPhotoFlags('saturated')`` before using it in the WHERE
 clause) and runs SELECT statements through the planner.  The session
 can also enforce the public SkyServer limits (1 000 rows / 30 seconds,
 §4) when asked to.
+
+Sessions keep an LRU **plan cache** keyed by whitespace-normalised SQL
+text.  The SkyServer workload is dominated by hot template queries (the
+same cone searches and colour cuts over and over, §4/§7), so the second
+execution of an identical batch skips the lexer, parser and planner
+entirely and re-executes the cached physical plan.  Cache entries
+record the catalog's schema version at planning time and are dropped
+when DDL (CREATE/DROP of tables, views, indexes or functions) bumps it;
+batches that themselves change the schema (``SELECT ... INTO``) are
+never cached, because their plans capture catalog objects the next
+execution would replace.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -33,18 +45,125 @@ class StatementResult:
     value: Any = None
 
 
+@dataclass
+class CachedBatch:
+    """One plan-cache entry: a parsed batch and its per-statement plans."""
+
+    schema_version: int
+    statements: list[Statement]
+    #: Plans keyed by statement position, filled lazily as statements run
+    #: (a SELECT later in a batch must be planned after the statements
+    #: before it have executed).
+    plans: dict[int, PhysicalPlan] = field(default_factory=dict)
+
+
+class PlanCache:
+    """A small LRU of parsed/planned batches, invalidated by schema version."""
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedBatch]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @staticmethod
+    def normalize(sql_text: str) -> str:
+        """Whitespace-collapsed cache key.
+
+        Case is preserved and quoted string literals are copied verbatim
+        (including their whitespace and ``''`` escapes): ``'a  b'`` and
+        ``'a b'`` are different queries and must not share an entry.
+        """
+        out: list[str] = []
+        pending_space = False
+        i, n = 0, len(sql_text)
+        while i < n:
+            ch = sql_text[i]
+            if ch == "'":
+                end = i + 1
+                while end < n:
+                    if sql_text[end] == "'":
+                        if end + 1 < n and sql_text[end + 1] == "'":
+                            end += 2
+                            continue
+                        break
+                    end += 1
+                end = min(end, n - 1)
+                if pending_space and out:
+                    out.append(" ")
+                pending_space = False
+                out.append(sql_text[i:end + 1])
+                i = end + 1
+            elif ch.isspace():
+                pending_space = True
+                i += 1
+            else:
+                if pending_space and out:
+                    out.append(" ")
+                pending_space = False
+                out.append(ch)
+                i += 1
+        return "".join(out)
+
+    def get(self, sql_text: str, schema_version: int) -> Optional[CachedBatch]:
+        key = self.normalize(sql_text)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.schema_version != schema_version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, sql_text: str, entry: CachedBatch) -> None:
+        key = self.normalize(sql_text)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sql_text: str) -> bool:
+        return self.normalize(sql_text) in self._entries
+
+    def statistics(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
 class SqlSession:
     """Executes SQL batches, keeping variable state between statements."""
 
     def __init__(self, database: Database, *,
                  row_limit: Optional[int] = None,
                  time_limit_seconds: Optional[float] = None,
-                 planner: Optional[Planner] = None):
+                 planner: Optional[Planner] = None,
+                 plan_cache_size: int = 128):
         self.database = database
         self.planner = planner or Planner(database)
         self.variables: dict[str, Any] = {}
         self.row_limit = row_limit
         self.time_limit_seconds = time_limit_seconds
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # -- variables ----------------------------------------------------------
 
@@ -58,12 +177,18 @@ class SqlSession:
 
     def execute(self, sql_text: str) -> list[StatementResult]:
         """Execute every statement of ``sql_text``; returns per-statement results."""
-        statements = parse_batch(sql_text)
-        if not statements:
+        entry, from_cache = self._lookup_or_parse(sql_text)
+        if not entry.statements:
             raise SQLSyntaxError("empty SQL batch")
         results: list[StatementResult] = []
-        for statement in statements:
-            results.append(self._execute_statement(statement))
+        for position, statement in enumerate(entry.statements):
+            results.append(self._execute_statement(statement, entry, position,
+                                                   from_cache))
+        if (not from_cache and self._cacheable(entry.statements)
+                and self.database.schema_version == entry.schema_version):
+            # Batches that perform DDL (SELECT INTO) are not cacheable:
+            # their plans reference catalog objects they just replaced.
+            self.plan_cache.put(sql_text, entry)
         return results
 
     def query(self, sql_text: str) -> QueryResult:
@@ -76,18 +201,43 @@ class SqlSession:
 
     def plan(self, sql_text: str) -> PhysicalPlan:
         """Plan (without executing) the first SELECT in ``sql_text``."""
-        statements = parse_batch(sql_text)
-        for statement in statements:
+        entry, from_cache = self._lookup_or_parse(sql_text)
+        for position, statement in enumerate(entry.statements):
             if isinstance(statement, SelectStatement) and statement.query is not None:
-                return self.planner.plan(statement.query)
+                plan = entry.plans.get(position)
+                if plan is None:
+                    plan = self.planner.plan(statement.query)
+                    entry.plans[position] = plan
+                if (not from_cache and self._cacheable(entry.statements)
+                        and self.database.schema_version == entry.schema_version):
+                    self.plan_cache.put(sql_text, entry)
+                return plan
         raise SQLSyntaxError("batch contained no SELECT statement")
 
     def explain(self, sql_text: str) -> str:
         return self.plan(sql_text).explain()
 
+    # -- plan cache -------------------------------------------------------------
+
+    def _lookup_or_parse(self, sql_text: str) -> tuple[CachedBatch, bool]:
+        version = self.database.schema_version
+        entry = self.plan_cache.get(sql_text, version)
+        if entry is not None:
+            return entry, True
+        return CachedBatch(version, parse_batch(sql_text)), False
+
+    @staticmethod
+    def _cacheable(statements: list[Statement]) -> bool:
+        """False for batches whose execution performs DDL (SELECT ... INTO)."""
+        return not any(isinstance(statement, SelectStatement)
+                       and statement.query is not None
+                       and statement.query.into
+                       for statement in statements)
+
     # -- statement dispatch -------------------------------------------------------
 
-    def _execute_statement(self, statement: Statement) -> StatementResult:
+    def _execute_statement(self, statement: Statement, entry: CachedBatch,
+                           position: int, from_cache: bool) -> StatementResult:
         if isinstance(statement, DeclareStatement):
             for name in statement.names:
                 self.declare(name)
@@ -100,8 +250,13 @@ class SqlSession:
             return StatementResult(statement, "set", variable=statement.name, value=value)
         if isinstance(statement, SelectStatement):
             assert statement.query is not None
-            plan = self.planner.plan(statement.query)
+            plan = entry.plans.get(position)
+            if plan is None:
+                plan = self.planner.plan(statement.query)
+                entry.plans[position] = plan
             result = plan.execute(self.variables, row_limit=self.row_limit,
                                   time_limit_seconds=self.time_limit_seconds)
+            result.statistics.plan_cache_hits = 1 if from_cache else 0
+            result.statistics.plan_cache_misses = 0 if from_cache else 1
             return StatementResult(statement, "select", result=result)
         raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")

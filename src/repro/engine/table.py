@@ -49,6 +49,7 @@ class Table:
         self._live_rows = 0
         self._data_bytes = 0
         self._clock: Callable[[], _dt.datetime] = _default_clock
+        self._on_schema_change: Optional[Callable[[], None]] = None
         if primary_key is not None:
             for column in primary_key.columns:
                 if column not in self._columns_by_name:
@@ -93,6 +94,10 @@ class Table:
     def set_clock(self, clock: Callable[[], _dt.datetime]) -> None:
         """Override the timestamp source (tests and the loader use this)."""
         self._clock = clock
+
+    def on_schema_change(self, callback: Optional[Callable[[], None]]) -> None:
+        """Register the catalog's schema-version bump (fires on index DDL)."""
+        self._on_schema_change = callback
 
     def describe(self) -> dict[str, Any]:
         """Schema-browser metadata (tables pane of SkyServerQA)."""
@@ -141,12 +146,16 @@ class Table:
                 index.insert(row_id, row, defer_sort=True)
         index.rebuild()
         self.indexes[name] = index
+        if self._on_schema_change is not None:
+            self._on_schema_change()
         return index
 
     def drop_index(self, name: str) -> None:
         for existing in list(self.indexes):
             if existing.lower() == name.lower():
                 del self.indexes[existing]
+                if self._on_schema_change is not None:
+                    self._on_schema_change()
                 return
         raise SchemaError(f"no index {name!r} on table {self.name!r}")
 
@@ -274,6 +283,43 @@ class Table:
         self._data_bytes = 0
         for index in self.indexes.values():
             index.clear()
+
+    # -- tombstone compaction ------------------------------------------------
+
+    #: Dead-slot fraction above which :meth:`maybe_vacuum` compacts.
+    VACUUM_THRESHOLD = 0.25
+
+    @property
+    def tombstone_count(self) -> int:
+        """Dead (deleted) slots still occupying the row store."""
+        return len(self.rows) - self._live_rows
+
+    def vacuum(self) -> int:
+        """Compact the row store, dropping ``None`` tombstones.
+
+        Row ids are reassigned, so every index is rebuilt from the
+        compacted store.  Returns the number of dead slots reclaimed.
+        Scans stop paying the skip-a-hole branch for every deleted row
+        (the loader's UNDO of a large failed step can leave millions).
+        """
+        dead = len(self.rows) - self._live_rows
+        if dead == 0:
+            return 0
+        self.rows = [row for row in self.rows if row is not None]
+        for index in self.indexes.values():
+            index.clear()
+            for row_id, row in enumerate(self.rows):
+                index.insert(row_id, row, defer_sort=True)
+            index.rebuild()
+        return dead
+
+    def maybe_vacuum(self, threshold: Optional[float] = None) -> int:
+        """Vacuum when the dead-slot fraction exceeds ``threshold``."""
+        limit = self.VACUUM_THRESHOLD if threshold is None else threshold
+        total = len(self.rows)
+        if total and (total - self._live_rows) / total >= limit:
+            return self.vacuum()
+        return 0
 
     def _row_bytes(self, row: dict[str, Any]) -> int:
         total = 0

@@ -41,7 +41,11 @@ def undo_time_window(database: Database, table_name: str,
             return False
         return end is None or inserted_at <= end
 
-    return table.delete_where(inserted_in_window)
+    deleted = table.delete_where(inserted_in_window)
+    # A failed bulk step can tombstone a large fraction of the table;
+    # compact so subsequent scans stop skipping dead slots.
+    table.maybe_vacuum()
+    return deleted
 
 
 def undo_load_event(database: Database, log: LoadEventLog, event_id: int, *,

@@ -29,10 +29,16 @@ class ExecutionStatistics:
     catalog: str
     server: str
     user: str
+    #: Engine-side counters: whether this query reused a cached plan and
+    #: how many expression trees were compiled for its execution.
+    plan_cache_hit: bool = False
+    compiled_expressions: int = 0
 
     def describe(self) -> str:
+        plan_source = "cached plan" if self.plan_cache_hit else "fresh plan"
         return (f"{self.row_count} rows in {self.rounded_seconds} s "
-                f"(user {self.user} on {self.server}, catalog {self.catalog})")
+                f"(user {self.user} on {self.server}, catalog {self.catalog}; "
+                f"{plan_source}, {self.compiled_expressions} compiled exprs)")
 
 
 @dataclass
@@ -67,6 +73,8 @@ class QueryAnalyzer:
             catalog=self.server.database.name,
             server=self.server.site_name,
             user=self.user,
+            plan_cache_hit=result.statistics.plan_cache_hits > 0,
+            compiled_expressions=result.statistics.exprs_compiled,
         )
         return QueryOutput(result=result, rendered=render(result, output_format),
                            statistics=statistics)

@@ -97,6 +97,10 @@ class SkyServer:
         """The query plan, as the engine's EXPLAIN rendering."""
         return self.session.explain(sql)
 
+    def plan_cache_statistics(self) -> dict[str, int]:
+        """Hit/miss/invalidation counters of the session's plan cache."""
+        return self.session.plan_cache.statistics()
+
     # -- the data-mining suite ----------------------------------------------------
 
     def run_data_mining_query(self, query_id: str) -> QueryExecution:
@@ -222,4 +226,5 @@ class SkyServer:
             "limits": self.limits.describe(),
             "tables": self.database.size_report(),
             "total_bytes": self.database.total_bytes(),
+            "plan_cache": self.plan_cache_statistics(),
         }

@@ -5,10 +5,14 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import Database, PrimaryKey, bigint, floating, text
+from repro.engine import Database, Planner, PrimaryKey, bigint, floating, text
+from repro.engine.compile import compile_expression
 from repro.engine.index import BTreeIndex
-from repro.engine.sql import SqlSession, parse_expression
-from repro.engine.expressions import EvaluationContext, RowScope
+from repro.engine.sql import SqlSession, parse_expression, parse_select
+from repro.engine.expressions import (Between, BinaryOp, CaseWhen, ColumnRef,
+                                      EvaluationContext, FunctionCall, InList,
+                                      Like, Literal, RowScope, UnaryOp)
+from repro.engine.types import NULL
 
 settings.register_profile("repro", deadline=None, max_examples=60)
 settings.load_profile("repro")
@@ -117,6 +121,99 @@ def test_sql_filter_matches_python(values, threshold):
     result = session.query(f"select id from t where value < {threshold!r}")
     expected = {index for index, value in enumerate(values) if value < threshold}
     assert {row["id"] for row in result.rows} == expected
+
+
+# ---------------------------------------------------------------------------
+# Compiled evaluation equivalence
+# ---------------------------------------------------------------------------
+
+_literals = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    st.sampled_from(["abc", "L1", "%b_", ""]),
+    st.just(NULL),
+).map(Literal)
+
+_columns = st.sampled_from(["x", "y", "s"]).map(ColumnRef)
+
+
+def _make_binary(children):
+    ops = st.sampled_from(["+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">",
+                           ">=", "and", "or", "&", "|", "^"])
+    return st.tuples(ops, children, children).map(
+        lambda triple: BinaryOp(triple[0], triple[1], triple[2]))
+
+
+def _make_unary(children):
+    ops = st.sampled_from(["-", "+", "not", "is null", "is not null"])
+    return st.tuples(ops, children).map(lambda pair: UnaryOp(pair[0], pair[1]))
+
+
+def _expression_strategy():
+    def extend(children):
+        return st.one_of(
+            _make_binary(children),
+            _make_unary(children),
+            st.tuples(children, children, children, st.booleans()).map(
+                lambda t: Between(t[0], t[1], t[2], t[3])),
+            st.tuples(children, st.lists(children, max_size=3), st.booleans()).map(
+                lambda t: InList(t[0], t[1], t[2])),
+            st.tuples(children, _literals, st.booleans()).map(
+                lambda t: Like(t[0], t[1], t[2])),
+            st.tuples(st.lists(st.tuples(children, children), min_size=1, max_size=2),
+                      children).map(lambda t: CaseWhen(t[0], t[1])),
+            st.tuples(st.sampled_from(["abs", "coalesce", "isnull", "len"]),
+                      st.lists(children, min_size=1, max_size=2)).map(
+                lambda t: FunctionCall(t[0], t[1][:1] if t[0] in ("abs", "len")
+                                       else (t[1] * 2)[:2])),
+        )
+
+    return st.recursive(st.one_of(_literals, _columns), extend, max_leaves=16)
+
+
+_row_values = st.fixed_dictionaries({
+    "x": st.one_of(st.integers(min_value=-20, max_value=20), st.just(NULL)),
+    "y": st.one_of(st.floats(min_value=-20, max_value=20, allow_nan=False),
+                   st.just(NULL)),
+    "s": st.one_of(st.sampled_from(["abc", "L1", "zz"]), st.just(NULL)),
+})
+
+
+def _outcome(thunk):
+    """A comparable outcome: the value, or the exception type raised."""
+    try:
+        return ("value", thunk())
+    except Exception as exc:  # interpreter and compiler must raise alike
+        return ("error", type(exc).__name__)
+
+
+@given(_expression_strategy(), _row_values)
+def test_compiled_evaluation_matches_interpreted(expression, row):
+    """compile_expression(e)(scope) ≡ e.evaluate(scope, ctx) on random trees."""
+    context = EvaluationContext()
+    scope = RowScope().bind("t", row)
+    expected = _outcome(lambda: expression.evaluate(scope, context))
+    compiled = compile_expression(expression, context)
+    actual = _outcome(lambda: compiled(scope))
+    assert actual == expected
+
+
+@given(st.lists(st.tuples(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                          st.integers(min_value=0, max_value=15)),
+                min_size=1, max_size=60),
+       st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_fused_plan_matches_interpreted_plan(rows, threshold):
+    """The fused scan→filter→project path returns the interpreted rows."""
+    database = Database("prop_fused")
+    table = database.create_table("t", [bigint("id"), floating("value"), bigint("flags")],
+                                  primary_key=PrimaryKey(["id"]))
+    table.insert_many([{"id": index, "value": value, "flags": flags}
+                       for index, (value, flags) in enumerate(rows)], database=database)
+    query = parse_select(
+        f"select id, value * 2 + 1 as v from t where value > {threshold!r} and flags & 3 <> 2")
+    fused = Planner(database).plan(query).execute()
+    interpreted = Planner(database, enable_fusion=False).plan(query).execute(compiled=False)
+    assert fused.rows == interpreted.rows
 
 
 @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
