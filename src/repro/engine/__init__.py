@@ -9,9 +9,11 @@ index/hash/nested-loop joins, execution statistics, EXPLAIN output, and
 a SQL subset front-end so the paper's query text runs verbatim.
 """
 
+from .batch import BATCH_ROWS, ColumnBatch
 from .catalog import Database
-from .compile import (compile_expression, compile_row_expression,
-                      supports_row_mode)
+from .compile import (VectorCompileError, compile_expression,
+                      compile_row_expression, compile_vector_predicate,
+                      compile_vector_projection, supports_row_mode)
 from .constraints import CheckConstraint, ForeignKey, PrimaryKey
 from .errors import (BindError, CatalogError, CheckViolation, ConstraintViolation,
                      EngineError, ExpressionError, ForeignKeyViolation, LoadError,
@@ -27,6 +29,7 @@ from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, Query,
 from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult)
 from .planner import Planner
 from .sql import PlanCache, SqlSession, parse_batch, parse_expression, parse_select
+from .storage import ColumnStore, RowStore, TableStorage, make_storage
 from .table import Table
 from .types import (CURRENT_TIMESTAMP, Column, DataType, NULL, bigint, blob,
                     boolean, floating, integer, text, timestamp)
@@ -35,6 +38,12 @@ from .view import View
 __all__ = [
     "Database",
     "Table",
+    "TableStorage",
+    "RowStore",
+    "ColumnStore",
+    "make_storage",
+    "ColumnBatch",
+    "BATCH_ROWS",
     "Column",
     "DataType",
     "NULL",
@@ -69,7 +78,10 @@ __all__ = [
     "parse_expression",
     "compile_expression",
     "compile_row_expression",
+    "compile_vector_predicate",
+    "compile_vector_projection",
     "supports_row_mode",
+    "VectorCompileError",
     "Expression",
     "Literal",
     "ColumnRef",

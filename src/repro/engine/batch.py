@@ -1,0 +1,73 @@
+"""Column batches: the unit of work of the vectorized execution path.
+
+A :class:`ColumnBatch` is a *view* over a :class:`~repro.engine.storage.
+ColumnStore`'s buffers — it never copies column data.  It carries the
+shared column buffers plus a **selection vector**: the row positions
+that are still alive after the scan and any filters.  Operators narrow
+the selection (``FilterOp``), gather values from it (projection,
+aggregation) or adapt it back to row dicts at the boundary to the
+row-at-a-time world (joins, sorts, DISTINCT, the SQL session).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from .types import NULL
+
+#: Rows per batch.  Large enough that per-batch overhead (compiling is
+#: per-execution, this is just loop bookkeeping) vanishes, small enough
+#: that TOP-style early termination does not compute far past its limit.
+BATCH_ROWS = 4096
+
+
+class BatchRowView:
+    """A dict-like view of one batch row, addressed by column name.
+
+    ``view[name]`` reads the current row position from the column
+    buffers (honouring the null masks), which lets the row-mode compiled
+    closures of :func:`repro.engine.compile.compile_row_expression` run
+    unchanged over columnar data: their ``itemgetter`` leaves call
+    ``__getitem__`` exactly as they would on a row dict.
+    """
+
+    __slots__ = ("_columns", "_masks", "index")
+
+    def __init__(self, columns: Mapping[str, Sequence],
+                 masks: Mapping[str, bytearray]):
+        self._columns = columns
+        self._masks = masks
+        self.index = 0
+
+    def __getitem__(self, key: str) -> Any:
+        mask = self._masks.get(key)
+        if mask is not None and mask[self.index]:
+            return NULL
+        return self._columns[key][self.index]
+
+
+class ColumnBatch:
+    """One batch of a columnar scan: shared buffers + a selection vector."""
+
+    __slots__ = ("columns", "masks", "selection", "binding_name")
+
+    def __init__(self, columns: Mapping[str, Sequence],
+                 masks: Mapping[str, bytearray],
+                 selection: list[int], binding_name: str):
+        self.columns = columns
+        self.masks = masks
+        self.selection = selection
+        self.binding_name = binding_name
+
+    def __len__(self) -> int:
+        return len(self.selection)
+
+    def row_view(self) -> BatchRowView:
+        return BatchRowView(self.columns, self.masks)
+
+    def rows(self, column_order: Sequence[str]) -> Iterator[dict[str, Any]]:
+        """Row-dict adapter: materialise the selected rows (boundary use)."""
+        view = self.row_view()
+        for position in self.selection:
+            view.index = position
+            yield {name: view[name] for name in column_order}

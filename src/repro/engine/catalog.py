@@ -57,14 +57,16 @@ class Database:
                      foreign_keys: Sequence[ForeignKey] = (),
                      checks: Sequence[CheckConstraint] = (),
                      description: str = "",
-                     replace: bool = False) -> Table:
+                     replace: bool = False,
+                     storage: str = "row") -> Table:
         key = name.lower()
         if key in self._lowered_table_names() and not replace:
             raise CatalogError(f"table {name!r} already exists")
         if replace:
             self.drop_table(name, if_exists=True)
         table = Table(name, columns, primary_key=primary_key,
-                      foreign_keys=foreign_keys, checks=checks, description=description)
+                      foreign_keys=foreign_keys, checks=checks,
+                      description=description, storage=storage)
         table.set_clock(self._clock)
         table.on_schema_change(self.bump_schema_version)
         self.tables[name] = table

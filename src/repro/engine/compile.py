@@ -17,6 +17,15 @@ execution** into closures:
   :class:`RowCompileError` when an expression cannot be resolved
   against the one table (the caller then falls back to the general
   path);
+* :func:`compile_vector_predicate` / :func:`compile_vector_projection`
+  produce batch-at-a-time functions over
+  :class:`~repro.engine.batch.ColumnBatch` selection vectors.  Where
+  three-valued logic provably cannot surface (NULL-free columns,
+  constant non-column operands, statically compatible types) the
+  expression is translated into one **generated list comprehension**
+  over the column buffers; otherwise the row-mode closure is driven
+  over a NULL-mask-aware batch row view.  :class:`VectorCompileError`
+  signals that not even row mode applies;
 * constant subtrees are folded at compile time (``2*3+1`` evaluates
   once, session variables are frozen to their per-execution values,
   constant LIKE patterns pre-compile their regex, constant IN lists
@@ -32,15 +41,16 @@ from __future__ import annotations
 import math
 import re
 from operator import eq, ge, gt, itemgetter, le, lt, ne
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from .errors import ExpressionError, UnknownColumnError, UnknownFunctionError
 from .expressions import (_ARITHMETIC, _BITWISE, _BUILTIN_FUNCTIONS,
                           _COMPARISON, AggregateCall, Between,
                           BinaryOp, CaseWhen, ColumnRef, EvaluationContext,
                           Expression, FunctionCall, InList, Like, Literal,
-                          Star, UnaryOp, Variable, like_regex)
-from .types import NULL
+                          Star, UnaryOp, Variable, like_regex,
+                          truncate_int_div)
+from .types import DataType, NULL
 
 #: A compiled scalar expression.  The single argument is a RowScope for
 #: :func:`compile_expression` and a plain row dict for
@@ -55,6 +65,17 @@ class RowCompileError(Exception):
     a column outside the scanned table, contains an aggregate, or is a
     node type the row-mode compiler does not support.  Callers fall
     back to the general scope-based path.
+    """
+
+
+class VectorCompileError(Exception):
+    """An expression cannot run in the vectorized batch path at all.
+
+    Raised by :func:`compile_vector_predicate` /
+    :func:`compile_vector_projection` when not even the per-row
+    fallback (a row-mode closure driven over a batch row view) can
+    evaluate the expression against the scanned table.  Callers fall
+    back to the row-at-a-time operator pipeline.
     """
 
 
@@ -510,9 +531,7 @@ def _compile_arithmetic(op: str, left_fn: CompiledExpression,
                 if right == 0:
                     return NULL
                 if isinstance(left, int) and isinstance(right, int):
-                    # SQL Server integer division truncates toward zero.
-                    quotient = abs(left) // abs(right)
-                    return quotient if (left >= 0) == (right >= 0) else -quotient
+                    return truncate_int_div(left, right)
                 return left / right
             except TypeError as exc:
                 raise ExpressionError(
@@ -572,5 +591,394 @@ def _in_candidates(value: Any, candidates: "Any", negated: bool) -> Any:
     if saw_null:
         return NULL
     return negated
+
+
+# ---------------------------------------------------------------------------
+# Vector compilation: expressions over column batches
+# ---------------------------------------------------------------------------
+
+#: A compiled vectorized expression.  Called with a
+#: :class:`~repro.engine.batch.ColumnBatch` and a selection vector; a
+#: predicate returns the narrowed selection, a projection returns one
+#: value per selected position.
+VectorExpression = Callable[[Any, list], list]
+
+
+class _Unvectorizable(Exception):
+    """Internal: the codegen fast path does not cover this expression.
+
+    The vector compilers catch it and fall back to driving a row-mode
+    closure over the batch's row view (still batch-at-a-time, but one
+    closure call per row instead of one generated loop).
+    """
+
+
+#: SQL comparison operators to their Python spellings.
+_PY_COMPARATORS = {"=": "==", "<>": "!=", "!=": "!=",
+                   "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Tags the codegen treats as orderable numbers (bool compares as 0/1,
+#: exactly as the interpreter's comparison operators do).
+_NUMERIC_TAGS = frozenset(("int", "float", "bool"))
+
+_DTYPE_TAGS = {DataType.INTEGER: "int", DataType.BIGINT: "int",
+               DataType.FLOAT: "float", DataType.BOOLEAN: "bool",
+               DataType.TEXT: "str"}
+
+
+def _value_tag(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    raise _Unvectorizable(f"constant of type {type(value).__name__}")
+
+
+def _make_int_div(divisor: int) -> Callable[[int], int]:
+    """SQL Server integer division by a non-zero constant (truncates toward 0)."""
+    return lambda value: truncate_int_div(value, divisor)
+
+
+class _VectorCodegen:
+    """Translates an expression tree into Python source over column buffers.
+
+    The generated code reads directly from a :class:`ColumnStore`'s
+    per-column sequences inside one list comprehension — no per-row
+    closure calls, no dicts, no scopes.  The translation is exact only
+    where SQL three-valued logic cannot surface: every referenced column
+    must be NULL-free (checked against the store's null counts), every
+    non-column operand must fold to a non-NULL constant, and operand
+    types must be statically compatible (so the interpreter's
+    comparison/arithmetic errors cannot occur).  Anything else raises
+    :class:`_Unvectorizable` and the caller uses the row-view fallback.
+    """
+
+    def __init__(self, evaluation: EvaluationContext, table: "Any", binding_name: str):
+        self.evaluation = evaluation
+        self.table = table
+        self.storage = table.storage
+        self.binding_name = binding_name.lower()
+        self.env: dict[str, Any] = {}
+        self.columns: list[str] = []
+        self._scalar = _Compiler(evaluation)
+        self._counter = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def const(self, value: Any) -> str:
+        name = f"_k{self._counter}"
+        self._counter += 1
+        self.env[name] = value
+        return name
+
+    def constant_value(self, node: Expression) -> Any:
+        """Fold ``node`` to a compile-time constant or raise."""
+        fn, is_const = self._scalar.compile(node)
+        if not is_const:
+            raise _Unvectorizable(f"non-constant operand {node.sql()}")
+        return fn(None)
+
+    def use_column(self, name: str) -> str:
+        lowered = name.lower()
+        if lowered not in self.columns:
+            self.columns.append(lowered)
+        return f"_c_{lowered}"
+
+    # -- dispatch ------------------------------------------------------------
+
+    def emit(self, node: Expression) -> tuple[str, str]:
+        """(python source, type tag) for one subtree."""
+        if isinstance(node, Literal):
+            return self.literal(node.value)
+        if isinstance(node, ColumnRef):
+            return self.column(node)
+        if isinstance(node, Variable):
+            return self.variable(node)
+        if isinstance(node, BinaryOp):
+            return self.binary(node)
+        if isinstance(node, UnaryOp):
+            return self.unary(node)
+        if isinstance(node, Between):
+            return self.between(node)
+        if isinstance(node, InList):
+            return self.in_list(node)
+        if isinstance(node, Like):
+            return self.like(node)
+        raise _Unvectorizable(f"node {type(node).__name__}")
+
+    # -- leaves --------------------------------------------------------------
+
+    def literal(self, value: Any) -> tuple[str, str]:
+        if value is NULL:
+            raise _Unvectorizable("NULL literal")
+        return self.const(value), _value_tag(value)
+
+    def column(self, node: ColumnRef) -> tuple[str, str]:
+        qualifier = (node.qualifier or "").lower()
+        if qualifier and qualifier != self.binding_name:
+            raise _Unvectorizable(f"column {node.sql()} outside {self.binding_name!r}")
+        column = self.table.column(node.name)
+        if column is None:
+            raise _Unvectorizable(f"no column {node.name!r}")
+        if self.storage.kind != "column":
+            # Row-backed table: the public entry points still honour
+            # their contract (row-view fallback, never AttributeError).
+            raise _Unvectorizable("table is not column-backed")
+        if self.storage.column_null_count(node.name) > 0:
+            raise _Unvectorizable(f"column {node.name!r} holds NULLs")
+        tag = _DTYPE_TAGS.get(column.dtype)
+        if tag is None:
+            raise _Unvectorizable(f"column type {column.dtype.value}")
+        return f"{self.use_column(node.name)}[_i]", tag
+
+    def variable(self, node: Variable) -> tuple[str, str]:
+        try:
+            value = self.evaluation.variable(node.name)
+        except ExpressionError as exc:
+            raise _Unvectorizable(str(exc)) from exc
+        if value is NULL:
+            raise _Unvectorizable(f"variable {node.name} is NULL")
+        return self.const(value), _value_tag(value)
+
+    # -- operators -------------------------------------------------------------
+
+    def binary(self, node: BinaryOp) -> tuple[str, str]:
+        op = node.op
+        if op in ("and", "or"):
+            left, left_tag = self.emit(node.left)
+            right, right_tag = self.emit(node.right)
+            if left_tag != "bool" or right_tag != "bool":
+                raise _Unvectorizable(f"non-boolean {op} operand")
+            return f"({left} {op} {right})", "bool"
+        if op in _COMPARISON:
+            return self.comparison(node)
+        if op in ("+", "-", "*"):
+            left, left_tag = self.emit(node.left)
+            right, right_tag = self.emit(node.right)
+            if left_tag not in _NUMERIC_TAGS or right_tag not in _NUMERIC_TAGS:
+                raise _Unvectorizable(f"non-numeric {op!r}")
+            tag = "float" if "float" in (left_tag, right_tag) else "int"
+            return f"({left} {op} {right})", tag
+        if op == "/":
+            return self.division(node)
+        if op == "%":
+            return self.modulo(node)
+        if op in _BITWISE:
+            left, left_tag = self.emit(node.left)
+            right, right_tag = self.emit(node.right)
+            if left_tag not in ("int", "bool") or right_tag not in ("int", "bool"):
+                raise _Unvectorizable(f"non-integer bitwise {op!r}")
+            # The interpreter coerces both sides via int(), so booleans
+            # produce int results (True & True is 1, not True).
+            if left_tag == "bool":
+                left = f"int({left})"
+            if right_tag == "bool":
+                right = f"int({right})"
+            return f"({left} {op} {right})", "int"
+        raise _Unvectorizable(f"operator {op!r}")
+
+    def comparison(self, node: BinaryOp) -> tuple[str, str]:
+        pyop = _PY_COMPARATORS[node.op]
+        left, left_tag = self.emit(node.left)
+        right, right_tag = self.emit(node.right)
+        if left_tag in _NUMERIC_TAGS and right_tag in _NUMERIC_TAGS:
+            return f"({left} {pyop} {right})", "bool"
+        if left_tag == "str" and right_tag == "str":
+            # The interpreter compares strings case-insensitively.
+            return f"({left}.lower() {pyop} {right}.lower())", "bool"
+        raise _Unvectorizable(f"comparison of {left_tag} with {right_tag}")
+
+    def division(self, node: BinaryOp) -> tuple[str, str]:
+        left, left_tag = self.emit(node.left)
+        if left_tag not in _NUMERIC_TAGS:
+            raise _Unvectorizable("non-numeric dividend")
+        divisor = self.constant_value(node.right)
+        if divisor is NULL or not isinstance(divisor, (int, float)) or divisor == 0:
+            # A zero (or NULL) divisor makes the whole expression NULL —
+            # three-valued logic the fallback path handles exactly.
+            raise _Unvectorizable("division needs a non-zero constant divisor")
+        if left_tag in ("int", "bool") and isinstance(divisor, int):
+            # bool divisors count as ints, exactly as the interpreter's
+            # isinstance(right, int) check does (7 / (1=1) is 7, not 7.0).
+            helper = self.const(_make_int_div(int(divisor)))
+            return f"{helper}({left})", "int"
+        return f"({left} / {self.const(divisor)})", "float"
+
+    def modulo(self, node: BinaryOp) -> tuple[str, str]:
+        left, left_tag = self.emit(node.left)
+        if left_tag not in _NUMERIC_TAGS:
+            raise _Unvectorizable("non-numeric modulo")
+        divisor = self.constant_value(node.right)
+        if divisor is NULL or not isinstance(divisor, (int, float)) or divisor == 0:
+            raise _Unvectorizable("modulo needs a non-zero constant divisor")
+        if left_tag == "float" or isinstance(divisor, float):
+            self.env.setdefault("_fmod", math.fmod)
+            return f"_fmod({left}, {self.const(divisor)})", "float"
+        return f"({left} % {self.const(divisor)})", "int"
+
+    def unary(self, node: UnaryOp) -> tuple[str, str]:
+        op = node.op
+        operand, tag = self.emit(node.operand)
+        if op == "-":
+            if tag not in _NUMERIC_TAGS:
+                raise _Unvectorizable("negation of non-number")
+            return f"(-{operand})", "int" if tag == "bool" else tag
+        if op == "+":
+            if tag not in _NUMERIC_TAGS:
+                raise _Unvectorizable("unary + of non-number")
+            return operand, tag
+        if op == "not":
+            if tag != "bool":
+                raise _Unvectorizable("NOT of non-boolean")
+            return f"(not {operand})", "bool"
+        if op == "is null":
+            # Every codegen-supported subtree is provably non-NULL.
+            return self.const(False), "bool"
+        if op == "is not null":
+            return self.const(True), "bool"
+        raise _Unvectorizable(f"unary {op!r}")
+
+    def between(self, node: Between) -> tuple[str, str]:
+        operand, operand_tag = self.emit(node.operand)
+        low, low_tag = self.emit(node.low)
+        high, high_tag = self.emit(node.high)
+        tags = {operand_tag, low_tag, high_tag}
+        if not (tags <= _NUMERIC_TAGS or tags == {"str"}):
+            raise _Unvectorizable("mixed-type BETWEEN")
+        # Unlike `<=` comparisons, the interpreter's BETWEEN compares
+        # strings case-sensitively — so no .lower() here.
+        source = f"({low} <= {operand} <= {high})"
+        if node.negated:
+            source = f"(not {source})"
+        return source, "bool"
+
+    def in_list(self, node: InList) -> tuple[str, str]:
+        operand, operand_tag = self.emit(node.operand)
+        candidates = [self.constant_value(item) for item in node.items]
+        if any(candidate is NULL for candidate in candidates):
+            # A NULL candidate makes a non-matching IN evaluate to NULL.
+            raise _Unvectorizable("NULL in IN list")
+        if operand_tag == "str":
+            # Case-insensitive string matching, like the interpreter:
+            # lower the operand once and every string candidate.
+            folded = {candidate.lower() if isinstance(candidate, str) else candidate
+                      for candidate in candidates}
+            membership = self.const(frozenset(folded))
+            source = f"({operand}.lower() in {membership})"
+        elif operand_tag in _NUMERIC_TAGS:
+            membership = self.const(frozenset(candidates))
+            source = f"({operand} in {membership})"
+        else:
+            raise _Unvectorizable(f"IN over {operand_tag}")
+        if node.negated:
+            source = f"(not {source})"
+        return source, "bool"
+
+    def like(self, node: Like) -> tuple[str, str]:
+        operand, operand_tag = self.emit(node.operand)
+        if operand_tag != "str":
+            raise _Unvectorizable("LIKE over non-string")
+        pattern = self.constant_value(node.pattern)
+        if pattern is NULL:
+            raise _Unvectorizable("NULL LIKE pattern")
+        regex = self.const(re.compile(like_regex(pattern), re.IGNORECASE))
+        test = "is None" if node.negated else "is not None"
+        return f"({regex}.match({operand}) {test})", "bool"
+
+
+def _codegen_vector(expression: Expression, evaluation: EvaluationContext,
+                    table: "Any", binding_name: str,
+                    predicate: bool) -> tuple[VectorExpression, str]:
+    """Build a generated-loop vector function, or raise :class:`_Unvectorizable`."""
+    generator = _VectorCodegen(evaluation, table, binding_name)
+    body, tag = generator.emit(expression)
+    if predicate and tag != "bool":
+        # `FilterOp` keeps rows only when the predicate `is True`; a
+        # truthy non-boolean must not pass, so don't generate `if body`.
+        raise _Unvectorizable("predicate does not produce a boolean")
+    lines = ["def _vector_fn(_batch, _sel):",
+             "    _cols = _batch.columns"]
+    for name in generator.columns:
+        lines.append(f"    _c_{name} = _cols[{name!r}]")
+    if predicate:
+        lines.append(f"    return [_i for _i in _sel if {body}]")
+    else:
+        lines.append(f"    return [{body} for _i in _sel]")
+    namespace = dict(generator.env)
+    exec(compile("\n".join(lines), "<vector-codegen>", "exec"), namespace)
+    return namespace["_vector_fn"], tag
+
+
+def _row_view_fallback(expression: Expression, evaluation: EvaluationContext,
+                       table: "Any", binding_name: str) -> CompiledExpression:
+    """A row-mode closure for batch row views; raises VectorCompileError."""
+    try:
+        return compile_row_expression(expression, evaluation, table, binding_name)
+    except RowCompileError as exc:
+        raise VectorCompileError(str(exc)) from exc
+
+
+def compile_vector_predicate(expression: Expression, evaluation: EvaluationContext,
+                             table: "Any", binding_name: str) -> VectorExpression:
+    """Compile a predicate to ``fn(batch, selection) -> narrowed selection``.
+
+    Prefers the generated-loop fast path; falls back to calling a
+    row-mode closure per selected position (NULL-mask aware) when the
+    expression is outside the codegen subset.  Raises
+    :class:`VectorCompileError` when not even row mode applies.
+    """
+    try:
+        fn, _tag = _codegen_vector(expression, evaluation, table, binding_name,
+                                   predicate=True)
+        return fn
+    except _Unvectorizable:
+        pass
+    row_fn = _row_view_fallback(expression, evaluation, table, binding_name)
+
+    def vector(batch: Any, selection: list) -> list:
+        view = batch.row_view()
+        kept = []
+        append = kept.append
+        for position in selection:
+            view.index = position
+            if row_fn(view) is True:
+                append(position)
+        return kept
+
+    return vector
+
+
+def compile_vector_projection(expression: Expression, evaluation: EvaluationContext,
+                              table: "Any", binding_name: str
+                              ) -> tuple[VectorExpression, Optional[str]]:
+    """Compile a scalar to ``fn(batch, selection) -> [value, ...]``.
+
+    Returns ``(fn, tag)`` where ``tag`` is the codegen type tag
+    (``"int"``/``"float"``/``"bool"``/``"str"``) when the generated loop
+    applies — the aggregation operator uses a numeric tag to take
+    C-speed ``sum``/``min``/``max`` reductions — and ``None`` for the
+    row-view fallback (whose values may include NULLs).
+    """
+    try:
+        return _codegen_vector(expression, evaluation, table, binding_name,
+                               predicate=False)
+    except _Unvectorizable:
+        pass
+    row_fn = _row_view_fallback(expression, evaluation, table, binding_name)
+
+    def vector(batch: Any, selection: list) -> list:
+        view = batch.row_view()
+        values = []
+        append = values.append
+        for position in selection:
+            view.index = position
+            append(row_fn(view))
+        return values
+
+    return vector, None
 
 

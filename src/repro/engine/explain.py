@@ -43,9 +43,13 @@ def render_plan(plan: "PhysicalPlan") -> str:
     lines = header + render_operator(plan.root)
     statistics = plan.last_statistics
     if statistics is not None:
-        lines.append(f"[compiled exprs={statistics.exprs_compiled}; "
-                     f"plan cache hits={statistics.plan_cache_hits} "
-                     f"misses={statistics.plan_cache_misses}]")
+        footer = (f"[compiled exprs={statistics.exprs_compiled}; "
+                  f"plan cache hits={statistics.plan_cache_hits} "
+                  f"misses={statistics.plan_cache_misses}")
+        if statistics.batches_processed:
+            footer += (f"; batches={statistics.batches_processed} "
+                       f"({statistics.batch_rows} rows)")
+        lines.append(footer + "]")
     return "\n".join(lines)
 
 

@@ -230,6 +230,17 @@ class Star(Expression):
 
 _ARITHMETIC = {"+", "-", "*", "/", "%"}
 _COMPARISON = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def truncate_int_div(left: int, right: int) -> int:
+    """SQL Server integer division: truncates toward zero (unlike ``//``).
+
+    The single definition shared by the interpreter, the scalar/row
+    compiler and the vector codegen — the three evaluation paths must
+    not diverge.  The caller handles ``right == 0`` (NULL).
+    """
+    quotient = abs(left) // abs(right)
+    return quotient if (left >= 0) == (right >= 0) else -quotient
 _BITWISE = {"&", "|", "^"}
 _LOGICAL = {"and", "or"}
 
@@ -297,9 +308,7 @@ class BinaryOp(Expression):
                 if right == 0:
                     return NULL
                 if isinstance(left, int) and isinstance(right, int):
-                    # SQL Server integer division truncates toward zero.
-                    quotient = abs(left) // abs(right)
-                    return quotient if (left >= 0) == (right >= 0) else -quotient
+                    return truncate_int_div(left, right)
                 return left / right
             if op == "%":
                 if right == 0:

@@ -21,9 +21,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
+from .batch import BATCH_ROWS, ColumnBatch
 from .catalog import Database
-from .compile import (CompiledExpression, RowCompileError,
-                      compile_expression, compile_row_expression)
+from .compile import (CompiledExpression, RowCompileError, VectorCompileError,
+                      VectorExpression, compile_expression,
+                      compile_row_expression, compile_vector_predicate,
+                      compile_vector_projection)
 from .errors import PlanError, UnknownColumnError
 from .expressions import (AggregateCall, ColumnRef, EvaluationContext,
                           Expression, RowScope, Star)
@@ -56,6 +59,10 @@ class ExecutionStatistics:
     #: 1 when this execution reused a cached plan / 1 when it had to plan.
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Column batches pushed through the vectorized pipeline, and the
+    #: rows they carried (zero on row-at-a-time executions).
+    batches_processed: int = 0
+    batch_rows: int = 0
 
     def merge_scan(self, rows: int, row_bytes: float) -> None:
         self.rows_scanned += rows
@@ -95,14 +102,37 @@ class ExecutionContext:
         return compile_row_expression(expression, self.evaluation,
                                       table, binding_name)
 
+    def compile_vector_predicate(self, expression: Expression, table: "Table",
+                                 binding_name: str) -> VectorExpression:
+        """Vector compile (raises VectorCompileError); counters as compile_row."""
+        return compile_vector_predicate(expression, self.evaluation,
+                                        table, binding_name)
+
+    def compile_vector_projection(self, expression: Expression, table: "Table",
+                                  binding_name: str):
+        return compile_vector_projection(expression, self.evaluation,
+                                         table, binding_name)
+
 
 class PhysicalOperator:
     """Base class for all physical operators."""
 
     label = "Operator"
 
+    #: Set by the planner on operators it placed in a vectorized
+    #: (batch-at-a-time) pipeline; execution re-verifies at run time and
+    #: silently falls back to the row path when the chain no longer
+    #: qualifies (e.g. the table's storage layout changed).
+    vectorized = False
+
     def __init__(self) -> None:
         self.actual_rows = 0
+
+    def mark_batch_mode(self) -> None:
+        """Planner hook: flag this operator vectorized and label it for EXPLAIN."""
+        self.vectorized = True
+        if not self.label.startswith("Batch "):
+            self.label = f"Batch {self.label}"
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
         raise NotImplementedError
@@ -143,9 +173,7 @@ class TableScan(PhysicalOperator):
         binding_name = self.binding_name
         predicate = self._compiled_predicate(context)
         scope = RowScope()
-        for row in self.table.rows:
-            if row is None:
-                continue
+        for row in self.table.storage.iter_dicts():
             statistics.rows_scanned += 1
             statistics.bytes_scanned += row_bytes
             if predicate is not None:
@@ -153,6 +181,36 @@ class TableScan(PhysicalOperator):
                 if predicate(scope) is not True:
                     continue
             yield self._emit({binding_name: row})
+
+    def batches(self, context: ExecutionContext,
+                predicate_fn: Optional[VectorExpression] = None
+                ) -> Iterator[ColumnBatch]:
+        """Columnar scan: yield :class:`ColumnBatch` chunks of live rows.
+
+        ``predicate_fn`` is the pre-compiled vector form of
+        :attr:`predicate` (the pipeline driver compiles the whole chain
+        before pulling the first batch).  Statistics account exactly as
+        the row path: every live row is scanned, pass or fail.
+        """
+        storage = self.table.storage
+        statistics = context.statistics
+        row_bytes = int(self.table.average_row_bytes())
+        columns, masks = storage.batch_columns()
+        binding_name = self.binding_name
+        total = len(storage)
+        for start in range(0, total, BATCH_ROWS):
+            selection = storage.live_positions(start, start + BATCH_ROWS)
+            if not selection:
+                continue
+            statistics.rows_scanned += len(selection)
+            statistics.bytes_scanned += len(selection) * row_bytes
+            statistics.batches_processed += 1
+            statistics.batch_rows += len(selection)
+            batch = ColumnBatch(columns, masks, selection, binding_name)
+            if predicate_fn is not None:
+                batch.selection = predicate_fn(batch, selection)
+            self.actual_rows += len(batch.selection)
+            yield batch
 
     def _compiled_predicate(self, context: ExecutionContext) -> Optional[CompiledExpression]:
         return context.compile(self.predicate)
@@ -492,11 +550,76 @@ class FilterOp(PhysicalOperator):
             if predicate(scopes.scope_for(binding)) is True:
                 yield self._emit(binding)
 
+    def apply_batch(self, batch: ColumnBatch,
+                    predicate_fn: VectorExpression) -> ColumnBatch:
+        """Narrow a batch's selection vector with this filter's predicate."""
+        batch.selection = predicate_fn(batch, batch.selection)
+        self.actual_rows += len(batch.selection)
+        return batch
+
     def details(self) -> str:
         return self.predicate.sql()
 
     def estimated_rows(self) -> int:
         return max(1, self.child.estimated_rows() // 3)
+
+
+# -- the vectorized single-table pipeline -----------------------------------
+
+def _vector_chain(context: ExecutionContext, child: PhysicalOperator
+                  ) -> Optional[tuple["TableScan", Optional[VectorExpression],
+                                      list[tuple["FilterOp", VectorExpression]], int]]:
+    """Resolve ``child`` as ``[FilterOp…] → TableScan`` over columnar storage.
+
+    Vector-compiles the scan predicate and every filter; returns
+    ``(scan, scan_predicate, filter_fns, compiled_count)`` or None when
+    the shape, the storage layout or any predicate disqualifies the
+    chain.  ``compiled_count`` is added to ``exprs_compiled`` by the
+    caller only once the whole pipeline (including its projections)
+    compiles, mirroring the fused path's accounting.
+    """
+    filters: list[FilterOp] = []
+    node: PhysicalOperator = child
+    while isinstance(node, FilterOp):
+        filters.append(node)
+        node = node.child
+    if not isinstance(node, TableScan):
+        return None
+    scan = node
+    table = scan.table
+    if table.storage.kind != "column":
+        return None
+    compiled_count = 0
+    try:
+        scan_predicate = None
+        if scan.predicate is not None:
+            scan_predicate = context.compile_vector_predicate(
+                scan.predicate, table, scan.binding_name)
+            compiled_count += 1
+        filter_fns: list[tuple[FilterOp, VectorExpression]] = []
+        for filter_op in reversed(filters):
+            filter_fns.append(
+                (filter_op,
+                 context.compile_vector_predicate(filter_op.predicate, table,
+                                                  scan.binding_name)))
+            compiled_count += 1
+    except VectorCompileError:
+        return None
+    return scan, scan_predicate, filter_fns, compiled_count
+
+
+def _drive_batches(context: ExecutionContext, scan: "TableScan",
+                   scan_predicate: Optional[VectorExpression],
+                   filter_fns: Sequence[tuple["FilterOp", VectorExpression]]
+                   ) -> Iterator[ColumnBatch]:
+    """Pull batches through the scan and its filters, skipping empty ones."""
+    for batch in scan.batches(context, scan_predicate):
+        for filter_op, predicate_fn in filter_fns:
+            if not batch.selection:
+                break
+            filter_op.apply_batch(batch, predicate_fn)
+        if batch.selection:
+            yield batch
 
 
 class SortOp(PhysicalOperator):
@@ -624,6 +747,11 @@ class GroupAggregate(PhysicalOperator):
         return (self.child,)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        if self.vectorized and context.compile_enabled:
+            vectorized = self._vectorized_rows(context)
+            if vectorized is not None:
+                yield from vectorized
+                return
         group_fns = [context.compile(expression) for expression in self.group_by]
         argument_fns = [(aggregate.result_key(),
                          context.compile(aggregate.argument)
@@ -660,6 +788,88 @@ class GroupAggregate(PhysicalOperator):
                 row[_group_key_name(expression)] = value
             for aggregate in self.aggregates:
                 row[aggregate.result_key()] = state["values"][aggregate.result_key()].result()
+            yield self._emit({self.binding_name: row})
+
+    # -- the vectorized aggregation path -----------------------------------
+
+    def _vectorized_rows(self, context: ExecutionContext) -> Optional[Iterator[Binding]]:
+        """Batch-at-a-time aggregation over a columnar scan chain, or None."""
+        chain = _vector_chain(context, self.child)
+        if chain is None:
+            return None
+        scan, scan_predicate, filter_fns, compiled_count = chain
+        table, binding_name = scan.table, scan.binding_name
+        try:
+            group_fns = []
+            for expression in self.group_by:
+                fn, _tag = context.compile_vector_projection(expression, table,
+                                                             binding_name)
+                group_fns.append(fn)
+                compiled_count += 1
+            argument_fns: list[tuple[str, Optional[VectorExpression], Optional[str]]] = []
+            for aggregate in self.aggregates:
+                if aggregate.argument is None:
+                    argument_fns.append((aggregate.result_key(), None, None))
+                else:
+                    fn, tag = context.compile_vector_projection(
+                        aggregate.argument, table, binding_name)
+                    argument_fns.append((aggregate.result_key(), fn, tag))
+                    compiled_count += 1
+        except VectorCompileError:
+            return None
+        context.statistics.exprs_compiled += compiled_count
+        return self._run_vectorized(context, scan, scan_predicate, filter_fns,
+                                    group_fns, argument_fns)
+
+    def _run_vectorized(self, context: ExecutionContext, scan: "TableScan",
+                        scan_predicate: Optional[VectorExpression],
+                        filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+                        group_fns: Sequence[VectorExpression],
+                        argument_fns: Sequence[tuple[str, Optional[VectorExpression],
+                                                     Optional[str]]]
+                        ) -> Iterator[Binding]:
+        batches = _drive_batches(context, scan, scan_predicate, filter_fns)
+        if not self.group_by:
+            states = {aggregate.result_key(): _AggState(aggregate)
+                      for aggregate in self.aggregates}
+            for batch in batches:
+                selection = batch.selection
+                for result_key, argument_fn, tag in argument_fns:
+                    state = states[result_key]
+                    if argument_fn is None:
+                        state.update_count(len(selection))
+                    else:
+                        state.update_batch(argument_fn(batch, selection), tag)
+            row = {result_key: state.result() for result_key, state in states.items()}
+            yield self._emit({self.binding_name: row})
+            return
+        groups: dict[tuple, dict[str, _AggState]] = {}
+        order: list[tuple] = []
+        for batch in batches:
+            selection = batch.selection
+            key_columns = [group_fn(batch, selection) for group_fn in group_fns]
+            value_columns = [(result_key,
+                              argument_fn(batch, selection)
+                              if argument_fn is not None else None)
+                             for result_key, argument_fn, _tag in argument_fns]
+            for position in range(len(selection)):
+                key = tuple(column[position] for column in key_columns)
+                states = groups.get(key)
+                if states is None:
+                    states = {aggregate.result_key(): _AggState(aggregate)
+                              for aggregate in self.aggregates}
+                    groups[key] = states
+                    order.append(key)
+                for result_key, column in value_columns:
+                    states[result_key].update(
+                        1 if column is None else column[position])
+        for key in order:
+            states = groups[key]
+            row = {}
+            for expression, value in zip(self.group_by, key):
+                row[_group_key_name(expression)] = value
+            for aggregate in self.aggregates:
+                row[aggregate.result_key()] = states[aggregate.result_key()].result()
             yield self._emit({self.binding_name: row})
 
     def details(self) -> str:
@@ -704,6 +914,46 @@ class _AggState:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def update_count(self, rows: int) -> None:
+        """COUNT(*) over a whole batch (arguments are never NULL)."""
+        self.count += rows
+
+    def update_batch(self, values: list, tag: Optional[str]) -> None:
+        """Fold one batch of argument values into the running state.
+
+        A numeric codegen ``tag`` guarantees the values are non-NULL
+        ints/floats (never bools), so the reductions run as C-level
+        builtins (floats accumulate one by one to keep the total
+        bit-identical to the row path).  Everything else — DISTINCT,
+        row-view fallbacks that may contain NULLs, strings — goes
+        through the exact per-value :meth:`update`.
+        """
+        if self.distinct or tag not in ("int", "float"):
+            for value in values:
+                self.update(value)
+            return
+        if not values:
+            return
+        self.count += len(values)
+        func = self.func
+        if func in ("sum", "avg"):
+            # Accumulate one by one from the running float total so the
+            # result is bit-identical to the row path: a per-batch sum()
+            # would round differently — floats in the last ulp, ints
+            # beyond 2**53.
+            total = self.total
+            for value in values:
+                total += value
+            self.total = total
+        elif func == "min":
+            low = min(values)
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+        elif func == "max":
+            high = max(values)
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
+
     def result(self) -> Any:
         if self.func == "count":
             return self.count
@@ -743,6 +993,11 @@ class ProjectOp(PhysicalOperator):
         return (self.child,)
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        if self.vectorized and context.compile_enabled:
+            vectorized = self._vectorized_rows(context)
+            if vectorized is not None:
+                yield from vectorized
+                return
         if self.allow_fused and context.compile_enabled:
             fused = self._fused_rows(context)
             if fused is not None:
@@ -765,6 +1020,64 @@ class ProjectOp(PhysicalOperator):
                 else:
                     output[name] = value_fn(scope)
             yield self._emit({**binding, OUTPUT_BINDING: output})
+
+    # -- the vectorized single-table fast path ------------------------------
+
+    def _vectorized_rows(self, context: ExecutionContext) -> Optional[Iterator[Binding]]:
+        """A batch scan→filter→project pipeline, or None when not applicable."""
+        chain = _vector_chain(context, self.child)
+        if chain is None:
+            return None
+        scan, scan_predicate, filter_fns, compiled_count = chain
+        table, binding_name = scan.table, scan.binding_name
+        # (output name, vector fn); a Star is (None, None) and expands to
+        # every table column through the batch's row-dict adapter.
+        compiled_items: list[tuple[Optional[str], Optional[VectorExpression]]] = []
+        try:
+            for position, item in enumerate(self.items):
+                if isinstance(item.expression, Star):
+                    qualifier = (item.expression.qualifier or "").lower()
+                    if qualifier and qualifier != binding_name.lower():
+                        return None
+                    compiled_items.append((None, None))
+                else:
+                    fn, _tag = context.compile_vector_projection(
+                        item.expression, table, binding_name)
+                    compiled_items.append((item.output_name(position), fn))
+                    compiled_count += 1
+        except VectorCompileError:
+            return None
+        context.statistics.exprs_compiled += compiled_count
+        return self._run_vectorized(context, scan, scan_predicate, filter_fns,
+                                    compiled_items)
+
+    def _run_vectorized(self, context: ExecutionContext, scan: "TableScan",
+                        scan_predicate: Optional[VectorExpression],
+                        filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+                        compiled_items: Sequence[tuple[Optional[str],
+                                                       Optional[VectorExpression]]]
+                        ) -> Iterator[Binding]:
+        has_star = any(fn is None for _name, fn in compiled_items)
+        star_columns = [column.name.lower() for column in scan.table.columns]
+        names = [name for name, _fn in compiled_items]
+        for batch in _drive_batches(context, scan, scan_predicate, filter_fns):
+            selection = batch.selection
+            value_lists = [None if fn is None else fn(batch, selection)
+                           for _name, fn in compiled_items]
+            if has_star:
+                star_rows = batch.rows(star_columns)
+                for position, star_row in enumerate(star_rows):
+                    output: dict[str, Any] = {}
+                    for name, values in zip(names, value_lists):
+                        if values is None:
+                            for column, value in star_row.items():
+                                output.setdefault(column, value)
+                        else:
+                            output[name] = values[position]
+                    yield self._emit({OUTPUT_BINDING: output})
+            else:
+                for values_row in zip(*value_lists):
+                    yield self._emit({OUTPUT_BINDING: dict(zip(names, values_row))})
 
     # -- the fused single-table fast path ---------------------------------
 
@@ -827,9 +1140,7 @@ class ProjectOp(PhysicalOperator):
         filter_passed = [0] * len(predicates)
         emitted = 0
         try:
-            for row in table.rows:
-                if row is None:
-                    continue
+            for row in table.storage.iter_dicts():
                 scanned += 1
                 if scan_predicate is not None and scan_predicate(row) is not True:
                     continue

@@ -155,7 +155,7 @@ class Planner:
     RESIDUAL_SELECTIVITY = 0.5
 
     def __init__(self, database: Database, *, enable_hash_join: bool = True,
-                 enable_fusion: bool = True):
+                 enable_fusion: bool = True, enable_vectorized: bool = True):
         self.database = database
         #: When False, equality joins without a usable index fall back to a
         #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
@@ -166,6 +166,9 @@ class Planner:
         #: When False, single-table plans never take the fused
         #: scan→filter→project fast path (the compilation benchmark's baseline).
         self.enable_fusion = enable_fusion
+        #: When False, plans over column-backed tables stay row-at-a-time
+        #: (the columnar benchmark's ablation switch).
+        self.enable_vectorized = enable_vectorized
         #: Number of plans built; the plan-cache tests assert a cache hit
         #: leaves this untouched.
         self.plans_built = 0
@@ -566,8 +569,69 @@ class Planner:
         if query.into:
             root = InsertIntoOp(root, query.into, self.database)
 
+        if self.enable_vectorized:
+            self._mark_vectorized_pipeline(root)
         return PhysicalPlan(root=root, output_names=query.output_names(),
                             database=self.database)
+
+    def _mark_vectorized_pipeline(self, root: PhysicalOperator) -> None:
+        """Flag batch execution for a columnar single-table chain.
+
+        The vectorized pipeline applies when the plan is
+        ``scan→filter…→project`` or ``scan→filter…→aggregate`` over one
+        column-backed table (TOP/DISTINCT/INTO above it just consume the
+        projected rows; a Sort between project and scan disqualifies the
+        projection but not an aggregation below it).  The flags are
+        advisory: execution re-verifies the chain and falls back to the
+        row path when it no longer qualifies.
+        """
+        node = root
+        passthrough: list[PhysicalOperator] = []
+        while isinstance(node, (InsertIntoOp, TopOp, DistinctOp)):
+            passthrough.append(node)
+            node = node.child
+        if not isinstance(node, ProjectOp):
+            return
+        project = node
+        inner: PhysicalOperator = project.child
+        filters: list[FilterOp] = []
+        crossed_sort = False
+        while isinstance(inner, (FilterOp, SortOp)):
+            if isinstance(inner, SortOp):
+                crossed_sort = True
+            else:
+                filters.append(inner)
+            inner = inner.child
+        if isinstance(inner, GroupAggregate):
+            # Filters above the aggregate are HAVING residuals and a Sort
+            # is an ORDER BY over the group rows: both run row-at-a-time
+            # over the (few) groups while the aggregation itself batches.
+            aggregate = inner
+            chain: PhysicalOperator = aggregate.child
+            below: list[FilterOp] = []
+            while isinstance(chain, FilterOp):
+                below.append(chain)
+                chain = chain.child
+            if isinstance(chain, TableScan) and self._column_backed(chain):
+                aggregate.mark_batch_mode()
+                for filter_op in below:
+                    filter_op.mark_batch_mode()
+                chain.mark_batch_mode()
+        elif (isinstance(inner, TableScan) and not crossed_sort
+              and self._column_backed(inner)):
+            # A Sort between projection and scan consumes scan bindings
+            # row-at-a-time, so the projection cannot batch.
+            project.mark_batch_mode()
+            for filter_op in filters:
+                filter_op.mark_batch_mode()
+            inner.mark_batch_mode()
+            for op in passthrough:
+                if isinstance(op, TopOp):
+                    op.mark_batch_mode()
+
+    @staticmethod
+    def _column_backed(scan: TableScan) -> bool:
+        return scan.table.storage.kind == "column"
 
     def _rewrite_order_key(self, expression: Expression, query: LogicalQuery) -> Expression:
         """ORDER BY may reference select-list aliases; rewrite to the underlying expression."""

@@ -164,6 +164,11 @@ class SqlSession:
         self.row_limit = row_limit
         self.time_limit_seconds = time_limit_seconds
         self.plan_cache = PlanCache(plan_cache_size)
+        #: SELECT executions that ran (at least partly) through the
+        #: vectorized batch pipeline vs purely row-at-a-time.
+        self.batch_executions = 0
+        self.row_executions = 0
+        self.batches_processed = 0
 
     # -- variables ----------------------------------------------------------
 
@@ -217,6 +222,14 @@ class SqlSession:
     def explain(self, sql_text: str) -> str:
         return self.plan(sql_text).explain()
 
+    def execution_mode_statistics(self) -> dict[str, int]:
+        """Batch vs row execution counters across this session's SELECTs."""
+        return {
+            "batch_executions": self.batch_executions,
+            "row_executions": self.row_executions,
+            "batches_processed": self.batches_processed,
+        }
+
     # -- plan cache -------------------------------------------------------------
 
     def _lookup_or_parse(self, sql_text: str) -> tuple[CachedBatch, bool]:
@@ -258,5 +271,10 @@ class SqlSession:
                                   time_limit_seconds=self.time_limit_seconds)
             result.statistics.plan_cache_hits = 1 if from_cache else 0
             result.statistics.plan_cache_misses = 0 if from_cache else 1
+            if result.statistics.batches_processed:
+                self.batch_executions += 1
+                self.batches_processed += result.statistics.batches_processed
+            else:
+                self.row_executions += 1
             return StatementResult(statement, "select", result=result)
         raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")

@@ -1,10 +1,12 @@
 """Tables: typed row storage with constraints, defaults and timestamps.
 
-A table owns its rows (list of dicts keyed by lower-cased column name),
-its indices, and its constraint declarations.  Every row automatically
-receives the table's timestamp column default when one is declared with
-``CURRENT_TIMESTAMP`` — this is the mechanism the loader's UNDO uses to
-delete exactly the rows inserted by a failed load step (paper §9.4).
+A table owns its row storage (a :class:`~repro.engine.storage.TableStorage`
+keyed by lower-cased column name — row-oriented by default, column-oriented
+when converted for scan-heavy workloads), its indices, and its constraint
+declarations.  Every row automatically receives the table's timestamp
+column default when one is declared with ``CURRENT_TIMESTAMP`` — this is
+the mechanism the loader's UNDO uses to delete exactly the rows inserted
+by a failed load step (paper §9.4).
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from .constraints import (CheckConstraint, ForeignKey, PrimaryKey,
                           check_not_null)
 from .errors import SchemaError
 from .index import BTreeIndex
+from .storage import TableStorage, make_storage
 from .types import CURRENT_TIMESTAMP, Column, DataType, NULL, value_byte_size
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,7 +32,8 @@ class Table:
                  primary_key: Optional[PrimaryKey] = None,
                  foreign_keys: Sequence[ForeignKey] = (),
                  checks: Sequence[CheckConstraint] = (),
-                 description: str = ""):
+                 description: str = "",
+                 storage: str = "row"):
         if not columns:
             raise SchemaError(f"table {name!r} needs at least one column")
         self.name = name
@@ -44,9 +48,8 @@ class Table:
         self.primary_key = primary_key
         self.foreign_keys: list[ForeignKey] = list(foreign_keys)
         self.checks: list[CheckConstraint] = list(checks)
-        self.rows: list[Optional[dict[str, Any]]] = []
+        self.storage: TableStorage = make_storage(storage, self.columns)
         self.indexes: dict[str, BTreeIndex] = {}
-        self._live_rows = 0
         self._data_bytes = 0
         self._clock: Callable[[], _dt.datetime] = _default_clock
         self._on_schema_change: Optional[Callable[[], None]] = None
@@ -78,7 +81,18 @@ class Table:
 
     @property
     def row_count(self) -> int:
-        return self._live_rows
+        return self.storage.live_count
+
+    @property
+    def rows(self) -> list[Optional[dict[str, Any]]]:
+        """Slot-level view (``None`` marks a tombstone).
+
+        For a :class:`~repro.engine.storage.RowStore` this is the live
+        slot list; a :class:`~repro.engine.storage.ColumnStore`
+        materialises row dicts on every access, so hot code should use
+        :meth:`iter_rows` or the storage object directly.
+        """
+        return self.storage.slots()
 
     @property
     def data_bytes(self) -> int:
@@ -89,7 +103,8 @@ class Table:
         return sum(index.byte_size() for index in self.indexes.values())
 
     def average_row_bytes(self) -> float:
-        return self._data_bytes / self._live_rows if self._live_rows else 0.0
+        live = self.storage.live_count
+        return self._data_bytes / live if live else 0.0
 
     def set_clock(self, clock: Callable[[], _dt.datetime]) -> None:
         """Override the timestamp source (tests and the loader use this)."""
@@ -125,6 +140,7 @@ class Table:
             ],
             "indexes": [index.describe() for index in self.indexes.values()],
             "rows": self.row_count,
+            "storage": self.storage.kind,
             "data_bytes": self.data_bytes,
             "index_bytes": self.index_bytes(),
         }
@@ -141,9 +157,8 @@ class Table:
             raise SchemaError(f"duplicate index name {name!r} on table {self.name!r}")
         index = BTreeIndex(name, self, columns, unique=unique,
                            included_columns=included_columns)
-        for row_id, row in enumerate(self.rows):
-            if row is not None:
-                index.insert(row_id, row, defer_sort=True)
+        for row_id, row in self.storage.iter_rows():
+            index.insert(row_id, row, defer_sort=True)
         index.rebuild()
         self.indexes[name] = index
         if self._on_schema_change is not None:
@@ -170,21 +185,16 @@ class Table:
     # -- row access ----------------------------------------------------------
 
     def get_row(self, row_id: int) -> Optional[dict[str, Any]]:
-        if 0 <= row_id < len(self.rows):
-            return self.rows[row_id]
-        return None
+        return self.storage.get(row_id)
 
     def iter_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
-        for row_id, row in enumerate(self.rows):
-            if row is not None:
-                yield row_id, row
+        return self.storage.iter_rows()
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        for _row_id, row in self.iter_rows():
-            yield row
+        return self.storage.iter_dicts()
 
     def __len__(self) -> int:
-        return self._live_rows
+        return self.storage.live_count
 
     def has_key(self, columns: Sequence[str], key: tuple) -> bool:
         """True when a row with ``columns == key`` exists (used by FK checks)."""
@@ -235,12 +245,11 @@ class Table:
         if database is not None and not skip_fk:
             for foreign_key in self.foreign_keys:
                 foreign_key.check(row, database, table_name=self.name)
-        row_id = len(self.rows)
+        row_id = self.storage.next_row_id()
         # Unique/PK indexes raise before the row is attached, keeping state consistent.
         for index in self.indexes.values():
             index.insert(row_id, row, defer_sort=defer_index_sort)
-        self.rows.append(row)
-        self._live_rows += 1
+        self.storage.append(row)
         self._data_bytes += self._row_bytes(row)
         return row_id
 
@@ -265,8 +274,7 @@ class Table:
             return False
         for index in self.indexes.values():
             index.remove(row_id, row)
-        self.rows[row_id] = None
-        self._live_rows -= 1
+        self.storage.delete(row_id)
         self._data_bytes -= self._row_bytes(row)
         return True
 
@@ -278,11 +286,33 @@ class Table:
         return len(victims)
 
     def truncate(self) -> None:
-        self.rows.clear()
-        self._live_rows = 0
+        self.storage.clear()
         self._data_bytes = 0
         for index in self.indexes.values():
             index.clear()
+
+    # -- storage layout --------------------------------------------------------
+
+    def convert_storage(self, kind: str) -> int:
+        """Rebuild the row store in ``kind`` layout (``"row"``/``"column"``).
+
+        Live rows are re-appended in id order, so ids are compacted
+        exactly as by :meth:`vacuum` and every index is rebuilt.  The
+        schema-change callback fires (bumping the catalog version) so
+        cached plans built against the old layout are invalidated.
+        Returns the number of live rows converted; a same-kind call is
+        a no-op.
+        """
+        if self.storage.kind == kind:
+            return self.storage.live_count
+        new_storage = make_storage(kind, self.columns)
+        for _row_id, row in self.storage.iter_rows():
+            new_storage.append(row)
+        self.storage = new_storage
+        self._rebuild_indexes_from_storage()
+        if self._on_schema_change is not None:
+            self._on_schema_change()
+        return self.storage.live_count
 
     # -- tombstone compaction ------------------------------------------------
 
@@ -292,34 +322,38 @@ class Table:
     @property
     def tombstone_count(self) -> int:
         """Dead (deleted) slots still occupying the row store."""
-        return len(self.rows) - self._live_rows
+        return self.storage.tombstone_count
 
     def vacuum(self) -> int:
-        """Compact the row store, dropping ``None`` tombstones.
+        """Compact the row store, dropping tombstones.
 
-        Row ids are reassigned, so every index is rebuilt from the
-        compacted store.  Returns the number of dead slots reclaimed.
-        Scans stop paying the skip-a-hole branch for every deleted row
-        (the loader's UNDO of a large failed step can leave millions).
+        Delegates to the storage engine (both :class:`RowStore` and
+        :class:`ColumnStore` implement compaction); row ids are
+        reassigned, so every index is rebuilt from the compacted store.
+        Returns the number of dead slots reclaimed.  Scans stop paying
+        the skip-a-hole branch for every deleted row (the loader's UNDO
+        of a large failed step can leave millions).
         """
-        dead = len(self.rows) - self._live_rows
+        dead = self.storage.vacuum()
         if dead == 0:
             return 0
-        self.rows = [row for row in self.rows if row is not None]
-        for index in self.indexes.values():
-            index.clear()
-            for row_id, row in enumerate(self.rows):
-                index.insert(row_id, row, defer_sort=True)
-            index.rebuild()
+        self._rebuild_indexes_from_storage()
         return dead
 
     def maybe_vacuum(self, threshold: Optional[float] = None) -> int:
         """Vacuum when the dead-slot fraction exceeds ``threshold``."""
         limit = self.VACUUM_THRESHOLD if threshold is None else threshold
-        total = len(self.rows)
-        if total and (total - self._live_rows) / total >= limit:
+        total = len(self.storage)
+        if total and self.storage.tombstone_count / total >= limit:
             return self.vacuum()
         return 0
+
+    def _rebuild_indexes_from_storage(self) -> None:
+        for index in self.indexes.values():
+            index.clear()
+            for row_id, row in self.storage.iter_rows():
+                index.insert(row_id, row, defer_sort=True)
+            index.rebuild()
 
     def _row_bytes(self, row: dict[str, Any]) -> int:
         total = 0

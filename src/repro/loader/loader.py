@@ -39,6 +39,8 @@ class LoadReport:
     elapsed_seconds: float = 0.0
     indices_created: int = 0
     neighbor_pairs: int = 0
+    #: Tables converted to column-oriented storage after the load.
+    columnar_tables: int = 0
     validation: Optional[ValidationReport] = None
 
     @property
@@ -69,10 +71,20 @@ class LoadReport:
 
 
 class SkyServerLoader:
-    """Loads survey pipeline output into a SkyServer schema database."""
+    """Loads survey pipeline output into a SkyServer schema database.
 
-    def __init__(self, database: Database):
+    With ``columnar=True`` the loaded tables (and the derived Neighbors
+    table) are converted to column-oriented storage at the very end of
+    the run — after index builds, the neighbor computation and
+    validation, which are point-lookup/row-iteration heavy — so the
+    scan-heavy query workload that follows runs through the engine's
+    vectorized batch pipeline.  Loading itself stays row-at-a-time —
+    the row store is the write-optimised path.
+    """
+
+    def __init__(self, database: Database, *, columnar: bool = False):
         self.database = database
+        self.columnar = columnar
         self.events = LoadEventLog(database)
 
     # -- entry points --------------------------------------------------------
@@ -122,6 +134,18 @@ class SkyServerLoader:
                 report.neighbor_pairs = compute_neighbors(self.database)
             if validate:
                 report.validation = validate_database(self.database)
+            if self.columnar:
+                # Convert last: index builds, the neighbor computation and
+                # validation are point-lookup/row-iteration heavy — the row
+                # store's strength — while everything after the load is
+                # scan-heavy query traffic.  The derived Neighbors table
+                # converts too.
+                names = [result.table_name for result in report.step_results]
+                if build_neighbors and self.database.has_table("Neighbors"):
+                    names.append("Neighbors")
+                for name in dict.fromkeys(names):
+                    self.database.table(name).convert_storage("column")
+                    report.columnar_tables += 1
         report.elapsed_seconds = time.perf_counter() - started
         return report
 

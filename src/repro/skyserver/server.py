@@ -68,15 +68,18 @@ class SkyServer:
     @classmethod
     def from_survey(cls, config: Optional[SurveyConfig] = None, *,
                     limits: Optional[QueryLimits] = None,
-                    build_neighbors: bool = True) -> tuple["SkyServer", PipelineOutput]:
+                    build_neighbors: bool = True,
+                    columnar: bool = False) -> tuple["SkyServer", PipelineOutput]:
         """Generate a synthetic survey, load it and return the running server.
 
         This is the one-call path the examples and benchmarks use:
-        schema → pipeline → loader → server.
+        schema → pipeline → loader → server.  ``columnar=True`` stores
+        the loaded tables column-oriented so single-table scans run
+        through the vectorized batch engine.
         """
         output = SyntheticSurvey(config or SurveyConfig()).run()
         database = create_skyserver_database(with_indices=False)
-        loader = SkyServerLoader(database)
+        loader = SkyServerLoader(database, columnar=columnar)
         report = loader.load_pipeline_output(output, build_neighbors=build_neighbors)
         if not report.succeeded:
             failures = [result.error for result in report.step_results if not result.succeeded]
@@ -220,11 +223,12 @@ class SkyServer:
         return self.database.describe()
 
     def site_statistics(self) -> dict[str, Any]:
-        """Row counts and sizes: the 'about the data' page."""
+        """Row counts, sizes and execution counters: the 'about the data' page."""
         return {
             "site": self.site_name,
             "limits": self.limits.describe(),
             "tables": self.database.size_report(),
             "total_bytes": self.database.total_bytes(),
             "plan_cache": self.plan_cache_statistics(),
+            "execution_modes": self.session.execution_mode_statistics(),
         }
