@@ -12,8 +12,10 @@ a SQL subset front-end so the paper's query text runs verbatim.
 from .batch import BATCH_ROWS, ColumnBatch
 from .catalog import Database
 from .compile import (VectorCompileError, compile_expression,
-                      compile_row_expression, compile_vector_predicate,
-                      compile_vector_projection, supports_row_mode)
+                      compile_join_vector_predicate,
+                      compile_join_vector_projection, compile_row_expression,
+                      compile_vector_predicate, compile_vector_projection,
+                      supports_row_mode)
 from .constraints import CheckConstraint, ForeignKey, PrimaryKey
 from .errors import (BindError, CatalogError, CheckViolation, ConstraintViolation,
                      EngineError, ExpressionError, ForeignKeyViolation, LoadError,
@@ -29,6 +31,7 @@ from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, Query,
 from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult)
 from .planner import Planner
 from .sql import PlanCache, SqlSession, parse_batch, parse_expression, parse_select
+from .stats import (ColumnStatistics, TableStatistics, collect_table_statistics)
 from .storage import ColumnStore, RowStore, TableStorage, make_storage
 from .table import Table
 from .types import (CURRENT_TIMESTAMP, Column, DataType, NULL, bigint, blob,
@@ -80,6 +83,11 @@ __all__ = [
     "compile_row_expression",
     "compile_vector_predicate",
     "compile_vector_projection",
+    "compile_join_vector_predicate",
+    "compile_join_vector_projection",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_table_statistics",
     "supports_row_mode",
     "VectorCompileError",
     "Expression",

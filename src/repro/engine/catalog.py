@@ -17,6 +17,7 @@ from .constraints import CheckConstraint, ConstraintReport, ForeignKey, PrimaryK
 from .errors import CatalogError
 from .expressions import EvaluationContext
 from .functions import FunctionRegistry, normalize_function_name
+from .stats import TableStatistics, collect_table_statistics
 from .table import Table
 from .types import Column
 from .view import ResolvedRelation, View, fold_view_chain
@@ -31,6 +32,10 @@ class Database:
         self.tables: dict[str, Table] = {}
         self.views: dict[str, View] = {}
         self.functions = FunctionRegistry()
+        #: ANALYZE snapshots keyed by lower-cased table name; the
+        #: planner's cost-based optimizer reads them, ``ANALYZE`` and
+        #: the loader write them.
+        self.statistics: dict[str, TableStatistics] = {}
         self._clock: Callable[[], _dt.datetime] = lambda: _dt.datetime.now(tz=_dt.timezone.utc)
         #: Bumped by every DDL change (tables, views, indexes, functions);
         #: the session plan cache invalidates entries planned under an
@@ -77,6 +82,7 @@ class Database:
         for existing in list(self.tables):
             if existing.lower() == name.lower():
                 del self.tables[existing]
+                self.statistics.pop(existing.lower(), None)
                 self.bump_schema_version()
                 return
         if not if_exists:
@@ -151,6 +157,46 @@ class Database:
         """Build the ambient context used to evaluate expressions in this database."""
         return EvaluationContext(functions=self.functions.scalar_callables(),
                                  variables={k.lower(): v for k, v in (variables or {}).items()})
+
+    # -- statistics (the ANALYZE subsystem) ------------------------------------
+
+    def analyze_table(self, name: str) -> TableStatistics:
+        """Collect and store statistics for one table (SQL ``ANALYZE name``).
+
+        Bumps the schema version: cached plans were costed against the
+        old statistics and must be re-planned.
+        """
+        table = self.table(name)
+        statistics = collect_table_statistics(table)
+        self.statistics[table.name.lower()] = statistics
+        self.bump_schema_version()
+        return statistics
+
+    def analyze(self, table_names: Optional[Sequence[str]] = None) -> list[TableStatistics]:
+        """ANALYZE several tables (default: every table in the catalog)."""
+        names = table_names if table_names is not None else self.table_names()
+        return [self.analyze_table(name) for name in names]
+
+    def table_statistics(self, name: str) -> Optional[TableStatistics]:
+        return self.statistics.get(name.lower())
+
+    def statistics_freshness(self) -> list[dict[str, Any]]:
+        """Per-table staleness report (surfaced by ``site_statistics``)."""
+        report = []
+        for name in self.table_names():
+            table = self.table(name)
+            statistics = self.table_statistics(name)
+            entry: dict[str, Any] = {
+                "table": table.name,
+                "analyzed": statistics is not None,
+                "modification_counter": table.modification_counter,
+            }
+            if statistics is not None:
+                entry["analyzed_at_modification"] = statistics.modification_counter
+                entry["modifications_since_analyze"] = statistics.modifications_since(table)
+                entry["stale"] = statistics.is_stale(table)
+            report.append(entry)
+        return report
 
     # -- integrity validation (post-load pass) ---------------------------------
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 import math
 import re
 from operator import eq, ge, gt, itemgetter, le, lt, ne
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from .errors import ExpressionError, UnknownColumnError, UnknownFunctionError
 from .expressions import (_ARITHMETIC, _BITWISE, _BUILTIN_FUNCTIONS,
@@ -888,6 +888,115 @@ class _VectorCodegen:
         regex = self.const(re.compile(like_regex(pattern), re.IGNORECASE))
         test = "is None" if node.negated else "is not None"
         return f"({regex}.match({operand}) {test})", "bool"
+
+
+class _JoinVectorCodegen(_VectorCodegen):
+    """Vector codegen over a *joined* batch: columns from several tables.
+
+    The batch's ``columns`` mapping is keyed by the qualified name
+    ``"<binding>.<column>"`` (both parts lower-cased); gathered buffers
+    are plain lists built by the batch hash join.  The same NULL-freedom
+    rule as the single-table codegen applies, checked against each
+    source table's column store, so the generated loop never has to
+    consider three-valued logic.
+    """
+
+    def __init__(self, evaluation: EvaluationContext,
+                 schema: "Mapping[str, Any]"):
+        self.evaluation = evaluation
+        self.schema = {binding.lower(): table for binding, table in schema.items()}
+        self.env: dict[str, Any] = {}
+        #: Qualified column key -> generated identifier, in first-use order.
+        self.column_ids: dict[str, str] = {}
+        self._scalar = _Compiler(evaluation)
+        self._counter = 0
+
+    def column(self, node: ColumnRef) -> tuple[str, str]:
+        qualifier = (node.qualifier or "").lower()
+        if qualifier:
+            table = self.schema.get(qualifier)
+            if table is None:
+                raise _Unvectorizable(f"unknown binding {qualifier!r}")
+            binding = qualifier
+        else:
+            owners = [(binding, table) for binding, table in self.schema.items()
+                      if table.has_column(node.name)]
+            if len(owners) != 1:
+                raise _Unvectorizable(f"ambiguous column {node.name!r}")
+            binding, table = owners[0]
+        column = table.column(node.name)
+        if column is None:
+            raise _Unvectorizable(f"no column {node.sql()}")
+        storage = table.storage
+        if storage.kind != "column":
+            raise _Unvectorizable("join side is not column-backed")
+        if storage.column_null_count(node.name) > 0:
+            raise _Unvectorizable(f"column {node.sql()} holds NULLs")
+        tag = _DTYPE_TAGS.get(column.dtype)
+        if tag is None:
+            raise _Unvectorizable(f"column type {column.dtype.value}")
+        key = f"{binding}.{node.name.lower()}"
+        identifier = self.column_ids.get(key)
+        if identifier is None:
+            identifier = f"_jc{len(self.column_ids)}"
+            self.column_ids[key] = identifier
+        return f"{identifier}[_i]", tag
+
+
+def _codegen_join_vector(expression: Expression, evaluation: EvaluationContext,
+                         schema: "Mapping[str, Any]", predicate: bool
+                         ) -> tuple[VectorExpression, str, list[str]]:
+    """Generated-loop vector fn over a joined batch, or :class:`_Unvectorizable`.
+
+    Returns ``(fn, tag, column_keys)`` where ``column_keys`` are the
+    qualified ``"binding.column"`` keys the function reads — the batch
+    join gathers exactly those columns.
+    """
+    generator = _JoinVectorCodegen(evaluation, schema)
+    body, tag = generator.emit(expression)
+    if predicate and tag != "bool":
+        raise _Unvectorizable("predicate does not produce a boolean")
+    lines = ["def _vector_fn(_batch, _sel):",
+             "    _cols = _batch.columns"]
+    for key, identifier in generator.column_ids.items():
+        lines.append(f"    {identifier} = _cols[{key!r}]")
+    if predicate:
+        lines.append(f"    return [_i for _i in _sel if {body}]")
+    else:
+        lines.append(f"    return [{body} for _i in _sel]")
+    namespace = dict(generator.env)
+    exec(compile("\n".join(lines), "<join-vector-codegen>", "exec"), namespace)
+    return namespace["_vector_fn"], tag, list(generator.column_ids)
+
+
+def compile_join_vector_predicate(expression: Expression,
+                                  evaluation: EvaluationContext,
+                                  schema: "Mapping[str, Any]"
+                                  ) -> tuple[VectorExpression, list[str]]:
+    """Compile a predicate over a joined batch (no row fallback).
+
+    Raises :class:`VectorCompileError` outside the codegen subset — the
+    caller then abandons the whole batch-join pipeline and the operator
+    tree executes row-at-a-time.
+    """
+    try:
+        fn, _tag, keys = _codegen_join_vector(expression, evaluation, schema,
+                                              predicate=True)
+        return fn, keys
+    except _Unvectorizable as exc:
+        raise VectorCompileError(str(exc)) from exc
+
+
+def compile_join_vector_projection(expression: Expression,
+                                   evaluation: EvaluationContext,
+                                   schema: "Mapping[str, Any]"
+                                   ) -> tuple[VectorExpression, str, list[str]]:
+    """Compile a scalar over a joined batch; returns ``(fn, tag, keys)``."""
+    try:
+        return _codegen_join_vector(expression, evaluation, schema,
+                                    predicate=False)
+    except _Unvectorizable as exc:
+        raise VectorCompileError(str(exc)) from exc
 
 
 def _codegen_vector(expression: Expression, evaluation: EvaluationContext,

@@ -22,11 +22,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def render_operator(operator: PhysicalOperator, depth: int = 0) -> list[str]:
     indent = "  " * depth
     details = operator.details()
-    estimated = operator.estimated_rows()
+    estimated = (operator.planner_rows if operator.planner_rows is not None
+                 else operator.estimated_rows())
     line = f"{indent}-> {operator.label}"
     if details:
         line += f" [{details}]"
     line += f" (estimated rows={estimated}"
+    if operator.planner_cost:
+        line += f" cost={operator.planner_cost:.1f}"
     if operator.actual_rows:
         line += f", actual rows={operator.actual_rows}"
     line += ")"

@@ -25,8 +25,9 @@ from .batch import BATCH_ROWS, ColumnBatch
 from .catalog import Database
 from .compile import (CompiledExpression, RowCompileError, VectorCompileError,
                       VectorExpression, compile_expression,
-                      compile_row_expression, compile_vector_predicate,
-                      compile_vector_projection)
+                      compile_join_vector_predicate,
+                      compile_join_vector_projection, compile_row_expression,
+                      compile_vector_predicate, compile_vector_projection)
 from .errors import PlanError, UnknownColumnError
 from .expressions import (AggregateCall, ColumnRef, EvaluationContext,
                           Expression, RowScope, Star)
@@ -113,6 +114,13 @@ class ExecutionContext:
         return compile_vector_projection(expression, self.evaluation,
                                          table, binding_name)
 
+    def compile_join_vector_predicate(self, expression: Expression, schema):
+        """Join-batch vector compile (raises VectorCompileError)."""
+        return compile_join_vector_predicate(expression, self.evaluation, schema)
+
+    def compile_join_vector_projection(self, expression: Expression, schema):
+        return compile_join_vector_projection(expression, self.evaluation, schema)
+
 
 class PhysicalOperator:
     """Base class for all physical operators."""
@@ -125,8 +133,32 @@ class PhysicalOperator:
     #: qualifies (e.g. the table's storage layout changed).
     vectorized = False
 
+    #: Cardinality/cost estimates assigned by the cost-based optimizer
+    #: (None/0.0 when the planner ran without the cost model).  EXPLAIN
+    #: prefers ``planner_rows`` over the operator's own heuristic.
+    planner_rows: Optional[int] = None
+    planner_cost: float = 0.0
+
     def __init__(self) -> None:
         self.actual_rows = 0
+
+    def set_estimates(self, rows: Optional[int] = None,
+                      cost: Optional[float] = None) -> None:
+        """Record the optimizer's cardinality and cost estimates."""
+        if rows is not None:
+            self.planner_rows = max(1, int(rows))
+        if cost is not None:
+            self.planner_cost = float(cost)
+
+    def scale_rows(self, child_rows: int) -> int:
+        """This operator's output cardinality given its child's.
+
+        The single source of each operator's row-scaling heuristic:
+        ``estimated_rows`` applies it to the child's own estimate and
+        the cost propagation applies it to the optimizer-corrected
+        child estimate.
+        """
+        return child_rows
 
     def mark_batch_mode(self) -> None:
         """Planner hook: flag this operator vectorized and label it for EXPLAIN."""
@@ -560,8 +592,11 @@ class FilterOp(PhysicalOperator):
     def details(self) -> str:
         return self.predicate.sql()
 
+    def scale_rows(self, child_rows: int) -> int:
+        return max(1, child_rows // 3)
+
     def estimated_rows(self) -> int:
-        return max(1, self.child.estimated_rows() // 3)
+        return self.scale_rows(self.child.estimated_rows())
 
 
 # -- the vectorized single-table pipeline -----------------------------------
@@ -620,6 +655,194 @@ def _drive_batches(context: ExecutionContext, scan: "TableScan",
             filter_op.apply_batch(batch, predicate_fn)
         if batch.selection:
             yield batch
+
+
+# -- the vectorized hash-join pipeline ---------------------------------------
+
+#: Binding name of gathered join-output batches (their columns are keyed
+#: by the qualified ``"binding.column"`` name instead).
+JOIN_BATCH_BINDING = "#join"
+
+
+class _BatchJoinSource:
+    """Drives a :class:`HashJoin` batch-at-a-time over two columnar chains.
+
+    The build side's batches are consumed once: join-key columns feed a
+    hash table of build-row ordinals while every column a downstream
+    expression needs is gathered into one growing list per column.  The
+    probe side then streams; each probe batch's matches are gathered
+    into a fresh :class:`ColumnBatch` whose columns are keyed
+    ``"binding.column"`` so the join-schema compiled expressions of the
+    residual, the filters above the join and the consuming
+    projection/aggregation all run as generated loops.
+    """
+
+    def __init__(self, join: "HashJoin",
+                 build_chain: tuple, probe_chain: tuple,
+                 build_key_fns: Sequence[tuple[VectorExpression, Optional[str]]],
+                 probe_key_fns: Sequence[tuple[VectorExpression, Optional[str]]],
+                 residual_fn: Optional[VectorExpression],
+                 filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+                 schema: dict[str, "Table"]):
+        self.join = join
+        self.build_chain = build_chain
+        self.probe_chain = probe_chain
+        self.build_key_fns = list(build_key_fns)
+        self.probe_key_fns = list(probe_key_fns)
+        self.residual_fn = residual_fn
+        self.filter_fns = list(filter_fns)
+        self.schema = schema
+        self.build_binding = build_chain[0].binding_name.lower()
+        self.probe_binding = probe_chain[0].binding_name.lower()
+
+    def batches(self, context: ExecutionContext,
+                needed: set[str]) -> Iterator[ColumnBatch]:
+        needed_build = sorted(key for key in needed
+                              if key.startswith(self.build_binding + "."))
+        needed_probe = sorted(key for key in needed
+                              if key.startswith(self.probe_binding + "."))
+        hash_table, build_store = self._build(context, needed_build)
+        join = self.join
+        # Row-view key fallbacks (tag None) may produce NULLs, which
+        # never join — mirror the row path's NULL-key skip exactly.
+        probe_null_possible = any(tag is None for _fn, tag in self.probe_key_fns)
+        probe_fns = [fn for fn, _tag in self.probe_key_fns]
+        single_key = len(probe_fns) == 1
+        for batch in _drive_batches(context, *self.probe_chain[:3]):
+            selection = batch.selection
+            key_columns = [fn(batch, selection) for fn in probe_fns]
+            probe_positions: list[int] = []
+            build_ordinals: list[int] = []
+            if single_key:
+                keys: Sequence = key_columns[0]
+            else:
+                keys = list(zip(*key_columns))
+            for position, key in zip(selection, keys):
+                if probe_null_possible and (
+                        key is NULL if single_key
+                        else any(part is NULL for part in key)):
+                    continue
+                matches = hash_table.get(key)
+                if matches is not None:
+                    for ordinal in matches:
+                        probe_positions.append(position)
+                        build_ordinals.append(ordinal)
+            if not probe_positions:
+                continue
+            columns: dict[str, list] = {}
+            for key_name in needed_probe:
+                buffer = batch.columns[key_name.split(".", 1)[1]]
+                columns[key_name] = [buffer[i] for i in probe_positions]
+            for key_name in needed_build:
+                store = build_store[key_name]
+                columns[key_name] = [store[i] for i in build_ordinals]
+            out = ColumnBatch(columns, {}, list(range(len(probe_positions))),
+                              JOIN_BATCH_BINDING)
+            if self.residual_fn is not None:
+                out.selection = self.residual_fn(out, out.selection)
+            join.actual_rows += len(out.selection)
+            for filter_op, predicate_fn in self.filter_fns:
+                if not out.selection:
+                    break
+                filter_op.apply_batch(out, predicate_fn)
+            if out.selection:
+                yield out
+
+    def _build(self, context: ExecutionContext, needed_build: Sequence[str]
+               ) -> tuple[dict, dict[str, list]]:
+        build_fns = [fn for fn, _tag in self.build_key_fns]
+        null_possible = any(tag is None for _fn, tag in self.build_key_fns)
+        single_key = len(build_fns) == 1
+        hash_table: dict = {}
+        build_store: dict[str, list] = {key: [] for key in needed_build}
+        gathered = [(build_store[key], key.split(".", 1)[1]) for key in needed_build]
+        ordinal = 0
+        for batch in _drive_batches(context, *self.build_chain[:3]):
+            selection = batch.selection
+            key_columns = [fn(batch, selection) for fn in build_fns]
+            for store, column in gathered:
+                buffer = batch.columns[column]
+                store.extend(buffer[i] for i in selection)
+            if single_key:
+                keys: Sequence = key_columns[0]
+            else:
+                keys = list(zip(*key_columns))
+            for key in keys:
+                if null_possible and (
+                        key is NULL if single_key
+                        else any(part is NULL for part in key)):
+                    ordinal += 1
+                    continue
+                bucket = hash_table.get(key)
+                if bucket is None:
+                    hash_table[key] = [ordinal]
+                else:
+                    bucket.append(ordinal)
+                ordinal += 1
+        return hash_table, build_store
+
+
+def _join_vector_source(context: ExecutionContext, child: PhysicalOperator
+                        ) -> Optional[tuple["_BatchJoinSource", set[str], int]]:
+    """Resolve ``child`` as ``[FilterOp…] → HashJoin(columnar, columnar)``.
+
+    Both join inputs must be ``[FilterOp…] → TableScan`` chains over
+    column stores with distinct bindings, the join keys must
+    vector-compile against their own side, and the residual plus every
+    filter above the join must compile under the join schema.  Returns
+    ``(source, needed_columns, compiled_count)`` or None (the caller
+    falls back to the row path).
+    """
+    filters: list[FilterOp] = []
+    node: PhysicalOperator = child
+    while isinstance(node, FilterOp):
+        filters.append(node)
+        node = node.child
+    if not isinstance(node, HashJoin):
+        return None
+    join = node
+    build_chain = _vector_chain(context, join.build)
+    probe_chain = _vector_chain(context, join.probe)
+    if build_chain is None or probe_chain is None:
+        return None
+    build_scan, probe_scan = build_chain[0], probe_chain[0]
+    if build_scan.binding_name.lower() == probe_scan.binding_name.lower():
+        return None
+    schema = {build_scan.binding_name: build_scan.table,
+              probe_scan.binding_name: probe_scan.table}
+    compiled_count = build_chain[3] + probe_chain[3]
+    needed: set[str] = set()
+    try:
+        build_key_fns = []
+        for expression in join.build_keys:
+            fn, tag = context.compile_vector_projection(
+                expression, build_scan.table, build_scan.binding_name)
+            build_key_fns.append((fn, tag))
+            compiled_count += 1
+        probe_key_fns = []
+        for expression in join.probe_keys:
+            fn, tag = context.compile_vector_projection(
+                expression, probe_scan.table, probe_scan.binding_name)
+            probe_key_fns.append((fn, tag))
+            compiled_count += 1
+        residual_fn = None
+        if join.residual is not None:
+            residual_fn, keys = context.compile_join_vector_predicate(
+                join.residual, schema)
+            needed.update(keys)
+            compiled_count += 1
+        filter_fns: list[tuple[FilterOp, VectorExpression]] = []
+        for filter_op in reversed(filters):
+            fn, keys = context.compile_join_vector_predicate(
+                filter_op.predicate, schema)
+            filter_fns.append((filter_op, fn))
+            needed.update(keys)
+            compiled_count += 1
+    except VectorCompileError:
+        return None
+    source = _BatchJoinSource(join, build_chain, probe_chain, build_key_fns,
+                              probe_key_fns, residual_fn, filter_fns, schema)
+    return source, needed, compiled_count
 
 
 class SortOp(PhysicalOperator):
@@ -715,8 +938,11 @@ class TopOp(PhysicalOperator):
     def details(self) -> str:
         return f"TOP {self.count}"
 
+    def scale_rows(self, child_rows: int) -> int:
+        return min(self.count, child_rows)
+
     def estimated_rows(self) -> int:
-        return min(self.count, self.child.estimated_rows())
+        return self.scale_rows(self.child.estimated_rows())
 
 
 class GroupAggregate(PhysicalOperator):
@@ -793,42 +1019,67 @@ class GroupAggregate(PhysicalOperator):
     # -- the vectorized aggregation path -----------------------------------
 
     def _vectorized_rows(self, context: ExecutionContext) -> Optional[Iterator[Binding]]:
-        """Batch-at-a-time aggregation over a columnar scan chain, or None."""
+        """Batch aggregation over a columnar scan or hash-join chain, or None."""
         chain = _vector_chain(context, self.child)
-        if chain is None:
+        if chain is not None:
+            scan, scan_predicate, filter_fns, compiled_count = chain
+            table, binding_name = scan.table, scan.binding_name
+            try:
+                group_fns = []
+                for expression in self.group_by:
+                    fn, _tag = context.compile_vector_projection(expression, table,
+                                                                 binding_name)
+                    group_fns.append(fn)
+                    compiled_count += 1
+                argument_fns: list[tuple[str, Optional[VectorExpression],
+                                         Optional[str]]] = []
+                for aggregate in self.aggregates:
+                    if aggregate.argument is None:
+                        argument_fns.append((aggregate.result_key(), None, None))
+                    else:
+                        fn, tag = context.compile_vector_projection(
+                            aggregate.argument, table, binding_name)
+                        argument_fns.append((aggregate.result_key(), fn, tag))
+                        compiled_count += 1
+            except VectorCompileError:
+                return None
+            context.statistics.exprs_compiled += compiled_count
+            batches = _drive_batches(context, scan, scan_predicate, filter_fns)
+            return self._run_vectorized(context, batches, group_fns, argument_fns)
+        joined = _join_vector_source(context, self.child)
+        if joined is None:
             return None
-        scan, scan_predicate, filter_fns, compiled_count = chain
-        table, binding_name = scan.table, scan.binding_name
+        source, needed, compiled_count = joined
         try:
             group_fns = []
             for expression in self.group_by:
-                fn, _tag = context.compile_vector_projection(expression, table,
-                                                             binding_name)
+                fn, _tag, keys = context.compile_join_vector_projection(
+                    expression, source.schema)
                 group_fns.append(fn)
+                needed.update(keys)
                 compiled_count += 1
-            argument_fns: list[tuple[str, Optional[VectorExpression], Optional[str]]] = []
+            argument_fns = []
             for aggregate in self.aggregates:
                 if aggregate.argument is None:
                     argument_fns.append((aggregate.result_key(), None, None))
                 else:
-                    fn, tag = context.compile_vector_projection(
-                        aggregate.argument, table, binding_name)
+                    fn, tag, keys = context.compile_join_vector_projection(
+                        aggregate.argument, source.schema)
                     argument_fns.append((aggregate.result_key(), fn, tag))
+                    needed.update(keys)
                     compiled_count += 1
         except VectorCompileError:
             return None
         context.statistics.exprs_compiled += compiled_count
-        return self._run_vectorized(context, scan, scan_predicate, filter_fns,
+        return self._run_vectorized(context, source.batches(context, needed),
                                     group_fns, argument_fns)
 
-    def _run_vectorized(self, context: ExecutionContext, scan: "TableScan",
-                        scan_predicate: Optional[VectorExpression],
-                        filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+    def _run_vectorized(self, context: ExecutionContext,
+                        batches: Iterator[ColumnBatch],
                         group_fns: Sequence[VectorExpression],
                         argument_fns: Sequence[tuple[str, Optional[VectorExpression],
                                                      Optional[str]]]
                         ) -> Iterator[Binding]:
-        batches = _drive_batches(context, scan, scan_predicate, filter_fns)
         if not self.group_by:
             states = {aggregate.result_key(): _AggState(aggregate)
                       for aggregate in self.aggregates}
@@ -877,8 +1128,11 @@ class GroupAggregate(PhysicalOperator):
         aggregates = ", ".join(aggregate.sql() for aggregate in self.aggregates)
         return f"GROUP BY {groups} COMPUTE {aggregates}"
 
+    def scale_rows(self, child_rows: int) -> int:
+        return max(1, child_rows // 10) if self.group_by else 1
+
     def estimated_rows(self) -> int:
-        return max(1, self.child.estimated_rows() // 10) if self.group_by else 1
+        return self.scale_rows(self.child.estimated_rows())
 
 
 def _group_key_name(expression: Expression) -> str:
@@ -1024,43 +1278,63 @@ class ProjectOp(PhysicalOperator):
     # -- the vectorized single-table fast path ------------------------------
 
     def _vectorized_rows(self, context: ExecutionContext) -> Optional[Iterator[Binding]]:
-        """A batch scan→filter→project pipeline, or None when not applicable."""
+        """A batch scan/join→filter→project pipeline, or None when not applicable."""
         chain = _vector_chain(context, self.child)
-        if chain is None:
+        if chain is not None:
+            scan, scan_predicate, filter_fns, compiled_count = chain
+            table, binding_name = scan.table, scan.binding_name
+            # (output name, vector fn); a Star is (None, None) and expands to
+            # every table column through the batch's row-dict adapter.
+            compiled_items: list[tuple[Optional[str], Optional[VectorExpression]]] = []
+            try:
+                for position, item in enumerate(self.items):
+                    if isinstance(item.expression, Star):
+                        qualifier = (item.expression.qualifier or "").lower()
+                        if qualifier and qualifier != binding_name.lower():
+                            return None
+                        compiled_items.append((None, None))
+                    else:
+                        fn, _tag = context.compile_vector_projection(
+                            item.expression, table, binding_name)
+                        compiled_items.append((item.output_name(position), fn))
+                        compiled_count += 1
+            except VectorCompileError:
+                return None
+            context.statistics.exprs_compiled += compiled_count
+            batches = _drive_batches(context, scan, scan_predicate, filter_fns)
+            star_columns = [column.name.lower() for column in scan.table.columns]
+            return self._run_vectorized(context, batches, compiled_items,
+                                        star_columns)
+        joined = _join_vector_source(context, self.child)
+        if joined is None:
             return None
-        scan, scan_predicate, filter_fns, compiled_count = chain
-        table, binding_name = scan.table, scan.binding_name
-        # (output name, vector fn); a Star is (None, None) and expands to
-        # every table column through the batch's row-dict adapter.
-        compiled_items: list[tuple[Optional[str], Optional[VectorExpression]]] = []
+        source, needed, compiled_count = joined
+        compiled_items = []
         try:
             for position, item in enumerate(self.items):
                 if isinstance(item.expression, Star):
-                    qualifier = (item.expression.qualifier or "").lower()
-                    if qualifier and qualifier != binding_name.lower():
-                        return None
-                    compiled_items.append((None, None))
-                else:
-                    fn, _tag = context.compile_vector_projection(
-                        item.expression, table, binding_name)
-                    compiled_items.append((item.output_name(position), fn))
-                    compiled_count += 1
+                    # Star expansion over a join stays on the row path.
+                    return None
+                fn, _tag, keys = context.compile_join_vector_projection(
+                    item.expression, source.schema)
+                compiled_items.append((item.output_name(position), fn))
+                needed.update(keys)
+                compiled_count += 1
         except VectorCompileError:
             return None
         context.statistics.exprs_compiled += compiled_count
-        return self._run_vectorized(context, scan, scan_predicate, filter_fns,
-                                    compiled_items)
+        return self._run_vectorized(context, source.batches(context, needed),
+                                    compiled_items, None)
 
-    def _run_vectorized(self, context: ExecutionContext, scan: "TableScan",
-                        scan_predicate: Optional[VectorExpression],
-                        filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+    def _run_vectorized(self, context: ExecutionContext,
+                        batches: Iterator[ColumnBatch],
                         compiled_items: Sequence[tuple[Optional[str],
-                                                       Optional[VectorExpression]]]
+                                                       Optional[VectorExpression]]],
+                        star_columns: Optional[list[str]]
                         ) -> Iterator[Binding]:
         has_star = any(fn is None for _name, fn in compiled_items)
-        star_columns = [column.name.lower() for column in scan.table.columns]
         names = [name for name, _fn in compiled_items]
-        for batch in _drive_batches(context, scan, scan_predicate, filter_fns):
+        for batch in batches:
             selection = batch.selection
             value_lists = [None if fn is None else fn(batch, selection)
                            for _name, fn in compiled_items]

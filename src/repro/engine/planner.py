@@ -15,10 +15,20 @@ The planner mirrors the behaviour the paper relies on from SQL Server:
 * equality joins without a usable index become hash joins, and anything
   else becomes a nested-loop join (the "without the index ... nested
   loops join of two table scans" case of §11).
+
+With ``enable_cbo=True`` (the default) the planner is a **cost-based
+optimizer**: cardinalities come from the catalog's ``ANALYZE``
+statistics (histograms, MCVs, distinct counts — see
+:mod:`repro.engine.stats`) with the constants above as fallback,
+access paths are chosen by comparing scan/covering-scan/index-seek cost
+formulas, and joins are enumerated greedily in cost order with the
+smaller estimated input as the hash-join build side.
+``Planner(enable_cbo=False)`` keeps the original heuristic behaviour.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
@@ -36,7 +46,12 @@ from .operators import (CoveringIndexScan, DistinctOp, FilterOp, FunctionScan,
                         IndexRangeScan, InsertIntoOp, NestedLoopJoin,
                         PhysicalOperator, PhysicalPlan, ProjectOp, SortOp,
                         TableScan, TopOp)
+from .stats import TableStatistics
 from .table import Table
+from .types import NULL
+
+#: Sentinel for "this bound does not fold to a plan-time constant".
+_UNKNOWN = object()
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +154,7 @@ class _RelationInfo:
 class _PlannedAccessPath:
     operator: PhysicalOperator
     estimated_rows: int
+    cost: float = 0.0
 
 
 class Planner:
@@ -154,8 +170,20 @@ class Planner:
     RANGE_SELECTIVITY = 0.25
     RESIDUAL_SELECTIVITY = 0.5
 
+    #: Cost-model constants (arbitrary units; one sequentially scanned
+    #: row costs 1).  A random lookup through an index pays for the
+    #: bookmark fetch; hash joins pay per build row (table insert) and
+    #: per probe row; covering structures are discounted by their
+    #: entry-to-row width ratio.
+    SEQ_ROW_COST = 1.0
+    RANDOM_LOOKUP_COST = 4.0
+    INDEX_ENTRY_COST = 1.0
+    HASH_BUILD_COST = 2.0
+    HASH_PROBE_COST = 1.0
+
     def __init__(self, database: Database, *, enable_hash_join: bool = True,
-                 enable_fusion: bool = True, enable_vectorized: bool = True):
+                 enable_fusion: bool = True, enable_vectorized: bool = True,
+                 enable_cbo: bool = True, enable_index_join: bool = True):
         self.database = database
         #: When False, equality joins without a usable index fall back to a
         #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
@@ -169,9 +197,21 @@ class Planner:
         #: When False, plans over column-backed tables stay row-at-a-time
         #: (the columnar benchmark's ablation switch).
         self.enable_vectorized = enable_vectorized
+        #: When False, cost-based planning is disabled and the original
+        #: heuristic planner (fixed selectivity constants, syntactic-ish
+        #: join order) runs unchanged.
+        self.enable_cbo = enable_cbo
+        #: When False, index nested-loop joins are never considered —
+        #: together with ``enable_hash_join`` this pins the join strategy
+        #: (the join-equivalence property tests force all three).
+        self.enable_index_join = enable_index_join
         #: Number of plans built; the plan-cache tests assert a cache hit
         #: leaves this untouched.
         self.plans_built = 0
+        #: Relational plans costed with ANALYZE statistics vs planned on
+        #: fallback constants (no statistics, or ``enable_cbo=False``).
+        self.cbo_plans = 0
+        self.fallback_plans = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -189,10 +229,23 @@ class Planner:
 
         predicate_pool = self._build_predicate_pool(query, relations)
         self._assign_local_conjuncts(predicate_pool, relations)
-        for info in relations:
-            info.estimated_rows = self._estimate_relation(info)
-
-        root, planned = self._plan_joins(relations, predicate_pool, query)
+        if self.enable_cbo:
+            has_statistics = any(
+                info.kind == "table"
+                and self.database.table_statistics(info.table.name) is not None
+                for info in relations)
+            if has_statistics:
+                self.cbo_plans += 1
+            else:
+                self.fallback_plans += 1
+            # No per-relation pre-pass: _access_path_cbo computes each
+            # relation's post-predicate cardinality exactly once.
+            root, planned = self._plan_joins_cbo(relations, predicate_pool, query)
+        else:
+            self.fallback_plans += 1
+            for info in relations:
+                info.estimated_rows = self._estimate_relation(info)
+            root, planned = self._plan_joins(relations, predicate_pool, query)
 
         residual = [conjunct for conjunct in predicate_pool.remaining
                     if self._conjunct_aliases(conjunct, by_name) <= planned]
@@ -289,19 +342,42 @@ class Planner:
 
     # -- cardinality estimation ---------------------------------------------------
 
+    @staticmethod
+    def _combine_selectivities(selectivities: Sequence[float]) -> float:
+        """Compound per-conjunct selectivities with exponential backoff.
+
+        Naive multiplication assumes full independence, so a query with
+        many predicates (the NEO pair query has a dozen per side) drives
+        the estimate to an absurd near-zero.  Following SQL Server's
+        newer cardinality estimator, the most selective predicate counts
+        fully and each additional one only with the square root of its
+        predecessor's weight: ``s0 * s1^(1/2) * s2^(1/4) * ...``.
+        """
+        if not selectivities:
+            return 1.0
+        combined = 1.0
+        exponent = 1.0
+        for selectivity in sorted(selectivities):
+            clamped = min(1.0, max(selectivity, 1e-6))
+            combined *= clamped ** exponent
+            exponent /= 2.0
+        return combined
+
     def _estimate_relation(self, info: _RelationInfo) -> int:
         if info.kind == "function":
             return max(1, info.estimated_rows)
         assert info.table is not None
-        estimate = float(max(1, info.table.row_count))
+        selectivities = []
         for conjunct in info.local_conjuncts:
             sargable = extract_sargable(conjunct)
             if sargable is not None and sargable.is_equality:
-                estimate *= self.EQUALITY_SELECTIVITY
+                selectivities.append(self.EQUALITY_SELECTIVITY)
             elif sargable is not None:
-                estimate *= self.RANGE_SELECTIVITY
+                selectivities.append(self.RANGE_SELECTIVITY)
             else:
-                estimate *= self.RESIDUAL_SELECTIVITY
+                selectivities.append(self.RESIDUAL_SELECTIVITY)
+        estimate = (float(max(1, info.table.row_count))
+                    * self._combine_selectivities(selectivities))
         return max(1, int(estimate))
 
     # -- access paths ------------------------------------------------------------
@@ -340,14 +416,9 @@ class Planner:
                         needed.add(column)
         return needed
 
-    def _access_path(self, info: _RelationInfo, query: LogicalQuery,
-                     relations: Sequence[_RelationInfo]) -> _PlannedAccessPath:
-        if info.kind == "function":
-            function = self.database.functions.table_valued(info.function_name)
-            operator = FunctionScan(function, list(info.function_args), info.binding_name)
-            return _PlannedAccessPath(operator, max(1, function.row_estimate))
-        assert info.table is not None
-        table = info.table
+    def _split_sargables(self, info: _RelationInfo
+                         ) -> tuple[dict[str, SargablePredicate], list[Expression]]:
+        """Partition the local conjuncts into sargables-by-column and the rest."""
         sargables: dict[str, SargablePredicate] = {}
         non_sargable: list[Expression] = []
         for conjunct in info.local_conjuncts:
@@ -364,7 +435,12 @@ class Planner:
                     non_sargable.append(conjunct)
             else:
                 non_sargable.append(conjunct)
+        return sargables, non_sargable
 
+    @staticmethod
+    def _best_seek_index(table: Table, sargables: dict[str, SargablePredicate]
+                         ) -> tuple[Optional[BTreeIndex], list[SargablePredicate]]:
+        """The index whose key prefix matches the most sargable predicates."""
         best_index: Optional[BTreeIndex] = None
         best_prefix: list[SargablePredicate] = []
         for index in table.indexes.values():
@@ -378,23 +454,48 @@ class Planner:
                     break
             if prefix and len(prefix) > len(best_prefix):
                 best_index, best_prefix = index, prefix
+        return best_index, best_prefix
 
+    def _build_index_seek(self, info: _RelationInfo, table: Table,
+                          best_index: BTreeIndex,
+                          best_prefix: Sequence[SargablePredicate],
+                          sargables: dict[str, SargablePredicate],
+                          non_sargable: Sequence[Expression],
+                          needed: Optional[set[str]], *,
+                          estimated: int) -> IndexRangeScan:
+        """Assemble the seek operator both access-path planners build."""
+        used = {sargable.column for sargable in best_prefix}
+        residual_parts = list(non_sargable) + [
+            sargable.source for column, sargable in sargables.items()
+            if column not in used]
+        residual = combine_conjuncts(
+            [qualify_columns(part, info.binding_name, table)
+             for part in residual_parts])
+        low = [s.low for s in best_prefix if s.low is not None]
+        high = [s.high for s in best_prefix if s.high is not None]
+        covering = needed is not None and best_index.covers(needed)
+        return IndexRangeScan(best_index, info.binding_name,
+                              low if low else None, high if high else None,
+                              predicate=residual, estimated=estimated,
+                              covering=covering)
+
+    def _access_path(self, info: _RelationInfo, query: LogicalQuery,
+                     relations: Sequence[_RelationInfo]) -> _PlannedAccessPath:
+        if info.kind == "function":
+            function = self.database.functions.table_valued(info.function_name)
+            operator = FunctionScan(function, list(info.function_args), info.binding_name)
+            return _PlannedAccessPath(operator, max(1, function.row_estimate))
+        assert info.table is not None
+        table = info.table
+        sargables, non_sargable = self._split_sargables(info)
+        best_index, best_prefix = self._best_seek_index(table, sargables)
         needed = self._needed_columns(query, info, relations)
 
         if best_index is not None and best_prefix:
-            used = {sargable.column for sargable in best_prefix}
-            residual_parts = non_sargable + [sargable.source for column, sargable
-                                             in sargables.items() if column not in used]
-            residual = combine_conjuncts(
-                [qualify_columns(part, info.binding_name, table) for part in residual_parts])
-            low = [s.low for s in best_prefix if s.low is not None]
-            high = [s.high for s in best_prefix if s.high is not None]
             estimate = self._estimate_index_rows(table, best_index, best_prefix)
-            covering = needed is not None and best_index.covers(needed)
-            operator = IndexRangeScan(best_index, info.binding_name,
-                                      low if low else None, high if high else None,
-                                      predicate=residual, estimated=estimate,
-                                      covering=covering)
+            operator = self._build_index_seek(info, table, best_index, best_prefix,
+                                              sargables, non_sargable, needed,
+                                              estimated=estimate)
             return _PlannedAccessPath(operator, estimate)
 
         predicate = combine_conjuncts(
@@ -410,15 +511,343 @@ class Planner:
 
     def _estimate_index_rows(self, table: Table, index: BTreeIndex,
                              prefix: Sequence[SargablePredicate]) -> int:
-        estimate = float(max(1, table.row_count))
         full_unique = (index.unique and len(prefix) == len(index.columns)
                        and all(s.is_equality for s in prefix))
         if full_unique:
             return 1
-        for sargable in prefix:
-            estimate *= (self.EQUALITY_SELECTIVITY if sargable.is_equality
-                         else self.RANGE_SELECTIVITY)
+        selectivities = [self.EQUALITY_SELECTIVITY if sargable.is_equality
+                         else self.RANGE_SELECTIVITY for sargable in prefix]
+        estimate = (float(max(1, table.row_count))
+                    * self._combine_selectivities(selectivities))
         return max(1, int(estimate))
+
+    # -- the cost-based optimizer -------------------------------------------------
+
+    def _constant_value(self, expression: Optional[Expression]) -> Any:
+        """Fold a bound expression to a plan-time constant, or ``_UNKNOWN``.
+
+        Session variables are not bound at plan time and impure
+        functions may raise; any failure simply means the histogram
+        cannot be consulted and the fixed constants apply.
+        """
+        if expression is None:
+            return None
+        if isinstance(expression, Literal):
+            value = expression.value
+            return _UNKNOWN if value is NULL else value
+        try:
+            from .expressions import RowScope
+            value = expression.evaluate(RowScope(), self.database.evaluation_context())
+        except Exception:
+            return _UNKNOWN
+        return _UNKNOWN if value is NULL else value
+
+    def _sargable_selectivity(self, statistics: Optional[TableStatistics],
+                              sargable: SargablePredicate) -> float:
+        column_stats = (statistics.column(sargable.column)
+                        if statistics is not None else None)
+        if sargable.is_equality:
+            value = self._constant_value(sargable.low)
+            if column_stats is not None and value is not _UNKNOWN:
+                selectivity = column_stats.equality_selectivity(value)
+                if selectivity is not None:
+                    return selectivity
+            return self.EQUALITY_SELECTIVITY
+        low = self._constant_value(sargable.low)
+        high = self._constant_value(sargable.high)
+        if column_stats is not None and low is not _UNKNOWN and high is not _UNKNOWN:
+            selectivity = column_stats.range_selectivity(low, high)
+            if selectivity is not None:
+                return selectivity
+        return self.RANGE_SELECTIVITY
+
+    def _conjunct_selectivity(self, statistics: Optional[TableStatistics],
+                              conjunct: Expression) -> float:
+        sargable = extract_sargable(conjunct)
+        if sargable is None:
+            return self.RESIDUAL_SELECTIVITY
+        return self._sargable_selectivity(statistics, sargable)
+
+    def _estimate_relation_cbo(self, info: _RelationInfo) -> int:
+        """Statistics-backed output cardinality of one FROM-clause relation."""
+        if info.kind == "function":
+            return max(1, info.estimated_rows)
+        assert info.table is not None
+        statistics = self.database.table_statistics(info.table.name)
+        selectivities = [self._conjunct_selectivity(statistics, conjunct)
+                         for conjunct in info.local_conjuncts]
+        estimate = (float(max(1, info.table.row_count))
+                    * self._combine_selectivities(selectivities))
+        return max(1, int(estimate))
+
+    def _access_path_cbo(self, info: _RelationInfo, query: LogicalQuery,
+                         relations: Sequence[_RelationInfo]) -> _PlannedAccessPath:
+        """Cheapest access path among table scan, covering scan and index seek."""
+        if info.kind == "function":
+            function = self.database.functions.table_valued(info.function_name)
+            operator = FunctionScan(function, list(info.function_args),
+                                    info.binding_name)
+            rows = max(1, function.row_estimate)
+            operator.set_estimates(rows, float(rows))
+            return _PlannedAccessPath(operator, rows, float(rows))
+        assert info.table is not None
+        table = info.table
+        statistics = self.database.table_statistics(table.name)
+        total = max(1, table.row_count)
+        row_bytes = max(1.0, table.average_row_bytes())
+        estimated_out = self._estimate_relation_cbo(info)
+        sargables, non_sargable = self._split_sargables(info)
+        needed = self._needed_columns(query, info, relations)
+
+        # (cost, tie-break priority, operator, output rows)
+        candidates: list[tuple[float, int, PhysicalOperator, int]] = []
+
+        best_index, best_prefix = self._best_seek_index(table, sargables)
+        if best_index is not None and best_prefix:
+            full_unique = (best_index.unique
+                           and len(best_prefix) == len(best_index.columns)
+                           and all(s.is_equality for s in best_prefix))
+            if full_unique:
+                fetched = 1
+            else:
+                prefix_selectivity = self._combine_selectivities(
+                    [self._sargable_selectivity(statistics, s) for s in best_prefix])
+                fetched = max(1, int(total * prefix_selectivity))
+            rows = min(estimated_out, fetched)
+            seek = self._build_index_seek(info, table, best_index, best_prefix,
+                                          sargables, non_sargable, needed,
+                                          estimated=rows)
+            per_row = (self.INDEX_ENTRY_COST if seek.covering
+                       else self.RANDOM_LOOKUP_COST)
+            cost = math.log2(total + 1) + fetched * per_row
+            candidates.append((cost, 0, seek, rows))
+
+        predicate = combine_conjuncts(
+            [qualify_columns(part, info.binding_name, table)
+             for part in info.local_conjuncts])
+        # A covering index's only scan advantage is reading narrow
+        # entries instead of wide rows; a column store already reads
+        # just the referenced buffers — and a TableScan there keeps the
+        # vectorized batch pipeline applicable — so the covering
+        # candidate only exists for row-backed tables.
+        if needed is not None and table.storage.kind != "column":
+            covering_indexes = [index for index in table.indexes.values()
+                                if index.covers(needed)]
+            if covering_indexes:
+                narrow = min(covering_indexes,
+                             key=lambda index: index.entry_byte_width())
+                ratio = min(1.0, max(0.05, narrow.entry_byte_width() / row_bytes))
+                scan = CoveringIndexScan(narrow, info.binding_name, predicate)
+                candidates.append((total * self.SEQ_ROW_COST * ratio, 1,
+                                   scan, estimated_out))
+        candidates.append((total * self.SEQ_ROW_COST, 2,
+                           TableScan(table, info.binding_name, predicate),
+                           estimated_out))
+
+        cost, _priority, operator, rows = min(candidates,
+                                              key=lambda item: (item[0], item[1]))
+        operator.set_estimates(rows, cost)
+        return _PlannedAccessPath(operator, rows, cost)
+
+    def _index_join_candidate(self, info: _RelationInfo,
+                              equalities: Sequence[tuple[Expression, Expression,
+                                                         Expression]]
+                              ) -> Optional[tuple[BTreeIndex, list[str],
+                                                  dict[str, tuple[Expression,
+                                                                  Expression,
+                                                                  Expression]]]]:
+        """The index/prefix an index nested-loop join would probe, if any.
+
+        Shared by the cost-based enumeration (for costing) and
+        :meth:`_index_join` (for construction), so the plan that is
+        costed is exactly the plan that is built.
+        """
+        assert info.table is not None
+        by_column: dict[str, tuple[Expression, Expression, Expression]] = {}
+        for conjunct, new_side, old_side in equalities:
+            if isinstance(new_side, ColumnRef):
+                by_column[new_side.name.lower()] = (conjunct, new_side, old_side)
+        best_index: Optional[BTreeIndex] = None
+        best_prefix: list[str] = []
+        for index in info.table.indexes.values():
+            prefix = []
+            for column in index.columns:
+                if column in by_column:
+                    prefix.append(column)
+                else:
+                    break
+            if prefix and len(prefix) > len(best_prefix):
+                best_index, best_prefix = index, prefix
+        if best_index is None:
+            return None
+        return best_index, best_prefix, by_column
+
+    def _index_probe_matches(self, table: Table, index: BTreeIndex,
+                             prefix_columns: Sequence[str]) -> float:
+        """Expected inner rows fetched per outer probe of an index join."""
+        if index.unique and len(prefix_columns) == len(index.columns):
+            return 1.0
+        statistics = self.database.table_statistics(table.name)
+        selectivities = []
+        for column in prefix_columns:
+            distinct = 0
+            if statistics is not None:
+                column_stats = statistics.column(column)
+                if column_stats is not None:
+                    distinct = column_stats.distinct_count
+            selectivities.append(1.0 / distinct if distinct > 0
+                                 else self.EQUALITY_SELECTIVITY)
+        matches = max(1, table.row_count) * self._combine_selectivities(selectivities)
+        return max(1.0, matches)
+
+    def _expression_distinct(self, expression: Expression,
+                             by_name: dict[str, _RelationInfo]) -> int:
+        """Distinct-count estimate of a join-key expression (0 = unknown)."""
+        if not isinstance(expression, ColumnRef):
+            return 0
+        if expression.qualifier is not None:
+            owner = by_name.get(expression.qualifier)
+        else:
+            owners = [info for info in by_name.values()
+                      if self._relation_has_column(info, expression.name)]
+            owner = owners[0] if len(owners) == 1 else None
+        if owner is None or owner.kind != "table" or owner.table is None:
+            return 0
+        statistics = self.database.table_statistics(owner.table.name)
+        if statistics is None:
+            return 0
+        column_stats = statistics.column(expression.name)
+        return column_stats.distinct_count if column_stats is not None else 0
+
+    def _join_output_estimate(self, left_rows: int, right_rows: int,
+                              equalities: Sequence[tuple[Expression, Expression,
+                                                         Expression]],
+                              by_name: dict[str, _RelationInfo]) -> int:
+        """Equi-join cardinality: |L| * |R| / max(distinct) per key pair."""
+        selectivities: list[Optional[float]] = []
+        for _conjunct, new_side, old_side in equalities:
+            distinct_new = self._expression_distinct(new_side, by_name)
+            distinct_old = self._expression_distinct(old_side, by_name)
+            distinct = max(distinct_new, distinct_old)
+            selectivities.append(1.0 / distinct if distinct > 0 else None)
+        if any(selectivity is None for selectivity in selectivities):
+            # No distinct statistics: keep the pre-CBO heuristic.
+            return max(1, left_rows, right_rows)
+        estimate = float(left_rows) * float(right_rows)
+        for selectivity in selectivities:
+            estimate *= selectivity
+        return max(1, int(estimate))
+
+    def _plan_joins_cbo(self, relations: list[_RelationInfo],
+                        pool: "_PredicatePool", query: LogicalQuery
+                        ) -> tuple[PhysicalOperator, set[str]]:
+        """Greedy cost-ordered join enumeration.
+
+        Starts from the relation with the smallest estimated
+        cardinality (for Query 1 this keeps the spatial TVF on the
+        outer side, as in Figure 10), then repeatedly attaches the
+        (relation, strategy) pair with the lowest total cost among
+        index nested-loop, hash (smaller side builds) and nested-loop
+        joins, preferring connected relations over cross products.
+        """
+        by_name = {info.binding_name: info for info in relations}
+        paths = {info.binding_name: self._access_path_cbo(info, query, relations)
+                 for info in relations}
+        start = min(relations,
+                    key=lambda info: (paths[info.binding_name].estimated_rows,
+                                      paths[info.binding_name].cost,
+                                      info.binding_name))
+        path = paths[start.binding_name]
+        root: PhysicalOperator = path.operator
+        root_rows = path.estimated_rows
+        root_cost = path.cost
+        planned = {start.binding_name}
+        unplanned = {info.binding_name for info in relations} - planned
+
+        while unplanned:
+            best: Optional[tuple] = None
+            for name in sorted(unplanned):
+                info = by_name[name]
+                inner_path = paths[name]
+                join_conjuncts = self._join_conjuncts(name, planned, by_name, pool)
+                equalities = [self._join_equality(conjunct, name, by_name)
+                              for conjunct in join_conjuncts]
+                equalities = [pair for pair in equalities if pair is not None]
+                connected = 0 if join_conjuncts else 1
+                statistics = (self.database.table_statistics(info.table.name)
+                              if info.kind == "table" else None)
+
+                options: list[tuple[float, int, tuple, int]] = []
+                if self.enable_index_join and info.kind == "table" and equalities:
+                    candidate = self._index_join_candidate(info, equalities)
+                    if candidate is not None:
+                        index, prefix_columns, _by_column = candidate
+                        matches = self._index_probe_matches(info.table, index,
+                                                            prefix_columns)
+                        local_selectivity = self._combine_selectivities(
+                            [self._conjunct_selectivity(statistics, conjunct)
+                             for conjunct in info.local_conjuncts])
+                        cost = root_cost + root_rows * (
+                            math.log2(max(2, info.table.row_count))
+                            + matches * self.RANDOM_LOOKUP_COST)
+                        rows = max(1, int(root_rows * matches * local_selectivity))
+                        options.append((cost, 0, ("index", candidate), rows))
+                if equalities and self.enable_hash_join:
+                    rows = self._join_output_estimate(root_rows,
+                                                      inner_path.estimated_rows,
+                                                      equalities, by_name)
+                    build_new = inner_path.estimated_rows <= root_rows
+                    build_rows = (inner_path.estimated_rows if build_new
+                                  else root_rows)
+                    probe_rows = (root_rows if build_new
+                                  else inner_path.estimated_rows)
+                    cost = (root_cost + inner_path.cost
+                            + build_rows * self.HASH_BUILD_COST
+                            + probe_rows * self.HASH_PROBE_COST)
+                    options.append((cost, 1, ("hash", build_new), rows))
+                nested_cost = (root_cost
+                               + max(1, root_rows) * max(1.0, inner_path.cost))
+                nested_rows = max(1, int(
+                    root_rows * inner_path.estimated_rows
+                    * self._combine_selectivities(
+                        [self.RESIDUAL_SELECTIVITY] * len(join_conjuncts))))
+                options.append((nested_cost, 2, ("nested", None), nested_rows))
+
+                for cost, priority, choice, rows in options:
+                    key = (connected, cost, priority, name)
+                    if best is None or key < best[0]:
+                        best = (key, name, choice, rows, cost,
+                                join_conjuncts, equalities)
+
+            assert best is not None
+            _key, name, choice, rows, cost, join_conjuncts, equalities = best
+            info = by_name[name]
+            inner_path = paths[name]
+            kind, extra = choice
+            if kind == "index":
+                built = self._index_join(root, info, equalities, join_conjuncts,
+                                         candidate=extra)
+                assert built is not None
+                root, used_conjuncts = built
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in used_conjuncts]
+            elif kind == "hash":
+                root = self._build_hash_join(root, inner_path.operator,
+                                             equalities, join_conjuncts,
+                                             build_new=extra)
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in join_conjuncts]
+            else:
+                residual = combine_conjuncts(join_conjuncts)
+                root = NestedLoopJoin(root, inner_path.operator, residual)
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in join_conjuncts]
+            root.set_estimates(rows, cost)
+            root_rows = max(1, rows)
+            root_cost = cost
+            planned.add(name)
+            unplanned.discard(name)
+        return root, planned
 
     # -- join planning ---------------------------------------------------------------
 
@@ -444,7 +873,7 @@ class Planner:
             equalities = [pair for pair in equalities if pair is not None]
 
             index_plan = None
-            if info.kind == "table" and equalities:
+            if self.enable_index_join and info.kind == "table" and equalities:
                 index_plan = self._index_join(root, info, equalities, join_conjuncts)
             if index_plan is not None:
                 root, used_conjuncts = index_plan
@@ -452,12 +881,8 @@ class Planner:
                 pool.remaining = [c for c in pool.remaining if c not in used_conjuncts]
             elif equalities and self.enable_hash_join:
                 inner_path = self._access_path(info, query, relations)
-                build_keys = [expr_new for (_conjunct, expr_new, _expr_old) in equalities]
-                probe_keys = [expr_old for (_conjunct, _expr_new, expr_old) in equalities]
-                residual_parts = [conjunct for conjunct in join_conjuncts
-                                  if conjunct not in [c for c, _n, _o in equalities]]
-                residual = combine_conjuncts(residual_parts)
-                root = HashJoin(inner_path.operator, root, build_keys, probe_keys, residual)
+                root = self._build_hash_join(root, inner_path.operator,
+                                             equalities, join_conjuncts)
                 root_estimate = max(root_estimate, inner_path.estimated_rows)
                 pool.remaining = [c for c in pool.remaining if c not in join_conjuncts]
             else:
@@ -507,30 +932,45 @@ class Planner:
             return (conjunct, conjunct.right, conjunct.left)
         return None
 
+    def _build_hash_join(self, root: PhysicalOperator,
+                         inner_operator: PhysicalOperator,
+                         equalities: Sequence[tuple[Expression, Expression,
+                                                    Expression]],
+                         join_conjuncts: Sequence[Expression],
+                         build_new: bool = True) -> HashJoin:
+        """Construct the hash join both enumerators agreed on.
+
+        ``build_new=True`` builds on the newly attached relation (the
+        heuristic planner's fixed choice); the CBO passes False when
+        the already-joined pipeline is the smaller input.
+        """
+        new_keys = [new for (_conjunct, new, _old) in equalities]
+        old_keys = [old for (_conjunct, _new, old) in equalities]
+        equality_conjuncts = [conjunct for conjunct, _new, _old in equalities]
+        residual = combine_conjuncts([conjunct for conjunct in join_conjuncts
+                                      if conjunct not in equality_conjuncts])
+        if build_new:
+            return HashJoin(inner_operator, root, new_keys, old_keys, residual)
+        return HashJoin(root, inner_operator, old_keys, new_keys, residual)
+
     def _index_join(self, outer: PhysicalOperator, info: _RelationInfo,
                     equalities: Sequence[tuple[Expression, Expression, Expression]],
-                    join_conjuncts: Sequence[Expression]
+                    join_conjuncts: Sequence[Expression],
+                    candidate: Optional[tuple] = None
                     ) -> Optional[tuple[PhysicalOperator, list[Expression]]]:
-        """Try to turn the join into an index nested-loop join probing ``info``."""
+        """Try to turn the join into an index nested-loop join probing ``info``.
+
+        ``candidate`` is a precomputed :meth:`_index_join_candidate`
+        result (the CBO passes the one it costed); when omitted it is
+        derived here.
+        """
         assert info.table is not None
         table = info.table
-        by_column: dict[str, tuple[Expression, Expression, Expression]] = {}
-        for conjunct, new_side, old_side in equalities:
-            if isinstance(new_side, ColumnRef):
-                by_column[new_side.name.lower()] = (conjunct, new_side, old_side)
-        best_index: Optional[BTreeIndex] = None
-        best_prefix: list[str] = []
-        for index in table.indexes.values():
-            prefix = []
-            for column in index.columns:
-                if column in by_column:
-                    prefix.append(column)
-                else:
-                    break
-            if prefix and len(prefix) > len(best_prefix):
-                best_index, best_prefix = index, prefix
-        if best_index is None:
+        if candidate is None:
+            candidate = self._index_join_candidate(info, equalities)
+        if candidate is None:
             return None
+        best_index, best_prefix, by_column = candidate
         outer_key = [by_column[column][2] for column in best_prefix]
         used = [by_column[column][0] for column in best_prefix]
         residual_parts = [conjunct for conjunct in join_conjuncts if conjunct not in used]
@@ -571,8 +1011,38 @@ class Planner:
 
         if self.enable_vectorized:
             self._mark_vectorized_pipeline(root)
+        if self.enable_cbo:
+            self._propagate_costs(root)
         return PhysicalPlan(root=root, output_names=query.output_names(),
                             database=self.database)
+
+    def _propagate_costs(self, root: PhysicalOperator) -> None:
+        """Fill in estimates for operators join/access planning did not cost.
+
+        Upper operators (filters, sorts, projection, aggregation) carry
+        their child's corrected cardinality (scaled by the operator's
+        usual heuristic) and add a small per-row charge on top of their
+        children's cost, so EXPLAIN shows consistent row estimates and a
+        monotonically growing cumulative cost up the tree.
+        """
+
+        def walk(operator: PhysicalOperator) -> None:
+            child_cost = 0.0
+            for child in operator.children():
+                walk(child)
+                child_cost += child.planner_cost
+            children = operator.children()
+            if operator.planner_rows is None and len(children) == 1:
+                child = children[0]
+                child_rows = (child.planner_rows if child.planner_rows is not None
+                              else child.estimated_rows())
+                operator.planner_rows = max(1, operator.scale_rows(child_rows))
+            if not operator.planner_cost:
+                rows = (operator.planner_rows if operator.planner_rows is not None
+                        else operator.estimated_rows())
+                operator.planner_cost = child_cost + 0.01 * max(1, rows)
+
+        walk(root)
 
     def _mark_vectorized_pipeline(self, root: PhysicalOperator) -> None:
         """Flag batch execution for a columnar single-table chain.
@@ -612,22 +1082,50 @@ class Planner:
             while isinstance(chain, FilterOp):
                 below.append(chain)
                 chain = chain.child
-            if isinstance(chain, TableScan) and self._column_backed(chain):
+            if self._batch_source_ok(chain):
                 aggregate.mark_batch_mode()
                 for filter_op in below:
                     filter_op.mark_batch_mode()
-                chain.mark_batch_mode()
-        elif (isinstance(inner, TableScan) and not crossed_sort
-              and self._column_backed(inner)):
+                self._mark_batch_source(chain)
+        elif not crossed_sort and self._batch_source_ok(inner):
             # A Sort between projection and scan consumes scan bindings
             # row-at-a-time, so the projection cannot batch.
             project.mark_batch_mode()
             for filter_op in filters:
                 filter_op.mark_batch_mode()
-            inner.mark_batch_mode()
+            self._mark_batch_source(inner)
             for op in passthrough:
                 if isinstance(op, TopOp):
                     op.mark_batch_mode()
+
+    def _batch_source_ok(self, node: PhysicalOperator) -> bool:
+        """A columnar TableScan, or a HashJoin of two columnar scan chains."""
+        if isinstance(node, TableScan):
+            return self._column_backed(node)
+        if isinstance(node, HashJoin):
+            bindings = set()
+            for side in (node.build, node.probe):
+                inner: PhysicalOperator = side
+                while isinstance(inner, FilterOp):
+                    inner = inner.child
+                if not (isinstance(inner, TableScan) and self._column_backed(inner)):
+                    return False
+                bindings.add(inner.binding_name.lower())
+            return len(bindings) == 2
+        return False
+
+    def _mark_batch_source(self, node: PhysicalOperator) -> None:
+        if isinstance(node, TableScan):
+            node.mark_batch_mode()
+            return
+        assert isinstance(node, HashJoin)
+        node.mark_batch_mode()
+        for side in (node.build, node.probe):
+            inner: PhysicalOperator = side
+            while isinstance(inner, FilterOp):
+                inner.mark_batch_mode()
+                inner = inner.child
+            inner.mark_batch_mode()
 
     @staticmethod
     def _column_backed(scan: TableScan) -> bool:

@@ -4,15 +4,22 @@ The subset is what the paper's queries need: multi-statement batches
 with ``DECLARE``/``SET`` variables, ``SELECT [TOP n] ... INTO ##temp``,
 explicit ``JOIN ... ON`` and comma joins, table-valued functions in the
 FROM clause, ``WHERE`` with arithmetic, bitwise flags, ``BETWEEN``,
-``IN``, ``LIKE``, aggregates with ``GROUP BY``/``HAVING`` and
-``ORDER BY``.
+``IN``, ``LIKE``, aggregates with ``GROUP BY``/``HAVING``,
+``ORDER BY``, and ``ANALYZE [table]`` for optimizer statistics.
 """
 
+from .ast import (AnalyzeStatement, DeclareStatement, SelectStatement,
+                  SetStatement, Statement)
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_batch, parse_expression, parse_select
 from .session import PlanCache, SqlSession, StatementResult
 
 __all__ = [
+    "Statement",
+    "AnalyzeStatement",
+    "DeclareStatement",
+    "SelectStatement",
+    "SetStatement",
     "Token",
     "TokenType",
     "tokenize",

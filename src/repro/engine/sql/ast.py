@@ -43,3 +43,13 @@ class SelectStatement(Statement):
     """A SELECT (possibly with INTO) carrying its logical query."""
 
     query: Optional[LogicalQuery] = None
+
+
+@dataclass
+class AnalyzeStatement(Statement):
+    """``ANALYZE [table]``: collect optimizer statistics.
+
+    Without a table name every table in the catalog is analyzed.
+    """
+
+    table: Optional[str] = None

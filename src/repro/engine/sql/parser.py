@@ -17,7 +17,8 @@ from ..expressions import (AggregateCall, Between, BinaryOp, CaseWhen, ColumnRef
                            Star, UnaryOp, Variable)
 from ..logical import (FunctionRef, Join, LogicalQuery, OrderItem, RelationRef,
                        SelectItem, TableRef)
-from .ast import DeclareStatement, SelectStatement, SetStatement, Statement
+from .ast import (AnalyzeStatement, DeclareStatement, SelectStatement,
+                  SetStatement, Statement)
 from .lexer import Token, TokenType, tokenize
 
 #: Words that terminate an expression / cannot be bare aliases.
@@ -26,7 +27,7 @@ _RESERVED = {
     "inner", "left", "right", "outer", "cross", "on", "and", "or", "not",
     "between", "in", "like", "is", "null", "as", "top", "distinct", "asc",
     "desc", "by", "declare", "set", "case", "when", "then", "else", "end",
-    "union", "exists",
+    "union", "exists", "analyze",
 }
 
 #: Aggregate function names recognised by the parser.
@@ -96,7 +97,19 @@ class _Parser:
             return self.parse_set()
         if token.is_keyword("select"):
             return SelectStatement(query=self.parse_select())
-        raise self.error("expected DECLARE, SET or SELECT")
+        if token.is_keyword("analyze"):
+            return self.parse_analyze()
+        raise self.error("expected DECLARE, SET, SELECT or ANALYZE")
+
+    def parse_analyze(self) -> AnalyzeStatement:
+        self.expect_keyword("analyze")
+        table: Optional[str] = None
+        token = self.peek()
+        # A reserved word here starts the batch's next statement
+        # (semicolons are optional): bare ANALYZE analyzes everything.
+        if token.type is TokenType.NAME and token.value.lower() not in _RESERVED:
+            table = self.parse_object_name()
+        return AnalyzeStatement(table=table)
 
     def parse_declare(self) -> DeclareStatement:
         self.expect_keyword("declare")

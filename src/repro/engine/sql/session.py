@@ -30,7 +30,8 @@ from ..errors import SQLSyntaxError
 from ..expressions import RowScope
 from ..operators import PhysicalPlan, QueryResult
 from ..planner import Planner
-from .ast import DeclareStatement, SelectStatement, SetStatement, Statement
+from .ast import (AnalyzeStatement, DeclareStatement, SelectStatement,
+                  SetStatement, Statement)
 from .parser import parse_batch
 
 
@@ -39,7 +40,7 @@ class StatementResult:
     """The outcome of one statement within a batch."""
 
     statement: Statement
-    kind: str                      # "declare", "set" or "select"
+    kind: str                      # "declare", "set", "select" or "analyze"
     result: Optional[QueryResult] = None
     variable: Optional[str] = None
     value: Any = None
@@ -219,8 +220,28 @@ class SqlSession:
                 return plan
         raise SQLSyntaxError("batch contained no SELECT statement")
 
-    def explain(self, sql_text: str) -> str:
+    def explain(self, sql_text: str, *, analyze: bool = False) -> str:
+        """The plan of the batch's SELECT; EXPLAIN ANALYZE executes it first.
+
+        With ``analyze=True`` the whole batch is executed — including
+        its DECLARE/SET statements, honouring the session's limits —
+        and, exactly like plain ``explain``, the *first* SELECT's plan
+        is rendered, now with actual row counts next to the
+        optimizer's estimates.
+        """
+        if analyze:
+            for outcome in self.execute(sql_text):
+                if outcome.kind == "select" and outcome.result is not None:
+                    return outcome.result.plan.explain()
+            raise SQLSyntaxError("batch contained no SELECT statement")
         return self.plan(sql_text).explain()
+
+    def optimizer_statistics(self) -> dict[str, int]:
+        """CBO vs fallback plan counts from this session's planner."""
+        return {
+            "cbo_plans": self.planner.cbo_plans,
+            "fallback_plans": self.planner.fallback_plans,
+        }
 
     def execution_mode_statistics(self) -> dict[str, int]:
         """Batch vs row execution counters across this session's SELECTs."""
@@ -241,11 +262,15 @@ class SqlSession:
 
     @staticmethod
     def _cacheable(statements: list[Statement]) -> bool:
-        """False for batches whose execution performs DDL (SELECT ... INTO)."""
-        return not any(isinstance(statement, SelectStatement)
-                       and statement.query is not None
-                       and statement.query.into
-                       for statement in statements)
+        """False for batches whose execution performs DDL (SELECT ... INTO)
+        or mutates optimizer statistics (ANALYZE)."""
+        for statement in statements:
+            if isinstance(statement, AnalyzeStatement):
+                return False
+            if (isinstance(statement, SelectStatement)
+                    and statement.query is not None and statement.query.into):
+                return False
+        return True
 
     # -- statement dispatch -------------------------------------------------------
 
@@ -261,6 +286,11 @@ class SqlSession:
             value = statement.expression.evaluate(RowScope(), context)
             self.set_variable(statement.name, value)
             return StatementResult(statement, "set", variable=statement.name, value=value)
+        if isinstance(statement, AnalyzeStatement):
+            names = ([statement.table] if statement.table
+                     else self.database.table_names())
+            analyzed = [self.database.analyze_table(name).table for name in names]
+            return StatementResult(statement, "analyze", value=analyzed)
         if isinstance(statement, SelectStatement):
             assert statement.query is not None
             plan = entry.plans.get(position)

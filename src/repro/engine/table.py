@@ -51,6 +51,9 @@ class Table:
         self.storage: TableStorage = make_storage(storage, self.columns)
         self.indexes: dict[str, BTreeIndex] = {}
         self._data_bytes = 0
+        #: Bumped by every INSERT/DELETE/TRUNCATE; statistics snapshots
+        #: record the value at ANALYZE time so staleness is measurable.
+        self.modification_counter = 0
         self._clock: Callable[[], _dt.datetime] = _default_clock
         self._on_schema_change: Optional[Callable[[], None]] = None
         if primary_key is not None:
@@ -251,6 +254,7 @@ class Table:
             index.insert(row_id, row, defer_sort=defer_index_sort)
         self.storage.append(row)
         self._data_bytes += self._row_bytes(row)
+        self.modification_counter += 1
         return row_id
 
     def insert_many(self, rows: Iterable[dict[str, Any]], *,
@@ -276,6 +280,7 @@ class Table:
             index.remove(row_id, row)
         self.storage.delete(row_id)
         self._data_bytes -= self._row_bytes(row)
+        self.modification_counter += 1
         return True
 
     def delete_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
@@ -286,6 +291,7 @@ class Table:
         return len(victims)
 
     def truncate(self) -> None:
+        self.modification_counter += self.storage.live_count
         self.storage.clear()
         self._data_bytes = 0
         for index in self.indexes.values():

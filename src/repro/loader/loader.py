@@ -41,6 +41,8 @@ class LoadReport:
     neighbor_pairs: int = 0
     #: Tables converted to column-oriented storage after the load.
     columnar_tables: int = 0
+    #: Tables whose optimizer statistics were collected after the load.
+    tables_analyzed: int = 0
     validation: Optional[ValidationReport] = None
 
     @property
@@ -82,9 +84,15 @@ class SkyServerLoader:
     the row store is the write-optimised path.
     """
 
-    def __init__(self, database: Database, *, columnar: bool = False):
+    def __init__(self, database: Database, *, columnar: bool = False,
+                 analyze: bool = True):
         self.database = database
         self.columnar = columnar
+        #: Collect optimizer statistics (ANALYZE) for every loaded table
+        #: — including the derived Neighbors table — once the load
+        #: succeeds, so the cost-based planner never sees a freshly
+        #: loaded table without statistics.
+        self.analyze = analyze
         self.events = LoadEventLog(database)
 
     # -- entry points --------------------------------------------------------
@@ -134,18 +142,26 @@ class SkyServerLoader:
                 report.neighbor_pairs = compute_neighbors(self.database)
             if validate:
                 report.validation = validate_database(self.database)
+            loaded_names = [result.table_name for result in report.step_results]
+            if build_neighbors and self.database.has_table("Neighbors"):
+                loaded_names.append("Neighbors")
+            loaded_names = list(dict.fromkeys(loaded_names))
             if self.columnar:
                 # Convert last: index builds, the neighbor computation and
                 # validation are point-lookup/row-iteration heavy — the row
                 # store's strength — while everything after the load is
                 # scan-heavy query traffic.  The derived Neighbors table
                 # converts too.
-                names = [result.table_name for result in report.step_results]
-                if build_neighbors and self.database.has_table("Neighbors"):
-                    names.append("Neighbors")
-                for name in dict.fromkeys(names):
+                for name in loaded_names:
                     self.database.table(name).convert_storage("column")
                     report.columnar_tables += 1
+            if self.analyze:
+                # Statistics come last so they see the final storage
+                # layout (after neighbours, UNDO-free data and any
+                # columnar conversion).
+                for name in loaded_names:
+                    self.database.analyze_table(name)
+                    report.tables_analyzed += 1
         report.elapsed_seconds = time.perf_counter() - started
         return report
 

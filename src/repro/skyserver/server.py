@@ -231,4 +231,8 @@ class SkyServer:
             "total_bytes": self.database.total_bytes(),
             "plan_cache": self.plan_cache_statistics(),
             "execution_modes": self.session.execution_mode_statistics(),
+            "optimizer": {
+                "plans": self.session.optimizer_statistics(),
+                "statistics_freshness": self.database.statistics_freshness(),
+            },
         }
