@@ -8,7 +8,6 @@ distance and inserts into a ##results table.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_report
 from repro.bench import ExperimentReport

@@ -8,7 +8,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_report
 from repro.bench import ExperimentReport

@@ -10,7 +10,6 @@ of two table scans."
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_report
 from repro.bench import ExperimentReport

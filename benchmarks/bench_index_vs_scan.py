@@ -99,12 +99,11 @@ def test_covering_index_reads_fewer_bytes(benchmark, session, bench_database):
 
 def test_warm_vs_cold_scan_model(benchmark, bench_database):
     """§12's warm (7 s) vs cold (17 s) index-scan figures, via the I/O model."""
-    from repro.iosim import measure_engine_scan, ServerHardware, TAG_RECORD_BYTES
+    from repro.iosim import measure_engine_scan, TAG_RECORD_BYTES
 
     measurement = benchmark.pedantic(
         measure_engine_scan, args=(bench_database, "PhotoObj"), rounds=1, iterations=1)
 
-    hardware = ServerHardware()
     paper_rows = 14_000_000
     warm_rows_per_second = 5.0e6          # "5 m records per second when cpu bound"
     cold_mbps = 140.0                     # the 4-disk production configuration

@@ -10,7 +10,6 @@ overhead, not on absolute sizes.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import print_report
 from repro.bench import ExperimentReport

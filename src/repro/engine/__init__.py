@@ -11,6 +11,7 @@ a SQL subset front-end so the paper's query text runs verbatim.
 
 from .batch import BATCH_ROWS, ColumnBatch
 from .catalog import Database
+from .concurrency import LockUpgradeError, ReadWriteLock, lock_tables, read_locks
 from .compile import (VectorCompileError, compile_expression,
                       compile_join_vector_predicate,
                       compile_join_vector_projection, compile_row_expression,
@@ -27,7 +28,8 @@ from .expressions import (AggregateCall, Between, BinaryOp, CaseWhen, ColumnRef,
                           Like, Literal, RowScope, Star, UnaryOp, Variable)
 from .index import BTreeIndex
 from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, Query,
-                      SelectItem, TableRef)
+                      SelectItem, TableRef, contains_variables,
+                      referenced_tables)
 from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult)
 from .planner import Planner
 from .sql import PlanCache, SqlSession, parse_batch, parse_expression, parse_select
@@ -70,6 +72,12 @@ __all__ = [
     "FunctionRef",
     "Join",
     "OrderItem",
+    "referenced_tables",
+    "contains_variables",
+    "ReadWriteLock",
+    "LockUpgradeError",
+    "read_locks",
+    "lock_tables",
     "Planner",
     "PhysicalPlan",
     "QueryResult",

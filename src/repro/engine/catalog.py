@@ -11,12 +11,13 @@ space-accounting summary used to reproduce Table 1.
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from .constraints import CheckConstraint, ConstraintReport, ForeignKey, PrimaryKey
 from .errors import CatalogError
 from .expressions import EvaluationContext
-from .functions import FunctionRegistry, normalize_function_name
+from .functions import FunctionRegistry
 from .stats import TableStatistics, collect_table_statistics
 from .table import Table
 from .types import Column
@@ -41,9 +42,21 @@ class Database:
         #: the session plan cache invalidates entries planned under an
         #: older version.
         self.schema_version = 0
+        #: The database-wide snapshot epoch: advanced whenever a table's
+        #: exclusive (write) section completes and on every DDL bump.  A
+        #: reader holding read locks can record the epoch as a snapshot
+        #: identifier — an unchanged epoch means nothing has changed.
+        self.epoch = 0
+        self._epoch_lock = threading.Lock()
 
     def bump_schema_version(self) -> None:
-        self.schema_version += 1
+        with self._epoch_lock:
+            self.schema_version += 1
+            self.epoch += 1
+
+    def _bump_epoch(self) -> None:
+        with self._epoch_lock:
+            self.epoch += 1
 
     # -- clock (shared by all tables, lets the loader control timestamps) --
 
@@ -74,6 +87,7 @@ class Database:
                       description=description, storage=storage)
         table.set_clock(self._clock)
         table.on_schema_change(self.bump_schema_version)
+        table.lock.on_exclusive_release = self._bump_epoch
         self.tables[name] = table
         self.bump_schema_version()
         return table
@@ -167,7 +181,8 @@ class Database:
         old statistics and must be re-planned.
         """
         table = self.table(name)
-        statistics = collect_table_statistics(table)
+        with table.lock.read():
+            statistics = collect_table_statistics(table)
         self.statistics[table.name.lower()] = statistics
         self.bump_schema_version()
         return statistics
@@ -197,6 +212,26 @@ class Database:
                 entry["stale"] = statistics.is_stale(table)
             report.append(entry)
         return report
+
+    # -- concurrency (the serving layer's lock/epoch view) ----------------------
+
+    def concurrency_statistics(self) -> dict[str, Any]:
+        """Aggregate lock-acquisition/contention counters plus the epoch.
+
+        This is the ``site_statistics()["serving"]["locks"]`` payload:
+        how often readers and writers took table locks, and how often
+        either side had to wait (contention), summed over every table.
+        """
+        totals = {"read_acquisitions": 0, "write_acquisitions": 0,
+                  "read_contentions": 0, "write_contentions": 0}
+        contended: list[str] = []
+        for name in self.table_names():
+            statistics = self.table(name).lock.statistics()
+            for key in totals:
+                totals[key] += statistics[key]
+            if statistics["read_contentions"] or statistics["write_contentions"]:
+                contended.append(name)
+        return {"epoch": self.epoch, "contended_tables": contended, **totals}
 
     # -- integrity validation (post-load pass) ---------------------------------
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 import math
 import re
 from operator import eq, ge, gt, itemgetter, le, lt, ne
-from typing import Any, Callable, Mapping, Optional
+from typing import Any, Callable, Optional
 
 from .errors import ExpressionError, UnknownColumnError, UnknownFunctionError
 from .expressions import (_ARITHMETIC, _BITWISE, _BUILTIN_FUNCTIONS,
@@ -220,9 +220,11 @@ class _Compiler:
         op = node.op
         operand_fn, operand_const = self.compile(node.operand)
         if op == "is null":
-            fn: CompiledExpression = lambda target: operand_fn(target) is NULL
+            def fn(target: Any) -> Any:
+                return operand_fn(target) is NULL
         elif op == "is not null":
-            fn = lambda target: operand_fn(target) is not NULL
+            def fn(target: Any) -> Any:
+                return operand_fn(target) is not NULL
         elif op == "-":
             def fn(target: Any) -> Any:
                 value = operand_fn(target)

@@ -20,7 +20,6 @@ from .types import NULL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .catalog import Database
-    from .table import Table
 
 
 @dataclass

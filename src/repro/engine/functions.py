@@ -12,8 +12,8 @@ in T-SQL).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from .errors import CatalogError, UnknownFunctionError
 from .types import Column

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
 from .expressions import (AggregateCall, ColumnRef, Expression, Literal, Star,
-                          combine_conjuncts)
+                          Variable, combine_conjuncts)
 
 
 @dataclass
@@ -111,6 +111,52 @@ def _contains_aggregate(expression: Expression) -> bool:
     if isinstance(expression, AggregateCall):
         return True
     return any(_contains_aggregate(child) for child in expression.children())
+
+
+def _iter_expressions(query: LogicalQuery):
+    for item in query.select:
+        yield item.expression
+    for relation in query.all_relations():
+        if isinstance(relation, FunctionRef):
+            yield from relation.args
+    for join in query.joins:
+        if join.condition is not None:
+            yield join.condition
+    if query.where is not None:
+        yield query.where
+    yield from query.group_by
+    if query.having is not None:
+        yield query.having
+    for order in query.order_by:
+        yield order.expression
+
+
+def referenced_tables(query: LogicalQuery) -> set[str]:
+    """Names of every table or view the FROM/JOIN clauses reference.
+
+    Names are returned as written (not resolved through views, not
+    case-folded); table-valued functions are excluded — what they read
+    internally is opaque at the logical level.  The serving layer uses
+    this set to decide which table locks a query must hold and which
+    modification counters its cached result depends on.
+    """
+    return {relation.name for relation in query.all_relations()
+            if isinstance(relation, TableRef)}
+
+
+def contains_variables(query: LogicalQuery) -> bool:
+    """True when any expression of the query references a ``@variable``.
+
+    Such a query's result depends on session state beyond the SQL text,
+    so the shared result cache refuses to serve it across sessions.
+    """
+
+    def walk(expression: Expression) -> bool:
+        if isinstance(expression, Variable):
+            return True
+        return any(walk(child) for child in expression.children())
+
+    return any(walk(expression) for expression in _iter_expressions(query))
 
 
 class Query:

@@ -30,17 +30,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Optional, Sequence
 
 from .catalog import Database
 from .errors import BindError, PlanError
-from .expressions import (AggregateCall, Between, BinaryOp, CaseWhen, ColumnRef,
-                          Expression, FunctionCall, InList, Like, Literal,
-                          SargablePredicate, Star, UnaryOp, Variable,
+from .expressions import (AggregateCall, Between, BinaryOp, CaseWhen,
+                          ColumnRef, Expression, FunctionCall, InList, Like,
+                          Literal, SargablePredicate, Star, UnaryOp,
                           combine_conjuncts, conjuncts, extract_sargable)
 from .index import BTreeIndex
-from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, RelationRef,
-                      SelectItem, TableRef)
+from .logical import FunctionRef, LogicalQuery, RelationRef
 from .operators import (CoveringIndexScan, DistinctOp, FilterOp, FunctionScan,
                         GroupAggregate, HashJoin, IndexNestedLoopJoin,
                         IndexRangeScan, InsertIntoOp, NestedLoopJoin,

@@ -22,6 +22,15 @@ Both stores share the same row-id contract the indices rely on: ids are
 assigned densely on append, survive deletes (tombstones), and are only
 reassigned by :meth:`TableStorage.vacuum`, after which the owning
 :class:`~repro.engine.table.Table` rebuilds every index.
+
+Concurrency contract (see :mod:`repro.engine.concurrency`): compacting
+operations (``vacuum``/``clear``) run only inside the owning table's
+exclusive lock section.  Appends publish a row's *live* flag strictly
+after every column value is stored, so a reader that iterates without a
+lock can never observe a torn (half-appended) row — it either sees the
+whole row or not at all.  :meth:`ColumnStore.iter_rows` additionally
+snapshots the live mask up front, so one scan observes one consistent
+set of row ids even while appends land behind it.
 """
 
 from __future__ import annotations
@@ -246,6 +255,8 @@ class ColumnStore(TableStorage):
         row_id = len(self._live)
         for name, data in self._columns.items():
             data.append(row.get(name, NULL))
+        # The live flag is published last: a lock-free reader that sees
+        # it set is guaranteed every column buffer already holds the row.
         self._live.append(1)
         self._live_count += 1
         return row_id
@@ -286,7 +297,9 @@ class ColumnStore(TableStorage):
 
     def iter_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
         columns = [(name, self._columns[name]) for name in self._names]
-        for row_id, live in enumerate(self._live):
+        # Snapshot the live mask: one scan sees one consistent row-id
+        # set even if appends extend the store while it runs.
+        for row_id, live in enumerate(bytes(self._live)):
             if live:
                 yield row_id, {name: data.get(row_id) for name, data in columns}
 

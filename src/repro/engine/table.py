@@ -14,12 +14,13 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TYPE_CHECKING
 
+from .concurrency import ReadWriteLock, lock_tables
 from .constraints import (CheckConstraint, ForeignKey, PrimaryKey,
                           check_not_null)
 from .errors import SchemaError
 from .index import BTreeIndex
 from .storage import TableStorage, make_storage
-from .types import CURRENT_TIMESTAMP, Column, DataType, NULL, value_byte_size
+from .types import CURRENT_TIMESTAMP, Column, NULL, value_byte_size
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .catalog import Database
@@ -49,6 +50,10 @@ class Table:
         self.foreign_keys: list[ForeignKey] = list(foreign_keys)
         self.checks: list[CheckConstraint] = list(checks)
         self.storage: TableStorage = make_storage(storage, self.columns)
+        #: Reader–writer lock guarding this table: SELECTs share it,
+        #: DML/VACUUM/index DDL take it exclusively.  The catalog hooks
+        #: its ``on_exclusive_release`` to bump the database epoch.
+        self.lock = ReadWriteLock(name=name)
         self.indexes: dict[str, BTreeIndex] = {}
         self._data_bytes = 0
         #: Bumped by every INSERT/DELETE/TRUNCATE; statistics snapshots
@@ -158,23 +163,25 @@ class Table:
                     f"index {name!r}: column {column!r} not in table {self.name!r}")
         if name.lower() in {existing.lower() for existing in self.indexes}:
             raise SchemaError(f"duplicate index name {name!r} on table {self.name!r}")
-        index = BTreeIndex(name, self, columns, unique=unique,
-                           included_columns=included_columns)
-        for row_id, row in self.storage.iter_rows():
-            index.insert(row_id, row, defer_sort=True)
-        index.rebuild()
-        self.indexes[name] = index
-        if self._on_schema_change is not None:
-            self._on_schema_change()
+        with self.lock.write():
+            index = BTreeIndex(name, self, columns, unique=unique,
+                               included_columns=included_columns)
+            for row_id, row in self.storage.iter_rows():
+                index.insert(row_id, row, defer_sort=True)
+            index.rebuild()
+            self.indexes[name] = index
+            if self._on_schema_change is not None:
+                self._on_schema_change()
         return index
 
     def drop_index(self, name: str) -> None:
-        for existing in list(self.indexes):
-            if existing.lower() == name.lower():
-                del self.indexes[existing]
-                if self._on_schema_change is not None:
-                    self._on_schema_change()
-                return
+        with self.lock.write():
+            for existing in list(self.indexes):
+                if existing.lower() == name.lower():
+                    del self.indexes[existing]
+                    if self._on_schema_change is not None:
+                        self._on_schema_change()
+                    return
         raise SchemaError(f"no index {name!r} on table {self.name!r}")
 
     def find_index_on(self, columns: Sequence[str]) -> Optional[BTreeIndex]:
@@ -191,10 +198,20 @@ class Table:
         return self.storage.get(row_id)
 
     def iter_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
-        return self.storage.iter_rows()
+        """(row_id, row) pairs, holding the table's read lock while open.
+
+        The lock is acquired when the first row is pulled and released
+        when the generator is exhausted (or closed), so concurrent
+        VACUUM/TRUNCATE/storage conversion — which reassign row ids —
+        cannot run mid-iteration.  Code already inside an exclusive
+        section iterates ``self.storage`` directly.
+        """
+        with self.lock.read():
+            yield from self.storage.iter_rows()
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        return self.storage.iter_dicts()
+        with self.lock.read():
+            yield from self.storage.iter_dicts()
 
     def __len__(self) -> int:
         return self.storage.live_count
@@ -245,27 +262,51 @@ class Table:
         row = self._prepare_row(values)
         for check in self.checks:
             check.check(row, table_name=self.name)
+        # Exclusive on this table + shared on every FK parent, acquired
+        # in one global name order (incremental acquisition could form
+        # deadlock cycles with queries and vacuum).  Holding the parent
+        # locks through the append closes the check-then-insert window a
+        # concurrent parent delete could otherwise slip into.
+        with lock_tables(self.insert_lock_specs(database, skip_fk=skip_fk)):
+            if database is not None and not skip_fk:
+                for foreign_key in self.foreign_keys:
+                    foreign_key.check(row, database, table_name=self.name)
+            row_id = self.storage.next_row_id()
+            # Unique/PK indexes raise before the row is attached, keeping state consistent.
+            for index in self.indexes.values():
+                index.insert(row_id, row, defer_sort=defer_index_sort)
+            self.storage.append(row)
+            self._data_bytes += self._row_bytes(row)
+            self.modification_counter += 1
+        return row_id
+
+    def insert_lock_specs(self, database: Optional["Database"], *,
+                          skip_fk: bool = False) -> list[tuple["Table", str]]:
+        """The lock set one insert needs: write here, read on FK parents."""
+        specs: list[tuple["Table", str]] = [(self, "write")]
         if database is not None and not skip_fk:
             for foreign_key in self.foreign_keys:
-                foreign_key.check(row, database, table_name=self.name)
-        row_id = self.storage.next_row_id()
-        # Unique/PK indexes raise before the row is attached, keeping state consistent.
-        for index in self.indexes.values():
-            index.insert(row_id, row, defer_sort=defer_index_sort)
-        self.storage.append(row)
-        self._data_bytes += self._row_bytes(row)
-        self.modification_counter += 1
-        return row_id
+                if database.has_table(foreign_key.referenced_table):
+                    specs.append((database.table(foreign_key.referenced_table),
+                                  "read"))
+        return specs
 
     def insert_many(self, rows: Iterable[dict[str, Any]], *,
                     database: Optional["Database"] = None,
                     skip_fk: bool = False) -> int:
-        """Bulk insert with deferred index maintenance; returns rows inserted."""
+        """Bulk insert with deferred index maintenance; returns rows inserted.
+
+        The whole bulk runs in one exclusive section (FK parents held
+        shared throughout): readers see either none or all of it, and
+        the database epoch advances once.
+        """
         count = 0
-        for values in rows:
-            self.insert(values, database=database, defer_index_sort=True, skip_fk=skip_fk)
-            count += 1
-        self.rebuild_indexes()
+        with lock_tables(self.insert_lock_specs(database, skip_fk=skip_fk)):
+            for values in rows:
+                self.insert(values, database=database, defer_index_sort=True,
+                            skip_fk=skip_fk)
+                count += 1
+            self.rebuild_indexes()
         return count
 
     def rebuild_indexes(self) -> None:
@@ -273,29 +314,37 @@ class Table:
             index.rebuild()
 
     def delete_row(self, row_id: int) -> bool:
-        row = self.get_row(row_id)
-        if row is None:
-            return False
-        for index in self.indexes.values():
-            index.remove(row_id, row)
-        self.storage.delete(row_id)
-        self._data_bytes -= self._row_bytes(row)
-        self.modification_counter += 1
-        return True
+        with self.lock.write():
+            row = self.storage.get(row_id)
+            if row is None:
+                return False
+            for index in self.indexes.values():
+                index.remove(row_id, row)
+            self.storage.delete(row_id)
+            self._data_bytes -= self._row_bytes(row)
+            self.modification_counter += 1
+            return True
 
     def delete_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
-        """Delete all rows matching ``predicate``; returns the number deleted."""
-        victims = [row_id for row_id, row in self.iter_rows() if predicate(row)]
-        for row_id in victims:
-            self.delete_row(row_id)
-        return len(victims)
+        """Delete all rows matching ``predicate``; returns the number deleted.
+
+        Selection and deletion happen in one exclusive section, so the
+        predicate runs against a stable snapshot.
+        """
+        with self.lock.write():
+            victims = [row_id for row_id, row in self.storage.iter_rows()
+                       if predicate(row)]
+            for row_id in victims:
+                self.delete_row(row_id)
+            return len(victims)
 
     def truncate(self) -> None:
-        self.modification_counter += self.storage.live_count
-        self.storage.clear()
-        self._data_bytes = 0
-        for index in self.indexes.values():
-            index.clear()
+        with self.lock.write():
+            self.modification_counter += self.storage.live_count
+            self.storage.clear()
+            self._data_bytes = 0
+            for index in self.indexes.values():
+                index.clear()
 
     # -- storage layout --------------------------------------------------------
 
@@ -309,16 +358,17 @@ class Table:
         Returns the number of live rows converted; a same-kind call is
         a no-op.
         """
-        if self.storage.kind == kind:
+        with self.lock.write():
+            if self.storage.kind == kind:
+                return self.storage.live_count
+            new_storage = make_storage(kind, self.columns)
+            for _row_id, row in self.storage.iter_rows():
+                new_storage.append(row)
+            self.storage = new_storage
+            self._rebuild_indexes_from_storage()
+            if self._on_schema_change is not None:
+                self._on_schema_change()
             return self.storage.live_count
-        new_storage = make_storage(kind, self.columns)
-        for _row_id, row in self.storage.iter_rows():
-            new_storage.append(row)
-        self.storage = new_storage
-        self._rebuild_indexes_from_storage()
-        if self._on_schema_change is not None:
-            self._on_schema_change()
-        return self.storage.live_count
 
     # -- tombstone compaction ------------------------------------------------
 
@@ -340,19 +390,21 @@ class Table:
         the skip-a-hole branch for every deleted row (the loader's UNDO
         of a large failed step can leave millions).
         """
-        dead = self.storage.vacuum()
-        if dead == 0:
-            return 0
-        self._rebuild_indexes_from_storage()
-        return dead
+        with self.lock.write():
+            dead = self.storage.vacuum()
+            if dead == 0:
+                return 0
+            self._rebuild_indexes_from_storage()
+            return dead
 
     def maybe_vacuum(self, threshold: Optional[float] = None) -> int:
         """Vacuum when the dead-slot fraction exceeds ``threshold``."""
         limit = self.VACUUM_THRESHOLD if threshold is None else threshold
-        total = len(self.storage)
-        if total and self.storage.tombstone_count / total >= limit:
-            return self.vacuum()
-        return 0
+        with self.lock.write():
+            total = len(self.storage)
+            if total and self.storage.tombstone_count / total >= limit:
+                return self.vacuum()
+            return 0
 
     def _rebuild_indexes_from_storage(self) -> None:
         for index in self.indexes.values():

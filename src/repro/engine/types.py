@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import datetime as _dt
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 from .errors import SchemaError, TypeMismatchError
 

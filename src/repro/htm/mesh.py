@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from .trixel import Trixel, htm_level, root_trixels, trixel_from_id
-from .vectors import Vector, radec_to_unit
+from .vectors import radec_to_unit
 
 #: The SkyServer's storage depth for HTM ids.
 DEFAULT_DEPTH = 20

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from .vectors import Vector, centroid, cross, dot, midpoint, normalize
+from .vectors import Vector, centroid, cross, dot, midpoint
 
 #: Octahedron vertices (the standard Johns Hopkins HTM layout).
 _V0: Vector = (0.0, 0.0, 1.0)

@@ -99,18 +99,25 @@ class LoadEventLog:
                message: str = "") -> None:
         """Record the completion (or failure) of a load step."""
         table = self._table()
-        for row_id, row in table.iter_rows():
+        # Close the (read-locked) scan before mutating: delete/insert
+        # take the table's write lock, which a held read lock may not
+        # upgrade into.
+        iterator = table.iter_rows()
+        found = None
+        for row_id, row in iterator:
             if row["eventid"] == event_id:
-                updated = dict(row)
-                updated["endtime"] = self.database.now()
-                updated["insertedrows"] = inserted_rows
-                updated["status"] = status
-                updated["message"] = message
-                table.delete_row(row_id)
-                table.insert({key: value for key, value in updated.items()},
-                             database=self.database)
-                return
-        raise KeyError(f"no load event {event_id}")
+                found = (row_id, dict(row))
+                break
+        iterator.close()
+        if found is None:
+            raise KeyError(f"no load event {event_id}")
+        row_id, updated = found
+        updated["endtime"] = self.database.now()
+        updated["insertedrows"] = inserted_rows
+        updated["status"] = status
+        updated["message"] = message
+        table.delete_row(row_id)
+        table.insert(updated, database=self.database)
 
     def mark_undone(self, event_id: int, message: str = "") -> None:
         self.finish(event_id, inserted_rows=0, status=STATUS_UNDONE,

@@ -15,7 +15,6 @@ map the g/r/i bands onto 8-bit RGB, and builds the 4-level pyramid by
 
 from __future__ import annotations
 
-import math
 import zlib
 from dataclasses import dataclass
 from typing import Optional, Sequence

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
 from ..engine import Database
+from ..engine.concurrency import lock_tables
 from ..engine.errors import ConstraintViolation, EngineError, LoadError
 from ..pipeline.csvexport import read_csv
 
@@ -69,23 +70,29 @@ class LoadStep:
         inserted = 0
         error = ""
         failed_row_number: Optional[int] = None
-        for row_number, raw_row in enumerate(self.rows, start=1):
-            row = self._convert_row(raw_row)
+        # One exclusive section for the whole step (FK parents shared,
+        # all acquired upfront in global order): concurrent readers see
+        # the table before or after the bulk, never mid-load, and the
+        # per-row lock overhead is paid once instead of per insert.
+        with lock_tables(table.insert_lock_specs(
+                database, skip_fk=not enforce_foreign_keys)):
+            for row_number, raw_row in enumerate(self.rows, start=1):
+                row = self._convert_row(raw_row)
+                try:
+                    table.insert(row, database=database, defer_index_sort=True,
+                                 skip_fk=not enforce_foreign_keys)
+                except (ConstraintViolation, EngineError) as exc:
+                    error = str(exc)
+                    failed_row_number = row_number
+                    break
+                inserted += 1
             try:
-                table.insert(row, database=database, defer_index_sort=True,
-                             skip_fk=not enforce_foreign_keys)
+                table.rebuild_indexes()
             except (ConstraintViolation, EngineError) as exc:
-                error = str(exc)
-                failed_row_number = row_number
-                break
-            inserted += 1
-        try:
-            table.rebuild_indexes()
-        except (ConstraintViolation, EngineError) as exc:
-            # Deferred uniqueness checks (bulk loads) surface here; the whole
-            # step is reported as failed and the operator UNDOes it.
-            if not error:
-                error = f"index rebuild after load failed: {exc}"
+                # Deferred uniqueness checks (bulk loads) surface here; the whole
+                # step is reported as failed and the operator UNDOes it.
+                if not error:
+                    error = f"index rebuild after load failed: {exc}"
         return LoadStepResult(
             table_name=self.table_name, source=self.source,
             source_rows=len(self.rows), inserted_rows=inserted,

@@ -17,7 +17,7 @@ from __future__ import annotations
 import csv
 import datetime as _dt
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 #: Suffix marking hex-encoded binary columns in exported CSV files.
 BLOB_PREFIX = "hex:"

@@ -16,9 +16,8 @@ primary/secondary duplication arises downstream.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 #: Geometry constants chosen to match the SDSS camera layout closely enough
 #: that the derived statistics (objects per field, duplicate fraction) land

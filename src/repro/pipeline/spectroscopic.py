@@ -10,7 +10,6 @@ quantities are stored in the elRedShift table." (paper §9.1.2)
 
 from __future__ import annotations
 
-import math
 import random
 import zlib
 from dataclasses import dataclass, field

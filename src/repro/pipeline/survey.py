@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
-from ..schema.flags import PhotoFlags, PhotoType
-from .crossmatch import CrossMatcher, CrossMatchOutput, MatchRates
+from ..schema.flags import PhotoType
+from .crossmatch import CrossMatcher, MatchRates
 from .csvexport import export_tables
 from .deblend import DEFAULT_BLEND_FRACTION, deblend_family, primary_fraction, resolve_primaries
 from .geometry import SurveyGeometry, make_geometry

@@ -20,7 +20,7 @@ import math
 from typing import Iterable, Optional
 
 from ..engine import Database
-from ..htm import arcmin_between, cover_circle, lookup_id, ranges_contain
+from ..htm import arcmin_between, cover_circle, ranges_contain
 
 #: The paper's neighbourhood radius: half an arcminute.
 DEFAULT_RADIUS_ARCMIN = 0.5

@@ -4,8 +4,11 @@ from .education import (HubbleDiagram, HubblePoint, ProjectCatalogEntry,
                         SketchTarget, hubble_diagram, old_time_astronomy_targets,
                         project_catalog)
 from .formats import FORMATS, render, render_csv, render_fits_table, render_grid, render_xml
-from .limits import PUBLIC_ROW_LIMIT, PUBLIC_TIME_LIMIT_SECONDS, QueryLimits
+from .limits import (PUBLIC_ROW_LIMIT, PUBLIC_TIME_LIMIT_SECONDS, QueryLimits,
+                     ServiceClass, default_service_classes)
 from .personal import PersonalExtractSummary, extract_personal_skyserver
+from .pool import (AdmissionRejected, PoolShutdown, QueryTicket, QueueTimeout,
+                   ResultCache, SkyServerPool)
 from .queries import (ADDITIONAL_SIMPLE_QUERIES, DATA_MINING_QUERIES,
                       CATEGORY_AGGREGATE, CATEGORY_INDEX_LOOKUP, CATEGORY_JOIN,
                       CATEGORY_SCAN, CATEGORY_SPATIAL, DataMiningQuery,
@@ -25,6 +28,14 @@ __all__ = [
     "QueryOutput",
     "ExecutionStatistics",
     "QueryLimits",
+    "ServiceClass",
+    "default_service_classes",
+    "SkyServerPool",
+    "QueryTicket",
+    "ResultCache",
+    "AdmissionRejected",
+    "QueueTimeout",
+    "PoolShutdown",
     "PUBLIC_ROW_LIMIT",
     "PUBLIC_TIME_LIMIT_SECONDS",
     "DataMiningQuery",

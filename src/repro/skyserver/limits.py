@@ -1,13 +1,22 @@
-"""Public-server resource limits.
+"""Public-server resource limits and per-class admission quotas.
 
 "The public SkyServer limits queries to 1,000 records or 30 seconds of
 computation.  For more demanding queries, the users must use a private
 SkyServer." (paper §4)
+
+Per-query budgets (:class:`QueryLimits`) bound what one query may cost;
+:class:`ServiceClass` adds the *admission-control* dimension the
+concurrent serving pool (:mod:`repro.skyserver.pool`) enforces: how
+many queries of a class may run at once, how many may wait in the
+queue, and how long one may wait before the pool gives up on it.  The
+default classes mirror the paper's user population — anonymous public
+web users, "power" users running heavier mining queries, and the
+operators' administrative access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 #: The published public-server limits.
@@ -37,3 +46,45 @@ class QueryLimits:
         seconds = ("unlimited" if self.max_seconds is None
                    else f"{self.max_seconds:g} seconds")
         return f"{rows} / {seconds}"
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """Admission-control quotas for one class of users.
+
+    ``max_concurrent`` caps how many of this class's queries execute
+    simultaneously; ``max_queue_depth`` caps how many may wait for a
+    worker (beyond it, submissions are rejected outright — the web tier
+    should tell the user to retry, not buffer unbounded work);
+    ``queue_timeout_seconds`` bounds the wait itself (``None`` = wait
+    forever).  ``limits`` is the per-query row/time budget every query
+    of the class runs under.
+    """
+
+    name: str
+    limits: QueryLimits = field(default_factory=QueryLimits.public)
+    max_concurrent: int = 4
+    max_queue_depth: int = 32
+    queue_timeout_seconds: Optional[float] = 30.0
+
+    def describe(self) -> str:
+        timeout = ("no queue timeout" if self.queue_timeout_seconds is None
+                   else f"{self.queue_timeout_seconds:g}s queue timeout")
+        return (f"{self.name}: {self.limits.describe()}, "
+                f"{self.max_concurrent} concurrent, "
+                f"queue depth {self.max_queue_depth}, {timeout}")
+
+
+def default_service_classes() -> dict[str, ServiceClass]:
+    """The pool's default admission classes (public / power / admin)."""
+    return {
+        "public": ServiceClass(
+            "public", QueryLimits.public(),
+            max_concurrent=8, max_queue_depth=64, queue_timeout_seconds=30.0),
+        "power": ServiceClass(
+            "power", QueryLimits(max_rows=100_000, max_seconds=300.0),
+            max_concurrent=4, max_queue_depth=16, queue_timeout_seconds=120.0),
+        "admin": ServiceClass(
+            "admin", QueryLimits.private(),
+            max_concurrent=2, max_queue_depth=8, queue_timeout_seconds=None),
+    }

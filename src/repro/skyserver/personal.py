@@ -17,7 +17,6 @@ full schema, views, functions and indices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..engine import Database
 from ..schema import create_skyserver_database

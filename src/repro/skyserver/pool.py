@@ -1,0 +1,653 @@
+"""The concurrent serving pool: worker sessions, admission control and
+a shared result cache.
+
+The paper's SkyServer is not a single query loop — it is a public web
+service absorbing millions of hits with hard per-user limits (§4, §7).
+:class:`SkyServerPool` is that serving tier in library form:
+
+* a fixed pool of **worker threads**, each owning one
+  :class:`~repro.engine.sql.SqlSession` per service class (sessions
+  keep variables and a plan cache, so they are deliberately not shared
+  across threads);
+* **admission control** in front of the workers: every submission names
+  a :class:`~repro.skyserver.limits.ServiceClass` (public / power /
+  admin by default) with its own concurrency quota, queue depth and
+  queue timeout.  A full queue rejects immediately — the web tier tells
+  the user to retry rather than buffering unbounded work;
+* a shared **result cache**: the public workload is dominated by the
+  same template queries over and over (the paper's §7 traffic mix), so
+  finished SELECT results are cached under their normalised SQL text
+  and served without re-execution while still valid.  An entry is valid
+  only while the catalog's ``schema_version`` and the *per-table
+  modification counters* of every table the query read are unchanged —
+  the same invalidation discipline as the session plan cache, extended
+  to DML.  Identical cacheable queries in flight are **coalesced**
+  (dogpile protection): one worker executes, the duplicates wait for
+  its cache fill instead of burning more workers on the same answer;
+* **snapshot reads**: a worker acquires the read locks of every table
+  its query references (in one global order, via
+  :func:`repro.engine.concurrency.read_locks`) for the duration of the
+  execution, so VACUUM, bulk loads and storage conversions can run
+  concurrently without ever being observed mid-flight.  The database
+  epoch recorded under those locks identifies the snapshot the query
+  saw.
+
+Batches that depend on session state (``DECLARE``/``SET``/``@var``
+references), perform DDL (``SELECT INTO``) or mutate statistics
+(``ANALYZE``) execute normally but are never result-cached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace as _dataclass_replace
+from typing import Any, Optional
+
+from ..engine import (FunctionRef, QueryResult, SqlSession, contains_variables,
+                      read_locks, referenced_tables)
+from ..engine.catalog import Database
+from ..engine.errors import CatalogError
+from ..engine.sql import PlanCache, parse_batch
+from ..engine.sql.ast import SelectStatement
+from .limits import ServiceClass, default_service_classes
+
+
+class AdmissionRejected(RuntimeError):
+    """A submission refused at the door (unknown class or full queue)."""
+
+    def __init__(self, message: str, *, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+class QueueTimeout(RuntimeError):
+    """A submission that waited longer than its class's queue timeout."""
+
+
+class PoolShutdown(RuntimeError):
+    """The pool was shut down before the submission could run."""
+
+
+class QueryTicket:
+    """Handle for one submitted query; resolves to a :class:`QueryResult`."""
+
+    __slots__ = ("sql", "user_class", "status", "submitted_at", "started_at",
+                 "finished_at", "cache_hit", "epoch", "deadline",
+                 "_result", "_error", "_done")
+
+    def __init__(self, sql: str, user_class: str):
+        self.sql = sql
+        self.user_class = user_class
+        self.status = "queued"
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.cache_hit = False
+        #: Database epoch the execution observed under its read locks.
+        self.epoch: Optional[int] = None
+        self.deadline: Optional[float] = None
+        self._result: Optional[QueryResult] = None
+        self._error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block until the query finishes; re-raises its failure, if any."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query did not finish within {timeout} seconds")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def _complete(self, result: QueryResult, *, status: str = "done",
+                  cache_hit: bool = False) -> None:
+        self._result = result
+        self.cache_hit = cache_hit
+        self.status = status
+        self.finished_at = time.perf_counter()
+        self._done.set()
+
+    def _fail(self, error: BaseException, *, status: str = "failed") -> None:
+        self._error = error
+        self.status = status
+        self.finished_at = time.perf_counter()
+        self._done.set()
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheEntry:
+    """One cached result and the versions it is valid against."""
+
+    schema_version: int
+    #: Lower-cased base-table name -> ``modification_counter`` at
+    #: execution time, for every table the query read.
+    table_versions: dict[str, int]
+    result: QueryResult
+
+
+def _copy_result(result: QueryResult) -> QueryResult:
+    """A caller-owned copy: shared cache entries must never be mutated."""
+    return QueryResult(
+        columns=list(result.columns),
+        rows=[dict(row) for row in result.rows],
+        statistics=_dataclass_replace(result.statistics),
+        plan=result.plan,
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU of finished query results.
+
+    Keys are whitespace-normalised SQL (the plan cache's normalisation);
+    validity is re-checked on every lookup against the catalog's schema
+    version and the recorded per-table modification counters, so any
+    DML, DDL or ANALYZE against a dependency invalidates the entry.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._mutex = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def lookup(self, key: str, database: Database, *,
+               record_miss: bool = True) -> Optional[QueryResult]:
+        """The cached result for ``key`` if still valid, else None.
+
+        ``record_miss=False`` keeps a second probe for the same
+        submission (the worker's pre-execution re-check) from counting
+        one logical miss twice.
+        """
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += record_miss
+                return None
+            if not self._valid(entry, database):
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += record_miss
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            result = entry.result
+        return _copy_result(result)
+
+    @staticmethod
+    def _valid(entry: CacheEntry, database: Database) -> bool:
+        if entry.schema_version != database.schema_version:
+            return False
+        try:
+            return all(database.table(name).modification_counter == counter
+                       for name, counter in entry.table_versions.items())
+        except CatalogError:
+            return False
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        entry = CacheEntry(entry.schema_version, dict(entry.table_versions),
+                           _copy_result(entry.result))
+        with self._mutex:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def statistics(self) -> dict[str, Any]:
+        with self._mutex:
+            size = len(self._entries)
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "size": size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _BatchInfo:
+    """Memoised per-SQL metadata: which tables to lock, cacheability."""
+
+    schema_version: int
+    table_names: tuple[str, ...]     # lower-cased base tables
+    cacheable: bool
+
+
+class SkyServerPool:
+    """A thread pool of worker sessions with admission control.
+
+    ``server`` may be a :class:`~repro.skyserver.server.SkyServer` (the
+    pool attaches itself, surfacing its counters through
+    ``site_statistics()["serving"]``) or a bare
+    :class:`~repro.engine.catalog.Database`.
+    """
+
+    def __init__(self, server: Any, *, workers: int = 8,
+                 service_classes: Optional[dict[str, ServiceClass]] = None,
+                 result_cache_size: int = 256):
+        self.database: Database = getattr(server, "database", server)
+        self.service_classes = dict(service_classes or default_service_classes())
+        self.result_cache = ResultCache(result_cache_size)
+        self._cond = threading.Condition()
+        self._queue: "deque[QueryTicket]" = deque()
+        self._running = {name: 0 for name in self.service_classes}
+        self._queued = {name: 0 for name in self.service_classes}
+        self._shutdown = False
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.queue_timeouts = 0
+        self.queue_depth_peak = 0
+        self._per_class: dict[str, dict[str, int]] = {
+            name: {"submitted": 0, "completed": 0, "failed": 0,
+                   "rejected": 0, "queue_timeouts": 0}
+            for name in self.service_classes}
+        #: Memoised per-SQL lock/cacheability metadata; bounded LRU so
+        #: an endless stream of distinct ad-hoc queries cannot grow it
+        #: without limit (the plan/result caches are bounded too).
+        self._batch_info: "OrderedDict[str, _BatchInfo]" = OrderedDict()
+        self._batch_info_capacity = 1024
+        self._batch_info_lock = threading.Lock()
+        #: Cacheable queries currently executing, for dogpile coalescing:
+        #: cache key -> tickets parked on the leader's completion.  A
+        #: parked follower consumes no worker thread.
+        self._inflight: dict[str, list[QueryTicket]] = {}
+        self._inflight_lock = threading.Lock()
+        self.coalesced = 0
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"skyserver-worker-{index}")
+            for index in range(workers)]
+        for thread in self._threads:
+            thread.start()
+        # One watchdog enforces queue deadlines even while every worker
+        # is busy (no per-ticket timer threads).
+        self._reaper: Optional[threading.Thread] = None
+        if any(service.queue_timeout_seconds is not None
+               for service in self.service_classes.values()):
+            self._reaper = threading.Thread(target=self._reap_loop, daemon=True,
+                                            name="skyserver-reaper")
+            self._reaper.start()
+        attach = getattr(server, "attach_pool", None)
+        if callable(attach):
+            attach(self)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, sql: str, user_class: str = "public") -> QueryTicket:
+        """Admit one query; returns a ticket resolving to its result.
+
+        Raises :class:`AdmissionRejected` when the class is unknown or
+        its queue is full.  A result-cache hit completes the ticket
+        immediately, without consuming a worker.
+        """
+        service = self.service_classes.get(user_class)
+        if service is None:
+            with self._cond:
+                self.rejected += 1
+            raise AdmissionRejected(
+                f"unknown service class {user_class!r} "
+                f"(have {sorted(self.service_classes)})", reason="unknown-class")
+        ticket = QueryTicket(sql, user_class)
+        cached = self.result_cache.lookup(self._cache_key(sql, user_class),
+                                          self.database)
+        if cached is not None:
+            with self._cond:
+                self.submitted += 1
+                self.completed += 1
+                self._per_class[user_class]["submitted"] += 1
+                self._per_class[user_class]["completed"] += 1
+            ticket._complete(cached, cache_hit=True)
+            return ticket
+        with self._cond:
+            if self._shutdown:
+                raise PoolShutdown("the serving pool has been shut down")
+            if self._queued[user_class] >= service.max_queue_depth:
+                self.rejected += 1
+                self._per_class[user_class]["rejected"] += 1
+                raise AdmissionRejected(
+                    f"{user_class} queue is full "
+                    f"({service.max_queue_depth} waiting)", reason="queue-full")
+            if service.queue_timeout_seconds is not None:
+                ticket.deadline = ticket.submitted_at + service.queue_timeout_seconds
+            self.submitted += 1
+            self._per_class[user_class]["submitted"] += 1
+            self._queued[user_class] += 1
+            self._queue.append(ticket)
+            self.queue_depth_peak = max(self.queue_depth_peak, len(self._queue))
+            # notify_all: both an idle worker and the deadline reaper
+            # listen on this condition.
+            self._cond.notify_all()
+        return ticket
+
+    def _reap_loop(self) -> None:
+        """Watchdog: expire overdue queued tickets on schedule.
+
+        Without it a deadline would only be noticed the next time a
+        worker looks at the queue — potentially the full runtime of
+        whatever long queries keep every worker busy.
+        """
+        while True:
+            with self._cond:
+                if self._shutdown:
+                    return
+                self._expire_overdue()
+                deadlines = [ticket.deadline for ticket in self._queue
+                             if ticket.deadline is not None]
+                if deadlines:
+                    delay = max(0.0, min(deadlines) - time.perf_counter())
+                    self._cond.wait(delay + 0.001)
+                else:
+                    self._cond.wait()
+
+    def _expire_overdue(self) -> None:
+        """Fail every queued ticket past its deadline; caller holds _cond."""
+        now = time.perf_counter()
+        keep: "deque[QueryTicket]" = deque()
+        while self._queue:
+            ticket = self._queue.popleft()
+            if ticket.deadline is not None and now > ticket.deadline:
+                self._queued[ticket.user_class] -= 1
+                self.queue_timeouts += 1
+                self._per_class[ticket.user_class]["queue_timeouts"] += 1
+                service = self.service_classes[ticket.user_class]
+                ticket._fail(QueueTimeout(
+                    f"waited longer than the {ticket.user_class} queue timeout "
+                    f"of {service.queue_timeout_seconds:g}s"), status="timeout")
+            else:
+                keep.append(ticket)
+        self._queue.extend(keep)
+
+    def execute(self, sql: str, user_class: str = "public", *,
+                timeout: Optional[float] = None) -> QueryResult:
+        """Submit and wait: the synchronous convenience path."""
+        return self.submit(sql, user_class).result(timeout)
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker(self) -> None:
+        sessions: dict[str, SqlSession] = {}
+        while True:
+            with self._cond:
+                ticket = self._pop_eligible()
+                while ticket is None:
+                    if self._shutdown:
+                        return
+                    self._cond.wait()
+                    ticket = self._pop_eligible()
+            try:
+                self._run_ticket(ticket, sessions)
+            finally:
+                with self._cond:
+                    self._running[ticket.user_class] -= 1
+                    self._cond.notify_all()
+
+    def _pop_eligible(self) -> Optional[QueryTicket]:
+        """Next runnable ticket (expiring stale ones); caller holds _cond."""
+        self._expire_overdue()
+        survivors: list[QueryTicket] = []
+        chosen: Optional[QueryTicket] = None
+        while self._queue:
+            ticket = self._queue.popleft()
+            service = self.service_classes[ticket.user_class]
+            if chosen is None and self._running[ticket.user_class] < service.max_concurrent:
+                chosen = ticket
+                self._queued[ticket.user_class] -= 1
+                self._running[ticket.user_class] += 1
+            else:
+                survivors.append(ticket)
+        self._queue.extend(survivors)
+        return chosen
+
+    def _run_ticket(self, ticket: QueryTicket, sessions: dict[str, SqlSession]) -> None:
+        ticket.started_at = time.perf_counter()
+        ticket.status = "running"
+        key = self._cache_key(ticket.sql, ticket.user_class)
+        # A duplicate submitted while its twin was still queued may be
+        # servable by now; re-probe before paying for execution.
+        cached = self.result_cache.lookup(key, self.database, record_miss=False)
+        if cached is not None:
+            with self._cond:
+                self.completed += 1
+                self._per_class[ticket.user_class]["completed"] += 1
+            ticket._complete(cached, cache_hit=True)
+            return
+        session = sessions.get(ticket.user_class)
+        if session is None:
+            limits = self.service_classes[ticket.user_class].limits
+            session = SqlSession(self.database, row_limit=limits.max_rows,
+                                 time_limit_seconds=limits.max_seconds)
+            sessions[ticket.user_class] = session
+        try:
+            info = self._analyze_batch(ticket.sql, key)
+        except Exception as error:
+            self._finish_failed(ticket, error)
+            return
+        if not info.cacheable:
+            self._execute(ticket, session, info, key)
+            return
+        # Dogpile coalescing: the first worker on a cacheable query
+        # becomes its leader and executes; a duplicate is *parked* on
+        # the leader's completion — the worker that picked it up returns
+        # to the pool immediately instead of blocking on the same answer.
+        with self._inflight_lock:
+            followers = self._inflight.get(key)
+            if followers is not None:
+                followers.append(ticket)
+                ticket.status = "coalesced"
+                return
+            self._inflight[key] = []
+        try:
+            self._execute(ticket, session, info, key)
+        finally:
+            with self._inflight_lock:
+                followers = self._inflight.pop(key, [])
+            self._resolve_followers(followers, key)
+
+    def _resolve_followers(self, followers: list[QueryTicket], key: str) -> None:
+        """Serve tickets parked behind a finished leader.
+
+        On a successful leader the cache fill satisfies them all; if the
+        leader failed (or the entry was invalidated immediately), the
+        followers go back into the admission queue to execute on their
+        own.
+        """
+        for ticket in followers:
+            cached = self.result_cache.lookup(key, self.database,
+                                              record_miss=False)
+            if cached is not None:
+                with self._cond:
+                    self.coalesced += 1
+                    self.completed += 1
+                    self._per_class[ticket.user_class]["completed"] += 1
+                ticket._complete(cached, cache_hit=True)
+                continue
+            with self._cond:
+                if self._shutdown:
+                    shut_down = True
+                else:
+                    shut_down = False
+                    ticket.status = "queued"
+                    self._queued[ticket.user_class] += 1
+                    self._queue.append(ticket)
+                    self._cond.notify_all()
+            if shut_down:
+                ticket._fail(PoolShutdown("the serving pool was shut down"),
+                             status="rejected")
+
+    def _execute(self, ticket: QueryTicket, session: SqlSession,
+                 info: "_BatchInfo", key: str) -> None:
+        """Run the batch under its tables' read locks; fill the cache."""
+        try:
+            tables = [self.database.table(name) for name in info.table_names
+                      if self.database.has_table(name)]
+            with read_locks(tables):
+                ticket.epoch = self.database.epoch
+                result = session.query(ticket.sql)
+                versions = {table.name.lower(): table.modification_counter
+                            for table in tables}
+                schema_version = self.database.schema_version
+            if info.cacheable:
+                self.result_cache.put(
+                    key, CacheEntry(schema_version, versions, result))
+        except Exception as error:
+            self._finish_failed(ticket, error)
+            return
+        with self._cond:
+            self.completed += 1
+            self._per_class[ticket.user_class]["completed"] += 1
+        ticket._complete(result)
+
+    def _finish_failed(self, ticket: QueryTicket, error: BaseException) -> None:
+        with self._cond:
+            self.failed += 1
+            self._per_class[ticket.user_class]["failed"] += 1
+        ticket._fail(error)
+
+    # -- batch metadata ----------------------------------------------------
+
+    @staticmethod
+    def _cache_key(sql: str, user_class: str) -> str:
+        """Normalised SQL, scoped per service class.
+
+        Classes run under different row/time budgets: sharing one entry
+        across classes would hand a public user a power/admin result
+        that the public limits would have rejected.
+        """
+        return user_class + "\x00" + PlanCache.normalize(sql)
+
+    def _analyze_batch(self, sql: str, key: str) -> _BatchInfo:
+        """Which base tables the batch reads, and whether to cache it."""
+        version = self.database.schema_version
+        with self._batch_info_lock:
+            info = self._batch_info.get(key)
+            if info is not None and info.schema_version == version:
+                self._batch_info.move_to_end(key)
+                return info
+        names: set[str] = set()
+        cacheable = True
+        uses_functions = False
+        for statement in parse_batch(sql):
+            if isinstance(statement, SelectStatement) and statement.query is not None:
+                names |= referenced_tables(statement.query)
+                if statement.query.into or contains_variables(statement.query):
+                    cacheable = False
+                if any(isinstance(relation, FunctionRef)
+                       for relation in statement.query.all_relations()):
+                    # Table-valued functions read tables we cannot see at
+                    # the logical level: their results cannot be keyed to
+                    # modification counters (so never cached), and the
+                    # execution conservatively read-locks *every* table.
+                    cacheable = False
+                    uses_functions = True
+            else:
+                # DECLARE / SET / ANALYZE: session state or statistics
+                # mutation — execute fine, but never serve across users.
+                cacheable = False
+        if uses_functions:
+            resolved = {name.lower() for name in self.database.table_names()}
+        else:
+            resolved = set()
+            for name in names:
+                if self.database.has_view(name):
+                    resolved.add(self.database.resolve_relation(name).table_name.lower())
+                elif self.database.has_table(name):
+                    resolved.add(self.database.table(name).name.lower())
+        info = _BatchInfo(version, tuple(sorted(resolved)), cacheable)
+        with self._batch_info_lock:
+            self._batch_info[key] = info
+            self._batch_info.move_to_end(key)
+            while len(self._batch_info) > self._batch_info_capacity:
+                self._batch_info.popitem(last=False)
+        return info
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; queued-but-unstarted tickets fail."""
+        with self._cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            leftovers = list(self._queue)
+            self._queue.clear()
+            for ticket in leftovers:
+                self._queued[ticket.user_class] -= 1
+            self._cond.notify_all()
+        for ticket in leftovers:
+            ticket._fail(PoolShutdown("the serving pool was shut down"),
+                         status="rejected")
+        if wait:
+            for thread in self._threads:
+                thread.join()
+            if self._reaper is not None:
+                self._reaper.join()
+
+    def __enter__(self) -> "SkyServerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- introspection -----------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """The ``site_statistics()["serving"]["pool"]`` payload."""
+        with self._cond:
+            return {
+                "workers": len(self._threads),
+                "queue_depth": len(self._queue),
+                "queue_depth_peak": self.queue_depth_peak,
+                "running": dict(self._running),
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "queue_timeouts": self.queue_timeouts,
+                "coalesced": self.coalesced,
+                "result_cache": self.result_cache.statistics(),
+                "classes": {
+                    name: {**counters,
+                           "limits": self.service_classes[name].describe()}
+                    for name, counters in self._per_class.items()},
+                "epoch": self.database.epoch,
+            }

@@ -11,7 +11,7 @@ page of Figure 2), the famous-places gallery, the schema browser and the
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from ..engine import Database, QueryResult, SqlSession
@@ -62,6 +62,8 @@ class SkyServer:
         self.session = SqlSession(database,
                                   row_limit=self.limits.max_rows,
                                   time_limit_seconds=self.limits.max_seconds)
+        #: The concurrent serving pool, once one is started/attached.
+        self._pool = None
 
     # -- construction helpers --------------------------------------------------
 
@@ -103,6 +105,40 @@ class SkyServer:
     def plan_cache_statistics(self) -> dict[str, int]:
         """Hit/miss/invalidation counters of the session's plan cache."""
         return self.session.plan_cache.statistics()
+
+    # -- concurrent serving ------------------------------------------------------
+
+    def start_pool(self, *, workers: int = 8, service_classes=None,
+                   result_cache_size: int = 256):
+        """Start (and attach) a concurrent serving pool over this database.
+
+        Returns the :class:`~repro.skyserver.pool.SkyServerPool`; its
+        admission/queue/cache/lock counters appear in
+        ``site_statistics()["serving"]`` from then on.  A previously
+        attached pool is shut down first.
+        """
+        from .pool import SkyServerPool
+
+        if self._pool is not None:
+            self._pool.shutdown()
+        return SkyServerPool(self, workers=workers,
+                             service_classes=service_classes,
+                             result_cache_size=result_cache_size)
+
+    def attach_pool(self, pool) -> None:
+        """Register ``pool`` as this server's serving pool (pool calls this)."""
+        self._pool = pool
+
+    @property
+    def pool(self):
+        return self._pool
+
+    def serving_statistics(self) -> dict[str, Any]:
+        """Pool/queue/cache counters plus table-lock contention and epoch."""
+        return {
+            "pool": self._pool.statistics() if self._pool is not None else None,
+            "locks": self.database.concurrency_statistics(),
+        }
 
     # -- the data-mining suite ----------------------------------------------------
 
@@ -235,4 +271,5 @@ class SkyServer:
                 "plans": self.session.optimizer_statistics(),
                 "statistics_freshness": self.database.statistics_freshness(),
             },
+            "serving": self.serving_statistics(),
         }

@@ -12,7 +12,7 @@ such a join.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..engine import Database, bigint, floating, integer
 from ..htm import (DEFAULT_DEPTH, HtmRange, arcmin_between, cover,

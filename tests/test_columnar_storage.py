@@ -6,9 +6,9 @@ import random
 
 import pytest
 
-from repro.engine import (ColumnStore, Database, Planner, PrimaryKey, RowStore,
-                          SqlSession, bigint, floating, integer, make_storage,
-                          text)
+from repro.engine import (ColumnStore, Database, Planner, PrimaryKey,
+                          RowStore, SqlSession, bigint, floating,
+                          make_storage, text)
 from repro.engine.errors import SchemaError
 from repro.engine.explain import plan_operators
 from repro.engine.sql import parse_select

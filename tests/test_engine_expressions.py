@@ -4,9 +4,7 @@ import math
 
 import pytest
 
-from repro.engine import (Between, BinaryOp, CaseWhen, ColumnRef, EvaluationContext,
-                          FunctionCall, InList, Like, Literal, RowScope, UnaryOp,
-                          UnknownColumnError, Variable)
+from repro.engine import EvaluationContext, RowScope, UnknownColumnError
 from repro.engine.expressions import (combine_conjuncts, conjuncts,
                                       extract_sargable, is_constant)
 from repro.engine.sql import parse_expression

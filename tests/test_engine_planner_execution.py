@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Database, PrimaryKey, View, bigint, floating, integer, text
+from repro.engine import PrimaryKey, View, bigint, floating, integer
 from repro.engine.explain import plan_operators
 from repro.engine.sql import SqlSession, parse_expression
 

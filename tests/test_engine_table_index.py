@@ -4,9 +4,9 @@ import datetime as dt
 
 import pytest
 
-from repro.engine import (CheckConstraint, Database, ForeignKey, ForeignKeyViolation,
+from repro.engine import (CheckConstraint, ForeignKey, ForeignKeyViolation,
                           NotNullViolation, PrimaryKey, PrimaryKeyViolation,
-                          SchemaError, bigint, floating, integer, text, timestamp)
+                          SchemaError, bigint, floating, text, timestamp)
 from repro.engine.sql import parse_expression
 from repro.engine.types import CURRENT_TIMESTAMP
 
@@ -123,8 +123,8 @@ class TestConstraints:
             child.insert({"cid": 11, "pid": 99}, database=empty_database)
 
     def test_foreign_key_zero_treated_as_null(self, empty_database):
-        parent = empty_database.create_table("parent", [bigint("pid")],
-                                             primary_key=PrimaryKey(["pid"]))
+        empty_database.create_table("parent", [bigint("pid")],
+                                    primary_key=PrimaryKey(["pid"]))
         child = empty_database.create_table("child", [
             bigint("cid"), bigint("pid"),
         ], primary_key=PrimaryKey(["cid"]),

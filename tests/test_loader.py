@@ -11,7 +11,6 @@ from repro.loader import (LoadStep, LoadEventLog, SkyServerLoader, STATUS_FAILED
                           STATUS_SUCCESS, STATUS_UNDONE, build_pyramid, decode_tile,
                           nonlinear_rgb, render_field_image, undo_load_event,
                           undo_time_window, validate_database)
-from repro.pipeline import SurveyConfig, SyntheticSurvey
 from repro.schema import create_skyserver_database
 
 

@@ -5,8 +5,7 @@ import random
 import pytest
 
 from repro.htm import arcmin_between, htm_level
-from repro.pipeline import (CLASS_FRACTIONS, FramesPipeline, PlantedPopulations,
-                            SurveyConfig, SyntheticSurvey, decode_obj_id,
+from repro.pipeline import (CLASS_FRACTIONS, FramesPipeline, decode_obj_id,
                             deblend_family, encode_field_id, encode_obj_id,
                             make_geometry, overlap_fraction, primary_fraction,
                             synthesize_population)

@@ -1,13 +1,11 @@
 """Property-based tests (hypothesis) for the engine's core data structures."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import Database, Planner, PrimaryKey, bigint, floating, text
 from repro.engine.compile import compile_expression
-from repro.engine.index import BTreeIndex
 from repro.engine.sql import SqlSession, parse_expression, parse_select
 from repro.engine.expressions import (Between, BinaryOp, CaseWhen, ColumnRef,
                                       EvaluationContext, FunctionCall, InList,

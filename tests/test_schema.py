@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.engine import Database
 from repro.engine.errors import SchemaError
 from repro.schema import (IndexDefinition, MAX_KEY_COLUMNS, PhotoFlags, PhotoType,
                           SpecClass, create_indices, create_skyserver_database,

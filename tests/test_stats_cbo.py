@@ -14,7 +14,7 @@ import random
 import pytest
 
 from repro.engine import (Database, Planner, PrimaryKey, SqlSession, bigint,
-                          floating, integer, text)
+                          floating)
 from repro.engine.explain import plan_operators
 from repro.engine.operators import HashJoin, IndexRangeScan, TableScan
 from repro.engine.sql import parse_select
@@ -157,6 +157,28 @@ class TestStaleness:
         session.execute("analyze PhotoObj")
         session.query(sql)   # schema version bumped: replanned, not reused
         assert session.plan_cache.hits == 1
+
+    def test_stale_access_path_not_reused_after_analyze(self, session,
+                                                        toy_photo_database):
+        """Regression: a cached pre-ANALYZE plan whose access path the new
+        statistics would change must be replanned, not replayed.
+
+        ``run = 756`` covers half the table.  Without statistics the
+        heuristic planner seeks the ``(run, camcol, field)`` index; once
+        ANALYZE reveals how unselective the predicate is, the CBO costs
+        the 250 random bookmark lookups above a sequential scan."""
+        wide_sql = "select objID, ra, rowv, colv, flags from PhotoObj where run = 756"
+        before = session.query(wide_sql)
+        assert "Index Seek" in plan_operators(before.plan)
+        session.query(wide_sql)
+        assert session.plan_cache.hits == 1        # the seek plan is cached
+
+        session.execute("analyze PhotoObj")
+        after = session.query(wide_sql)
+        assert session.plan_cache.hits == 1        # stale entry dropped, not reused
+        assert session.plan_cache.invalidations == 1
+        assert "Index Seek" not in plan_operators(after.plan)
+        assert sorted(after.column("objID")) == sorted(before.column("objID"))
 
 
 class TestSelectivityCompounding:
