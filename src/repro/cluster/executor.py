@@ -1,0 +1,1076 @@
+"""Scatter-gather execution of cluster plans.
+
+Fragments run on a shared thread pool, one per surviving shard, each
+under the shard table's read lock (the same
+:mod:`repro.engine.concurrency` discipline the serving pool uses).  A
+fragment emits rows tagged with a **merge key** — the global sequence
+for scans, ``(index key rank…, sequence)`` for index access paths, plus
+the inner match ordinal for joins — and the coordinator k-way merges
+the shard streams by that key, which reproduces the single-node
+engine's emission order exactly.  Aggregates ship as partial states
+(COUNT/SUM/MIN/MAX merge directly; AVG merges as sum+count pairs) with
+per-group first-seen tags so merged groups surface in single-node
+first-seen order; aggregates whose result is order-sensitive (floating
+SUM/AVG, DISTINCT) fall back to gathering the tagged aggregate *inputs*
+and folding them in merged order, trading transfer for bit-identical
+results.  TOP-N re-sorts at the coordinator, DISTINCT unions in merged
+order, and anything a fragment cannot express falls back to the
+row-path gather executed by the unmodified single-node engine.
+
+``simulated_scan_mbps`` models the per-shard disk bandwidth of the
+paper's scan-bound hardware (Figure 15): each fragment sleeps for the
+time its bytes would take to stream off one shard's disks, so the
+scatter-gather overlap — the reason to shard at all — shows up in wall
+clock even on a single-CPU host.  It is off (None) by default.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterator, Optional, Sequence
+
+from ..engine.batch import BATCH_ROWS, ColumnBatch
+from ..engine.compile import (VectorCompileError, compile_expression,
+                              compile_vector_predicate,
+                              compile_vector_projection)
+from ..engine.errors import QueryLimitExceeded, SQLSyntaxError
+from ..engine.expressions import (ColumnRef, Expression, RowScope, Star)
+from ..engine.index import _KeyWrapper
+from ..engine.operators import (ExecutionStatistics, QueryResult, _AggState,
+                                _SortKey, _create_table_for_rows, _hashable,
+                                evaluate_projected)
+from ..engine.sql import SqlSession, parse_batch
+from ..engine.sql.ast import (AnalyzeStatement, DeclareStatement,
+                              SelectStatement, SetStatement)
+from ..engine.sql.session import StatementResult
+from ..engine.types import NULL, DataType
+from .planner import (ClusterPlan, ClusterPlanner, CoPartitionedJoinPlan,
+                      FallbackPlan, FragmentRelation, SingleTablePlan,
+                      candidate_shards)
+from .shard import ShardCluster
+
+#: Aggregate argument column types whose SUM/AVG partials merge exactly
+#: (integer addition is associative; float addition is not).
+_EXACT_SUM_TYPES = (DataType.INTEGER, DataType.BIGINT, DataType.BOOLEAN)
+
+
+class ClusterPlanHandle:
+    """Duck-typed stand-in for a PhysicalPlan on cluster results.
+
+    The EXPLAIN text is rendered lazily: almost no caller reads
+    ``result.plan``, and rendering re-runs partition pruning.
+    """
+
+    def __init__(self, render):
+        self._render = render
+        self._text: Optional[str] = None
+
+    def explain(self) -> str:
+        if self._text is None:
+            self._text = self._render()
+        return self._text
+
+
+class _Fragment:
+    """One shard's contribution to a distributed query."""
+
+    __slots__ = ("rows", "groups", "statistics")
+
+    def __init__(self) -> None:
+        #: Tagged output: list of (merge key, sort values|None, row dict)
+        #: for row fragments, or (merge key, group key, argument values)
+        #: for ordered-aggregate input fragments.
+        self.rows: list[tuple] = []
+        #: Partial aggregation: group key -> [min merge key, [_AggState, ...]].
+        self.groups: dict[tuple, list] = {}
+        self.statistics = ExecutionStatistics()
+
+
+class ClusterExecutor:
+    """Runs cluster plans over the shard pool and merges the streams."""
+
+    def __init__(self, cluster: ShardCluster, *,
+                 max_workers: Optional[int] = None,
+                 simulated_scan_mbps: Optional[float] = None):
+        self.cluster = cluster
+        workers = max_workers or max(1, min(cluster.shard_count, 8))
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-shard")
+        #: Per-shard simulated sequential-scan bandwidth (MB/s); None = off.
+        self.simulated_scan_mbps = simulated_scan_mbps
+        self._mutex = threading.Lock()
+        self.distributed_queries = 0
+        self.copartitioned_queries = 0
+        self.fallback_queries = 0
+        self.fragments_executed = 0
+        self.fragments_pruned = 0
+        self.rows_merged = 0
+        self.groups_merged = 0
+        self.partial_merges = 0
+        self.ordered_aggregate_gathers = 0
+        self.topn_resorts = 0
+        self.simulated_io_seconds = 0.0
+
+    def _count(self, **deltas: float) -> None:
+        with self._mutex:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    # -- entry point -------------------------------------------------------
+
+    def execute_plan(self, plan: ClusterPlan, variables: dict[str, Any], *,
+                     row_limit: Optional[int] = None,
+                     time_limit_seconds: Optional[float] = None) -> QueryResult:
+        assert not isinstance(plan, FallbackPlan)
+        evaluation = self.cluster.coordinator.evaluation_context(variables)
+        if isinstance(plan, SingleTablePlan):
+            relations = [plan.relation]
+            self._count(distributed_queries=1)
+        else:
+            assert isinstance(plan, CoPartitionedJoinPlan)
+            relations = [plan.drive, plan.inner]
+            self._count(copartitioned_queries=1)
+        survivors = set(range(self.cluster.shard_count))
+        for relation in relations:
+            survivors &= candidate_shards(self.cluster, relation, evaluation)
+        pruned = self.cluster.shard_count - len(survivors)
+        self._count(fragments_pruned=pruned, fragments_executed=len(survivors))
+
+        started = time.perf_counter()
+        futures = [
+            self._pool.submit(self._run_fragment, shard_id, plan, variables)
+            for shard_id in sorted(survivors)]
+        fragments = [future.result() for future in futures]
+
+        statistics = ExecutionStatistics()
+        for fragment in fragments:
+            statistics.rows_scanned += fragment.statistics.rows_scanned
+            statistics.bytes_scanned += fragment.statistics.bytes_scanned
+            statistics.batches_processed += fragment.statistics.batches_processed
+            statistics.batch_rows += fragment.statistics.batch_rows
+            statistics.exprs_compiled += fragment.statistics.exprs_compiled
+
+        if plan.is_aggregate:
+            rows = self._merge_aggregate(plan, fragments, evaluation)
+        else:
+            rows = self._merge_rows(plan, fragments)
+        self._count(rows_merged=len(rows))
+
+        if plan.into:
+            table = _create_table_for_rows(self.cluster.coordinator, plan.into,
+                                           rows)
+            for row in rows:
+                table.insert(row, defer_index_sort=True)
+            table.rebuild_indexes()
+        if row_limit is not None and len(rows) > row_limit:
+            raise QueryLimitExceeded(
+                f"query exceeded the public row limit of {row_limit} rows",
+                limit_kind="rows")
+        elapsed = time.perf_counter() - started
+        if time_limit_seconds is not None and elapsed > time_limit_seconds:
+            raise QueryLimitExceeded(
+                f"query exceeded the public time limit of {time_limit_seconds} s",
+                limit_kind="time")
+        statistics.rows_returned = len(rows)
+        statistics.elapsed_seconds = elapsed
+        columns = plan.query.output_names() or (
+            list(rows[0].keys()) if rows else [])
+        frozen_variables = dict(variables) if variables else {}
+        handle = ClusterPlanHandle(
+            lambda: self.explain_plan(plan, frozen_variables))
+        return QueryResult(columns=columns, rows=rows, statistics=statistics,
+                           plan=handle)
+
+    # -- fragment execution (runs on the pool, one call per shard) ---------
+
+    def _run_fragment(self, shard_id: int, plan: ClusterPlan,
+                      variables: dict[str, Any]) -> _Fragment:
+        shard = self.cluster.shards[shard_id]
+        evaluation = self.cluster.coordinator.evaluation_context(variables)
+        fragment = _Fragment()
+        if isinstance(plan, SingleTablePlan):
+            table = shard.table(plan.relation.table_name)
+            with table.lock.read():
+                self._run_single(shard, plan, evaluation, fragment)
+        else:
+            assert isinstance(plan, CoPartitionedJoinPlan)
+            drive = shard.table(plan.drive.table_name)
+            inner = shard.table(plan.inner.table_name)
+            from ..engine.concurrency import read_locks
+
+            with read_locks([drive, inner]):
+                self._run_join(shard, plan, evaluation, fragment)
+        self._simulate_io(fragment.statistics.bytes_scanned)
+        return fragment
+
+    def _simulate_io(self, bytes_scanned: int) -> None:
+        if not self.simulated_scan_mbps or bytes_scanned <= 0:
+            return
+        seconds = bytes_scanned / (self.simulated_scan_mbps * 1.0e6)
+        self._count(simulated_io_seconds=seconds)
+        time.sleep(seconds)
+
+    # -- single-table fragments -------------------------------------------
+
+    def _run_single(self, shard, plan: SingleTablePlan, evaluation,
+                    fragment: _Fragment) -> None:
+        if plan.is_aggregate:
+            mode = self._aggregate_mode(plan)
+            if mode == "partial" and self._scalar_vector_aggregate(
+                    shard, plan, evaluation, fragment):
+                return
+            self._aggregate_fragment(
+                shard, plan, evaluation, fragment, mode,
+                self._iter_single(shard, plan.relation, evaluation),
+                scope_binder=self._single_binder(plan.relation))
+            return
+        self._row_fragment(
+            shard, plan, evaluation, fragment,
+            self._iter_single(shard, plan.relation, evaluation),
+            scope_binder=self._single_binder(plan.relation))
+
+    @staticmethod
+    def _single_binder(relation: FragmentRelation):
+        binding = relation.binding
+
+        def bind(scope: RowScope, payload) -> None:
+            scope.bind(binding, payload)
+
+        return bind
+
+    def _iter_single(self, shard, relation: FragmentRelation, evaluation
+                     ) -> Iterator[tuple[tuple, dict[str, Any]]]:
+        """(merge key, row) pairs in this shard's access-path order."""
+        table = shard.table(relation.table_name)
+        sequences = shard.sequence_list(relation.table_name)
+        access = relation.access
+        if access.kind == "scan":
+            yield from self._iter_scan(shard, relation, evaluation)
+            return
+        index = self._find_index(table, access.index_name)
+        if index is None:
+            # The shard lost the index (dropped after planning): degrade
+            # to a scan — the caller's merge keys would be inconsistent,
+            # so surface loudly instead.
+            raise RuntimeError(
+                f"shard {shard.shard_id} is missing index {access.index_name!r} "
+                f"on {relation.table_name}")
+        predicate = (compile_expression(access.predicate, evaluation)
+                     if access.predicate is not None else None)
+        scope = RowScope()
+        binding = relation.binding
+        row_bytes = int(table.average_row_bytes())
+        if access.kind == "covering":
+            row_ids: Iterator[int] = index.scan()
+        else:
+            low = self._bound_values(access.low, evaluation)
+            high = self._bound_values(access.high, evaluation)
+            row_ids = index.range(low, high)
+        scanned = 0
+        try:
+            for row_id in row_ids:
+                row = table.get_row(row_id)
+                if row is None:
+                    continue
+                scanned += 1
+                if predicate is not None:
+                    scope.bind(binding, row)
+                    if predicate(scope) is not True:
+                        continue
+                rank = _KeyWrapper(index.key_for_row(row))._ranked
+                yield (rank, sequences[row_id]), row
+        finally:
+            # Runs on close() too (a consumer's TOP break), so abandoned
+            # scans still account their rows/bytes (and simulated I/O).
+            self._account_scan(relation, scanned, row_bytes)
+
+    def _iter_scan(self, shard, relation: FragmentRelation, evaluation
+                   ) -> Iterator[tuple[tuple, dict[str, Any]]]:
+        table = shard.table(relation.table_name)
+        sequences = shard.sequence_list(relation.table_name)
+        predicate_expr = relation.access.predicate
+        row_bytes = int(table.average_row_bytes())
+        scanned = 0
+        if table.storage.kind == "column":
+            iterated = self._iter_scan_columnar(table, sequences, relation,
+                                                evaluation)
+            if iterated is not None:
+                yield from iterated
+                return
+        predicate = (compile_expression(predicate_expr, evaluation)
+                     if predicate_expr is not None else None)
+        scope = RowScope()
+        binding = relation.binding
+        try:
+            for row_id, row in table.storage.iter_rows():
+                scanned += 1
+                if predicate is not None:
+                    scope.bind(binding, row)
+                    if predicate(scope) is not True:
+                        continue
+                yield (sequences[row_id],), row
+        finally:
+            self._account_scan(relation, scanned, row_bytes)
+
+    def _iter_scan_columnar(self, table, sequences: Sequence[int],
+                            relation: FragmentRelation, evaluation
+                            ) -> Optional[Iterator[tuple[tuple, dict]]]:
+        """Vectorized scan: batch predicate, then materialise survivors."""
+        predicate_expr = relation.access.predicate
+        predicate_fn = None
+        if predicate_expr is not None:
+            try:
+                predicate_fn = compile_vector_predicate(
+                    predicate_expr, evaluation, table, relation.binding)
+            except VectorCompileError:
+                return None
+        column_names = [column.name.lower() for column in table.columns]
+
+        def generate() -> Iterator[tuple[tuple, dict]]:
+            storage = table.storage
+            columns, masks = storage.batch_columns()
+            total = len(storage)
+            scanned = 0
+            try:
+                for start in range(0, total, BATCH_ROWS):
+                    selection = storage.live_positions(start, start + BATCH_ROWS)
+                    if not selection:
+                        continue
+                    scanned += len(selection)
+                    batch = ColumnBatch(columns, masks, selection,
+                                        relation.binding)
+                    if predicate_fn is not None:
+                        batch.selection = predicate_fn(batch, selection)
+                    view = batch.row_view()
+                    for position in batch.selection:
+                        view.index = position
+                        row = {name: view[name] for name in column_names}
+                        yield (sequences[position],), row
+            finally:
+                self._account_scan(relation, scanned,
+                                   int(table.average_row_bytes()))
+
+        return generate()
+
+    #: Per-thread scan accounting sink (set around fragment iteration).
+    _accounting = threading.local()
+
+    def _account_scan(self, relation, scanned: int, row_bytes: int) -> None:
+        fragment: Optional[_Fragment] = getattr(self._accounting, "fragment",
+                                                None)
+        if fragment is not None:
+            fragment.statistics.rows_scanned += scanned
+            fragment.statistics.bytes_scanned += scanned * row_bytes
+
+    # -- join fragments ----------------------------------------------------
+
+    def _run_join(self, shard, plan: CoPartitionedJoinPlan, evaluation,
+                  fragment: _Fragment) -> None:
+        drive_binding = plan.drive.binding
+        inner_binding = plan.inner.binding
+
+        def bind(scope: RowScope, payload) -> None:
+            drive_row, inner_row = payload
+            scope.bind(drive_binding, drive_row)
+            scope.bind(inner_binding, inner_row)
+
+        stream = self._iter_join(shard, plan, evaluation)
+        if plan.is_aggregate:
+            mode = self._aggregate_mode(plan)
+            self._aggregate_fragment(shard, plan, evaluation, fragment, mode,
+                                     stream, scope_binder=bind)
+        else:
+            self._row_fragment(shard, plan, evaluation, fragment, stream,
+                               scope_binder=bind)
+
+    def _iter_join(self, shard, plan: CoPartitionedJoinPlan, evaluation
+                   ) -> Iterator[tuple[tuple, tuple]]:
+        """(merge key, (drive row, inner row)) in single-node join order.
+
+        The inner side is hashed (bucket lists in the inner access-path
+        order, matching the single-node build order); the drive side
+        streams in its access order, and each drive row's matches append
+        the match ordinal to the merge key — matches for one drive row
+        are always shard-local under co-partitioning, so the ordinal
+        totally orders them across the cluster.
+        """
+        inner_scope = RowScope()
+        inner_keys = [compile_expression(expression, evaluation)
+                      for expression in plan.inner_keys]
+        inner_binding = plan.inner.binding
+        hash_table: dict[tuple, list[dict[str, Any]]] = {}
+        for _tag, row in self._iter_single(shard, plan.inner, evaluation):
+            inner_scope.bind(inner_binding, row)
+            key = tuple(fn(inner_scope) for fn in inner_keys)
+            if any(part is NULL for part in key):
+                continue
+            hash_table.setdefault(key, []).append(row)
+        drive_scope = RowScope()
+        merged_scope = RowScope()
+        drive_keys = [compile_expression(expression, evaluation)
+                      for expression in plan.drive_keys]
+        residual = (compile_expression(plan.residual, evaluation)
+                    if plan.residual is not None else None)
+        drive_binding = plan.drive.binding
+        drive_stream = self._iter_single(shard, plan.drive, evaluation)
+        try:
+            for drive_tag, drive_row in drive_stream:
+                drive_scope.bind(drive_binding, drive_row)
+                key = tuple(fn(drive_scope) for fn in drive_keys)
+                if any(part is NULL for part in key):
+                    continue
+                for ordinal, inner_row in enumerate(hash_table.get(key, ())):
+                    if residual is not None:
+                        merged_scope.bind(drive_binding, drive_row)
+                        merged_scope.bind(inner_binding, inner_row)
+                        if residual(merged_scope) is not True:
+                            continue
+                    yield drive_tag + (ordinal,), (drive_row, inner_row)
+        finally:
+            drive_stream.close()
+
+    # -- row fragments (project / sort keys / local TOP) -------------------
+
+    def _row_fragment(self, shard, plan, evaluation, fragment: _Fragment,
+                      stream: Iterator[tuple[tuple, Any]],
+                      scope_binder) -> None:
+        self._accounting.fragment = fragment
+        try:
+            scope = RowScope()
+            items: list[tuple[Optional[str], Optional[Any], Optional[Star]]] = []
+            for position, item in enumerate(plan.select):
+                if isinstance(item.expression, Star):
+                    items.append((None, None, item.expression))
+                else:
+                    items.append((item.output_name(position),
+                                  compile_expression(item.expression, evaluation),
+                                  None))
+            sort_fns = [(compile_expression(expression, evaluation), descending)
+                        for expression, descending in plan.order_by]
+            local_top = (plan.top if not plan.order_by and not plan.distinct
+                         else None)
+            produced = 0
+            for tag, payload in stream:
+                scope_binder(scope, payload)
+                output: dict[str, Any] = {}
+                for name, fn, star in items:
+                    if star is not None:
+                        self._expand_star(star, plan, payload, output)
+                    else:
+                        output[name] = fn(scope)
+                sort_values = ([_SortKey(fn(scope), descending)
+                                for fn, descending in sort_fns]
+                               if sort_fns else None)
+                fragment.rows.append((tag, sort_values, output))
+                produced += 1
+                if local_top is not None and produced >= local_top:
+                    break
+        finally:
+            # Close the stream while the accounting sink is still bound:
+            # a TOP break above abandons the scan generators mid-flight,
+            # and their finally blocks flush rows/bytes scanned.
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+            self._accounting.fragment = None
+
+    def _expand_star(self, star: Star, plan, payload,
+                     output: dict[str, Any]) -> None:
+        if isinstance(plan, SingleTablePlan):
+            rows = [(plan.relation.binding, payload)]
+        else:
+            rows = [(plan.drive.binding, payload[0]),
+                    (plan.inner.binding, payload[1])]
+        qualifier = (star.qualifier or "").lower()
+        for binding, row in rows:
+            if qualifier and qualifier != binding:
+                continue
+            for column, value in row.items():
+                output.setdefault(column, value)
+
+    # -- aggregate fragments ----------------------------------------------
+
+    def _aggregate_mode(self, plan) -> str:
+        """``"partial"`` when shard-side partials merge exactly.
+
+        COUNT, MIN and MAX always do; SUM/AVG only over integer-typed
+        columns whose accumulated total provably stays below 2**53
+        (the running total is a float — see ``_AggState`` — so integer
+        addition is associative only while every partial and the grand
+        total are exactly representable; a bit-for-bit contract beats a
+        partial-pushdown win); DISTINCT aggregates need the merged
+        value stream.
+        """
+        for aggregate in plan.aggregates:
+            if aggregate.distinct:
+                return "ordered"
+            if aggregate.func not in ("sum", "avg"):
+                continue
+            argument = aggregate.argument
+            if argument is None:
+                continue
+            if not isinstance(argument, ColumnRef):
+                return "ordered"
+            column = self._argument_column(plan, argument)
+            if column is None or column.dtype not in _EXACT_SUM_TYPES:
+                return "ordered"
+            if not self._sum_stays_exact(plan, argument):
+                return "ordered"
+        return "partial"
+
+    def _sum_stays_exact(self, plan, argument: ColumnRef) -> bool:
+        """True when |sum| over the column is provably < 2**53.
+
+        Uses the coordinator's ANALYZE min/max and the cluster-wide row
+        count: ``rows * max(|min|, |max|)`` bounds every partial and the
+        grand total, so float accumulation of the integer values stays
+        exact and therefore associative.  Without statistics the answer
+        is conservative (ordered mode).
+        """
+        relations = ([plan.relation] if isinstance(plan, SingleTablePlan)
+                     else [plan.drive, plan.inner])
+        qualifier = (argument.qualifier or "").lower()
+        for relation in relations:
+            if qualifier and qualifier != relation.binding:
+                continue
+            table = self.cluster.coordinator.table(relation.table_name)
+            if not table.has_column(argument.name):
+                continue
+            statistics = self.cluster.coordinator.table_statistics(
+                relation.table_name)
+            column_stats = (statistics.column(argument.name)
+                            if statistics is not None else None)
+            if (column_stats is None or column_stats.minimum is None
+                    or column_stats.maximum is None):
+                return False
+            bound = max(abs(column_stats.minimum), abs(column_stats.maximum),
+                        1)
+            rows = self.cluster.total_rows(relation.table_name)
+            if isinstance(plan, CoPartitionedJoinPlan):
+                # Join output can multiply occurrences of a value.
+                rows *= max(1, self.cluster.total_rows(
+                    (plan.inner if relation is plan.drive
+                     else plan.drive).table_name))
+            return rows * bound < 2 ** 53
+        return False
+
+    def _argument_column(self, plan, argument: ColumnRef):
+        relations = ([plan.relation] if isinstance(plan, SingleTablePlan)
+                     else [plan.drive, plan.inner])
+        qualifier = (argument.qualifier or "").lower()
+        for relation in relations:
+            if qualifier and qualifier != relation.binding:
+                continue
+            table = self.cluster.coordinator.table(relation.table_name)
+            column = table.column(argument.name)
+            if column is not None:
+                return column
+        return None
+
+    def _aggregate_fragment(self, shard, plan, evaluation,
+                            fragment: _Fragment, mode: str,
+                            stream: Iterator[tuple[tuple, Any]],
+                            scope_binder) -> None:
+        self._accounting.fragment = fragment
+        try:
+            scope = RowScope()
+            group_fns = [compile_expression(expression, evaluation)
+                         for expression in plan.group_by]
+            argument_fns = [compile_expression(aggregate.argument, evaluation)
+                            if aggregate.argument is not None else None
+                            for aggregate in plan.aggregates]
+            if mode == "ordered":
+                for tag, payload in stream:
+                    scope_binder(scope, payload)
+                    key = tuple(fn(scope) for fn in group_fns)
+                    values = tuple(fn(scope) if fn is not None else 1
+                                   for fn in argument_fns)
+                    fragment.rows.append((tag, key, values))
+                return
+            groups = fragment.groups
+            for tag, payload in stream:
+                scope_binder(scope, payload)
+                key = tuple(fn(scope) for fn in group_fns)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = [tag, [_AggState(aggregate)
+                                   for aggregate in plan.aggregates]]
+                    groups[key] = entry
+                for state, fn in zip(entry[1], argument_fns):
+                    state.update(fn(scope) if fn is not None else 1)
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+            self._accounting.fragment = None
+
+    def _scalar_vector_aggregate(self, shard, plan: SingleTablePlan,
+                                 evaluation, fragment: _Fragment) -> bool:
+        """Batch fast path: scalar aggregates over a columnar scan."""
+        relation = plan.relation
+        table = shard.table(relation.table_name)
+        if (plan.group_by or relation.access.kind != "scan"
+                or table.storage.kind != "column"):
+            return False
+        try:
+            predicate_fn = None
+            if relation.access.predicate is not None:
+                predicate_fn = compile_vector_predicate(
+                    relation.access.predicate, evaluation, table,
+                    relation.binding)
+            argument_fns = []
+            for aggregate in plan.aggregates:
+                if aggregate.distinct:
+                    return False
+                if aggregate.argument is None:
+                    argument_fns.append((None, None))
+                else:
+                    fn, tag = compile_vector_projection(
+                        aggregate.argument, evaluation, table, relation.binding)
+                    argument_fns.append((fn, tag))
+        except VectorCompileError:
+            return False
+        states = [_AggState(aggregate) for aggregate in plan.aggregates]
+        storage = table.storage
+        columns, masks = storage.batch_columns()
+        row_bytes = int(table.average_row_bytes())
+        statistics = fragment.statistics
+        total = len(storage)
+        for start in range(0, total, BATCH_ROWS):
+            selection = storage.live_positions(start, start + BATCH_ROWS)
+            if not selection:
+                continue
+            statistics.rows_scanned += len(selection)
+            statistics.bytes_scanned += len(selection) * row_bytes
+            statistics.batches_processed += 1
+            statistics.batch_rows += len(selection)
+            batch = ColumnBatch(columns, masks, selection, relation.binding)
+            if predicate_fn is not None:
+                selection = predicate_fn(batch, selection)
+                batch.selection = selection
+            if not selection:
+                continue
+            for state, (fn, tag) in zip(states, argument_fns):
+                if fn is None:
+                    state.update_count(len(selection))
+                else:
+                    state.update_batch(fn(batch, selection), tag)
+        if any(state.count for state in states):
+            fragment.groups[()] = [(0,), states]
+        return True
+
+    # -- coordinator merges -------------------------------------------------
+
+    def _merge_rows(self, plan, fragments: Sequence[_Fragment]
+                    ) -> list[dict[str, Any]]:
+        merged = heapq.merge(*[fragment.rows for fragment in fragments],
+                             key=lambda entry: entry[0])
+        entries = list(merged)
+        if plan.order_by:
+            # Stable: equal keys keep the merged (single-node) order.
+            entries.sort(key=lambda entry: entry[1])
+            self._count(topn_resorts=1 if plan.top is not None else 0)
+        rows = [entry[2] for entry in entries]
+        if plan.distinct:
+            rows = _distinct_rows(rows)
+        if plan.top is not None:
+            rows = rows[:plan.top]
+        return rows
+
+    def _merge_aggregate(self, plan, fragments: Sequence[_Fragment],
+                         evaluation) -> list[dict[str, Any]]:
+        ordered_inputs = any(fragment.rows for fragment in fragments)
+        groups: dict[tuple, list] = {}
+        if ordered_inputs:
+            self._count(ordered_aggregate_gathers=1)
+            merged = heapq.merge(*[fragment.rows for fragment in fragments],
+                                 key=lambda entry: entry[0])
+            for tag, key, values in merged:
+                entry = groups.get(key)
+                if entry is None:
+                    entry = [tag, [_AggState(aggregate)
+                                   for aggregate in plan.aggregates]]
+                    groups[key] = entry
+                for state, value in zip(entry[1], values):
+                    state.update(value)
+        else:
+            for fragment in fragments:
+                for key, (tag, states) in fragment.groups.items():
+                    entry = groups.get(key)
+                    if entry is None:
+                        groups[key] = [tag, states]
+                        continue
+                    if tag < entry[0]:
+                        entry[0] = tag
+                    for mine, theirs in zip(entry[1], states):
+                        mine.merge_partial(theirs.partial_state())
+                        self._count(partial_merges=1)
+        if not groups and not plan.group_by:
+            # Aggregates over an empty input still produce one row.
+            groups[()] = [(0,), [_AggState(aggregate)
+                                 for aggregate in plan.aggregates]]
+        ordered_groups = sorted(groups.items(), key=lambda item: item[1][0])
+        self._count(groups_merged=len(ordered_groups))
+
+        group_rows: list[dict[str, Any]] = []
+        for key, (_tag, states) in ordered_groups:
+            row: dict[str, Any] = {}
+            for expression, value in zip(plan.group_by, key):
+                row[_group_key_name(expression)] = value
+            for aggregate, state in zip(plan.aggregates, states):
+                row[aggregate.result_key()] = state.result()
+            group_rows.append(row)
+
+        scope = RowScope()
+        from ..engine.operators import OUTPUT_BINDING
+
+        if plan.having is not None:
+            kept = []
+            for row in group_rows:
+                scope.bind(OUTPUT_BINDING, row)
+                if evaluate_projected(plan.having, scope, evaluation) is True:
+                    kept.append(row)
+            group_rows = kept
+        if plan.order_by:
+            decorated = []
+            for row in group_rows:
+                scope.bind(OUTPUT_BINDING, row)
+                decorated.append(
+                    ([_SortKey(evaluate_projected(expression, scope, evaluation),
+                               descending)
+                      for expression, descending in plan.order_by], row))
+            decorated.sort(key=lambda pair: pair[0])
+            group_rows = [row for _keys, row in decorated]
+            self._count(topn_resorts=1 if plan.top is not None else 0)
+        outputs = []
+        for row in group_rows:
+            scope.bind(OUTPUT_BINDING, row)
+            output = {}
+            for position, item in enumerate(plan.select):
+                output[item.output_name(position)] = evaluate_projected(
+                    item.expression, scope, evaluation)
+            outputs.append(output)
+        if plan.distinct:
+            outputs = _distinct_rows(outputs)
+        if plan.top is not None:
+            outputs = outputs[:plan.top]
+        return outputs
+
+    # -- spatial scatter (the cone-search path) -----------------------------
+
+    def cone_candidate_rows(self, ranges) -> list[dict[str, Any]]:
+        """PhotoObj rows in any HTM cover range, pruned to covering shards.
+
+        The placement metadata (HTM ranges directly; declination zones
+        via per-shard statistics) prunes the scatter; each surviving
+        shard answers through its own htmID index.
+        """
+        from .shard import prune_with_statistics
+
+        placement = self.cluster.placement("PhotoObj")
+        candidates = set(range(self.cluster.shard_count))
+        spans = [(r.low, r.high) for r in ranges]
+        if placement is not None and placement.column == "htmid":
+            candidates &= placement.prune_ranges(spans)
+        # A shard survives when ANY cover span intersects its (fresh)
+        # htmID statistics; prune_with_statistics keeps shards with
+        # stale or missing statistics conservatively.
+        stats_survivors: set[int] = set()
+        for low, high in spans:
+            stats_survivors |= prune_with_statistics(
+                self.cluster, "PhotoObj", "htmid", low, high)
+            if candidates <= stats_survivors:
+                break
+        surviving = candidates & stats_survivors
+        self._count(fragments_executed=len(surviving),
+                    fragments_pruned=self.cluster.shard_count - len(surviving))
+        futures = [self._pool.submit(self._shard_candidates, shard_id, ranges)
+                   for shard_id in sorted(surviving)]
+        rows: list[dict[str, Any]] = []
+        for future in futures:
+            rows.extend(future.result())
+        return rows
+
+    def _shard_candidates(self, shard_id: int, ranges) -> list[dict[str, Any]]:
+        from ..skyserver.spatial import _candidate_rows
+
+        shard = self.cluster.shards[shard_id]
+        table = shard.table("PhotoObj")
+        with table.lock.read():
+            return list(_candidate_rows(shard.database, ranges))
+
+    # -- explain -----------------------------------------------------------
+
+    def explain_plan(self, plan: ClusterPlan,
+                     variables: Optional[dict[str, Any]] = None) -> str:
+        evaluation = self.cluster.coordinator.evaluation_context(variables or {})
+        lines: list[str] = []
+        if isinstance(plan, SingleTablePlan):
+            relations = [plan.relation]
+        elif isinstance(plan, CoPartitionedJoinPlan):
+            relations = [plan.drive, plan.inner]
+        else:
+            return f"Gather (fallback: {plan.reason})"
+        survivors = set(range(self.cluster.shard_count))
+        for relation in relations:
+            survivors &= candidate_shards(self.cluster, relation, evaluation)
+        pruned = self.cluster.shard_count - len(survivors)
+        order = ("index" if relations[0].access.ordered_by_index
+                 else "sequence")
+        lines.append(f"Merge [order={order}] "
+                     f"(shards={self.cluster.shard_count}, "
+                     f"fragments={len(survivors)}, pruned={pruned})")
+        if plan.is_aggregate:
+            mode = self._aggregate_mode(plan)
+            aggregates = ", ".join(a.sql() for a in plan.aggregates)
+            lines.append(f"  {'Partial' if mode == 'partial' else 'Ordered'} "
+                         f"Aggregate {aggregates}")
+        if plan.top is not None:
+            lines.append(f"  Top {plan.top} (re-sorted at coordinator)"
+                         if plan.order_by else f"  Top {plan.top}")
+        for shard_id in range(self.cluster.shard_count):
+            mark = "" if shard_id in survivors else "  (pruned)"
+            if isinstance(plan, SingleTablePlan):
+                relation = plan.relation
+                where = (f" WHERE {relation.access.predicate.sql()}"
+                         if relation.access.predicate is not None else "")
+                lines.append(f"  Shard[{shard_id}] {relation.access.describe()} "
+                             f"{relation.table_name} AS {relation.binding}"
+                             f"{where}{mark}")
+            else:
+                keys = ", ".join(
+                    f"{d.sql()} = {i.sql()}"
+                    for d, i in zip(plan.drive_keys, plan.inner_keys))
+                lines.append(
+                    f"  Shard[{shard_id}] Co-partitioned {plan.strategy} join "
+                    f"{plan.drive.table_name} AS {plan.drive.binding} "
+                    f"[{plan.drive.access.describe()}] ⋈ "
+                    f"{plan.inner.table_name} AS {plan.inner.binding} "
+                    f"ON {keys}{mark}")
+        return "\n".join(lines)
+
+    # -- introspection ------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        with self._mutex:
+            return {
+                "queries": {
+                    "distributed": self.distributed_queries,
+                    "copartitioned_joins": self.copartitioned_queries,
+                    "fallback": self.fallback_queries,
+                },
+                "fragments": {
+                    "executed": self.fragments_executed,
+                    "pruned": self.fragments_pruned,
+                },
+                "merge": {
+                    "rows_merged": self.rows_merged,
+                    "groups_merged": self.groups_merged,
+                    "partial_merges": self.partial_merges,
+                    "ordered_aggregate_gathers": self.ordered_aggregate_gathers,
+                    "topn_resorts": self.topn_resorts,
+                },
+                "simulated_io_seconds": round(self.simulated_io_seconds, 6),
+            }
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _find_index(table, name: Optional[str]):
+        if name is None:
+            return None
+        for index_name, index in table.indexes.items():
+            if index_name.lower() == name.lower():
+                return index
+        return None
+
+    @staticmethod
+    def _bound_values(bounds: Optional[list[Expression]], evaluation
+                      ) -> Optional[list[Any]]:
+        if bounds is None:
+            return None
+        scope = RowScope()
+        return [compile_expression(expression, evaluation)(scope)
+                for expression in bounds]
+
+
+def _group_key_name(expression: Expression) -> str:
+    if isinstance(expression, ColumnRef):
+        return expression.name.lower()
+    return expression.sql()
+
+
+def _distinct_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """First occurrence wins, in the (merged) input order — DistinctOp's keying."""
+    seen: set = set()
+    deduplicated: list[dict[str, Any]] = []
+    for row in rows:
+        key = tuple(sorted((name, _hashable(value))
+                           for name, value in row.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        deduplicated.append(row)
+    return deduplicated
+
+
+# ---------------------------------------------------------------------------
+# The cluster-aware SQL session
+# ---------------------------------------------------------------------------
+
+class ClusterSession:
+    """Drop-in :class:`~repro.engine.sql.SqlSession` over a cluster.
+
+    DECLARE/SET keep their variables in the wrapped coordinator session;
+    SELECTs route through the distributed planner — distributable
+    fragments scatter to the shards, everything else gathers its tables
+    into the coordinator and runs on the unmodified single-node engine.
+    ANALYZE refreshes every shard's statistics (the coordinator's
+    snapshots are refreshed only for tables it actually holds, so the
+    planner keeps costing against full-data statistics).
+    """
+
+    def __init__(self, cluster: ShardCluster, *,
+                 row_limit: Optional[int] = None,
+                 time_limit_seconds: Optional[float] = None):
+        self.cluster = cluster
+        self.database = cluster.coordinator
+        self.row_limit = row_limit
+        self.time_limit_seconds = time_limit_seconds
+        self.session = SqlSession(cluster.coordinator, row_limit=row_limit,
+                                  time_limit_seconds=time_limit_seconds)
+        self.planner = self.session.planner
+        self.variables = self.session.variables
+        self.plan_cache = self.session.plan_cache
+        self.cluster_planner = ClusterPlanner(cluster)
+
+    # -- SqlSession surface -------------------------------------------------
+
+    def execute(self, sql_text: str) -> list[StatementResult]:
+        statements = parse_batch(sql_text)
+        if not statements:
+            raise SQLSyntaxError("empty SQL batch")
+        results: list[StatementResult] = []
+        for statement in statements:
+            if isinstance(statement, DeclareStatement):
+                for name in statement.names:
+                    self.session.declare(name)
+                results.append(StatementResult(statement, "declare"))
+            elif isinstance(statement, SetStatement):
+                assert statement.expression is not None
+                context = self.database.evaluation_context(self.variables)
+                value = statement.expression.evaluate(RowScope(), context)
+                self.session.set_variable(statement.name, value)
+                results.append(StatementResult(statement, "set",
+                                               variable=statement.name,
+                                               value=value))
+            elif isinstance(statement, AnalyzeStatement):
+                results.append(self._analyze(statement))
+            elif isinstance(statement, SelectStatement):
+                results.append(self._select(statement))
+            else:
+                raise SQLSyntaxError(
+                    f"unsupported statement type {type(statement).__name__}")
+        return results
+
+    def query(self, sql_text: str) -> QueryResult:
+        results = self.execute(sql_text)
+        for outcome in reversed(results):
+            if outcome.kind == "select" and outcome.result is not None:
+                return outcome.result
+        raise SQLSyntaxError("batch contained no SELECT statement")
+
+    def explain(self, sql_text: str, *, analyze: bool = False) -> str:
+        if analyze:
+            for outcome in self.execute(sql_text):
+                if outcome.kind == "select" and outcome.result is not None:
+                    return outcome.result.plan.explain()
+            raise SQLSyntaxError("batch contained no SELECT statement")
+        for statement in parse_batch(sql_text):
+            if isinstance(statement, SelectStatement) and statement.query is not None:
+                plan = self.cluster_planner.plan(statement.query)
+                if isinstance(plan, FallbackPlan):
+                    self._gather_for(plan)
+                    header = (f"Gather (fallback: {plan.reason}) -> "
+                              "coordinator plan:")
+                    return header + "\n" + self.planner.plan(
+                        statement.query).explain()
+                return self.cluster.executor.explain_plan(plan, self.variables)
+        raise SQLSyntaxError("batch contained no SELECT statement")
+
+    def optimizer_statistics(self) -> dict[str, int]:
+        return self.session.optimizer_statistics()
+
+    def execution_mode_statistics(self) -> dict[str, int]:
+        return self.session.execution_mode_statistics()
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _analyze(self, statement: AnalyzeStatement) -> StatementResult:
+        names = ([statement.table] if statement.table
+                 else sorted(self.cluster.table_keys()))
+        analyzed: list[str] = []
+        for name in names:
+            for node in self.cluster.shards:
+                if node.database.has_table(name):
+                    node.database.analyze_table(name)
+            if (self.database.has_table(name)
+                    and (self.cluster.placement(name) is None
+                         or self.database.table(name).row_count)):
+                self.database.analyze_table(name)
+            analyzed.append(name)
+        return StatementResult(statement, "analyze", value=analyzed)
+
+    def _gather_for(self, plan: FallbackPlan) -> None:
+        tables = (plan.tables if plan.tables is not None
+                  else self.cluster.table_keys())
+        self.cluster.ensure_local(tables)
+
+    def _select(self, statement: SelectStatement) -> StatementResult:
+        assert statement.query is not None
+        query = statement.query
+        plan = self.cluster_planner.plan(query)
+        if isinstance(plan, FallbackPlan):
+            self.cluster.executor._count(fallback_queries=1)
+            self._gather_for(plan)
+            from ..engine.concurrency import read_locks
+
+            names = (plan.tables if plan.tables is not None
+                     else self.cluster.table_keys())
+            tables = [self.database.table(name) for name in names
+                      if self.database.has_table(name)]
+            physical = self.session.planner.plan(query)
+            # Hold the coordinator copies' read locks through execution
+            # so a concurrent re-gather (which truncates) cannot be
+            # observed mid-flight.  The gather above completed first —
+            # never take these locks before gathering (read→write
+            # upgrades are forbidden).
+            with read_locks(tables):
+                result = physical.execute(
+                    self.variables, row_limit=self.row_limit,
+                    time_limit_seconds=self.time_limit_seconds)
+            if result.statistics.batches_processed:
+                self.session.batch_executions += 1
+                self.session.batches_processed += (
+                    result.statistics.batches_processed)
+            else:
+                self.session.row_executions += 1
+        else:
+            result = self.cluster.executor.execute_plan(
+                plan, self.variables, row_limit=self.row_limit,
+                time_limit_seconds=self.time_limit_seconds)
+            if result.statistics.batches_processed:
+                self.session.batch_executions += 1
+                self.session.batches_processed += (
+                    result.statistics.batches_processed)
+            else:
+                self.session.row_executions += 1
+        result.statistics.plan_cache_hits = 0
+        result.statistics.plan_cache_misses = 1
+        return StatementResult(statement, "select", result=result)

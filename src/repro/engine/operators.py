@@ -1208,6 +1208,35 @@ class _AggState:
             if self.maximum is None or high > self.maximum:
                 self.maximum = high
 
+    # -- partial aggregation (the cluster's shard-side states) ----------
+
+    def partial_state(self) -> tuple[int, float, Any, Any]:
+        """The mergeable partial: ``(count, total, minimum, maximum)``.
+
+        COUNT/MIN/MAX merge directly and AVG merges as a sum+count pair
+        (``total``/``count``), so a scatter-gather execution can combine
+        per-shard states without re-reading any rows.  DISTINCT states
+        are not mergeable (their value sets would have to travel) and
+        raise — callers gather the value stream instead.
+        """
+        if self.distinct:
+            raise PlanError(
+                f"DISTINCT {self.func} has no mergeable partial state")
+        return (self.count, self.total, self.minimum, self.maximum)
+
+    def merge_partial(self, state: tuple[int, float, Any, Any]) -> None:
+        """Fold another state's :meth:`partial_state` into this one."""
+        if self.distinct:
+            raise PlanError(
+                f"DISTINCT {self.func} has no mergeable partial state")
+        count, total, minimum, maximum = state
+        self.count += count
+        self.total += total
+        if minimum is not None and (self.minimum is None or minimum < self.minimum):
+            self.minimum = minimum
+        if maximum is not None and (self.maximum is None or maximum > self.maximum):
+            self.maximum = maximum
+
     def result(self) -> Any:
         if self.func == "count":
             return self.count
@@ -1222,6 +1251,12 @@ class _AggState:
         if self.func == "max":
             return self.maximum
         raise PlanError(f"unsupported aggregate function {self.func!r}")
+
+
+#: Public name of the aggregate running-state machinery: the cluster's
+#: partial-aggregate merge builds on the same states the row and batch
+#: execution paths use.
+AggregateState = _AggState
 
 
 class ProjectOp(PhysicalOperator):

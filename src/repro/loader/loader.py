@@ -43,6 +43,11 @@ class LoadReport:
     columnar_tables: int = 0
     #: Tables whose optimizer statistics were collected after the load.
     tables_analyzed: int = 0
+    #: Shard count and partition scheme when the load built a cluster.
+    shards: int = 1
+    partition: Optional[str] = None
+    #: The built :class:`~repro.cluster.ShardCluster` (``shards > 1``).
+    cluster: Optional[object] = None
     validation: Optional[ValidationReport] = None
 
     @property
@@ -85,7 +90,8 @@ class SkyServerLoader:
     """
 
     def __init__(self, database: Database, *, columnar: bool = False,
-                 analyze: bool = True):
+                 analyze: bool = True, shards: int = 1,
+                 partition: str = "hash"):
         self.database = database
         self.columnar = columnar
         #: Collect optimizer statistics (ANALYZE) for every loaded table
@@ -93,6 +99,14 @@ class SkyServerLoader:
         #: succeeds, so the cost-based planner never sees a freshly
         #: loaded table without statistics.
         self.analyze = analyze
+        #: With ``shards > 1`` the fully loaded (indexed, neighbor-built,
+        #: validated, analyzed) database is partitioned across that many
+        #: in-process shard nodes at the very end of the run; the
+        #: resulting :class:`~repro.cluster.ShardCluster` is exposed on
+        #: the load report (and on :attr:`cluster`).
+        self.shards = shards
+        self.partition = partition
+        self.cluster = None
         self.events = LoadEventLog(database)
 
     # -- entry points --------------------------------------------------------
@@ -146,22 +160,37 @@ class SkyServerLoader:
             if build_neighbors and self.database.has_table("Neighbors"):
                 loaded_names.append("Neighbors")
             loaded_names = list(dict.fromkeys(loaded_names))
-            if self.columnar:
+            if self.columnar and self.shards <= 1:
                 # Convert last: index builds, the neighbor computation and
                 # validation are point-lookup/row-iteration heavy — the row
                 # store's strength — while everything after the load is
                 # scan-heavy query traffic.  The derived Neighbors table
-                # converts too.
+                # converts too.  (A sharded load converts the shard
+                # copies instead, below.)
                 for name in loaded_names:
                     self.database.table(name).convert_storage("column")
                     report.columnar_tables += 1
             if self.analyze:
                 # Statistics come last so they see the final storage
                 # layout (after neighbours, UNDO-free data and any
-                # columnar conversion).
+                # columnar conversion).  A sharded load keeps these
+                # full-data snapshots: the distributed planner costs
+                # against them after the rows move to the shards.
                 for name in loaded_names:
                     self.database.analyze_table(name)
                     report.tables_analyzed += 1
+            if self.shards > 1:
+                from ..cluster import ShardCluster
+
+                self.cluster = ShardCluster.from_database(
+                    self.database, shards=self.shards,
+                    partition=self.partition, columnar=self.columnar,
+                    analyze=self.analyze)
+                report.cluster = self.cluster
+                report.shards = self.shards
+                report.partition = self.partition
+                if self.columnar:
+                    report.columnar_tables = len(loaded_names)
         report.elapsed_seconds = time.perf_counter() - started
         return report
 

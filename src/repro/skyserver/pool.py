@@ -139,6 +139,13 @@ class CacheEntry:
     #: execution time, for every table the query read.
     table_versions: dict[str, int]
     result: QueryResult
+    #: On a sharded server: lower-cased base-table name -> the tuple of
+    #: *per-shard* modification counters the result was computed
+    #: against.  DML on any one shard moves its counter and invalidates
+    #: the entry — the coordinator's own counters cannot see shard-local
+    #: writes, so without this vector a cluster result would be served
+    #: stale.  ``None`` on single-node servers.
+    cluster_versions: Optional[dict[str, tuple[int, ...]]] = None
 
 
 def _copy_result(result: QueryResult) -> QueryResult:
@@ -170,9 +177,13 @@ class ResultCache:
         self.evictions = 0
 
     def lookup(self, key: str, database: Database, *,
+               cluster=None,
                record_miss: bool = True) -> Optional[QueryResult]:
         """The cached result for ``key`` if still valid, else None.
 
+        ``cluster`` is the server's :class:`~repro.cluster.ShardCluster`
+        when sharded: entries are additionally validated against the
+        per-shard modification counters they recorded.
         ``record_miss=False`` keeps a second probe for the same
         submission (the worker's pre-execution re-check) from counting
         one logical miss twice.
@@ -182,7 +193,7 @@ class ResultCache:
             if entry is None:
                 self.misses += record_miss
                 return None
-            if not self._valid(entry, database):
+            if not self._valid(entry, database, cluster):
                 del self._entries[key]
                 self.invalidations += 1
                 self.misses += record_miss
@@ -193,18 +204,32 @@ class ResultCache:
         return _copy_result(result)
 
     @staticmethod
-    def _valid(entry: CacheEntry, database: Database) -> bool:
+    def _valid(entry: CacheEntry, database: Database, cluster=None) -> bool:
         if entry.schema_version != database.schema_version:
             return False
         try:
-            return all(database.table(name).modification_counter == counter
-                       for name, counter in entry.table_versions.items())
+            if not all(database.table(name).modification_counter == counter
+                       for name, counter in entry.table_versions.items()):
+                return False
         except CatalogError:
             return False
+        if cluster is not None:
+            if entry.cluster_versions is None:
+                # Cached before the cluster attached: cannot prove freshness.
+                return False
+            try:
+                return all(cluster.table_versions(name) == versions
+                           for name, versions in entry.cluster_versions.items())
+            except CatalogError:
+                return False
+        return True
 
     def put(self, key: str, entry: CacheEntry) -> None:
         entry = CacheEntry(entry.schema_version, dict(entry.table_versions),
-                           _copy_result(entry.result))
+                           _copy_result(entry.result),
+                           cluster_versions=(dict(entry.cluster_versions)
+                                             if entry.cluster_versions is not None
+                                             else None))
         with self._mutex:
             self._entries[key] = entry
             self._entries.move_to_end(key)
@@ -264,6 +289,10 @@ class SkyServerPool:
                  service_classes: Optional[dict[str, ServiceClass]] = None,
                  result_cache_size: int = 256):
         self.database: Database = getattr(server, "database", server)
+        #: The server's shard cluster, when it is a cluster coordinator:
+        #: worker sessions route through the distributed planner and
+        #: cache entries record per-shard modification counters.
+        self.cluster = getattr(server, "cluster", None)
         self.service_classes = dict(service_classes or default_service_classes())
         self.result_cache = ResultCache(result_cache_size)
         self._cond = threading.Condition()
@@ -329,7 +358,7 @@ class SkyServerPool:
                 f"(have {sorted(self.service_classes)})", reason="unknown-class")
         ticket = QueryTicket(sql, user_class)
         cached = self.result_cache.lookup(self._cache_key(sql, user_class),
-                                          self.database)
+                                          self.database, cluster=self.cluster)
         if cached is not None:
             with self._cond:
                 self.submitted += 1
@@ -444,7 +473,9 @@ class SkyServerPool:
         key = self._cache_key(ticket.sql, ticket.user_class)
         # A duplicate submitted while its twin was still queued may be
         # servable by now; re-probe before paying for execution.
-        cached = self.result_cache.lookup(key, self.database, record_miss=False)
+        cached = self.result_cache.lookup(key, self.database,
+                                          cluster=self.cluster,
+                                          record_miss=False)
         if cached is not None:
             with self._cond:
                 self.completed += 1
@@ -454,8 +485,15 @@ class SkyServerPool:
         session = sessions.get(ticket.user_class)
         if session is None:
             limits = self.service_classes[ticket.user_class].limits
-            session = SqlSession(self.database, row_limit=limits.max_rows,
-                                 time_limit_seconds=limits.max_seconds)
+            if self.cluster is not None:
+                from ..cluster import ClusterSession
+
+                session = ClusterSession(self.cluster,
+                                         row_limit=limits.max_rows,
+                                         time_limit_seconds=limits.max_seconds)
+            else:
+                session = SqlSession(self.database, row_limit=limits.max_rows,
+                                     time_limit_seconds=limits.max_seconds)
             sessions[ticket.user_class] = session
         try:
             info = self._analyze_batch(ticket.sql, key)
@@ -493,6 +531,7 @@ class SkyServerPool:
         """
         for ticket in followers:
             cached = self.result_cache.lookup(key, self.database,
+                                              cluster=self.cluster,
                                               record_miss=False)
             if cached is not None:
                 with self._cond:
@@ -518,6 +557,9 @@ class SkyServerPool:
                  info: "_BatchInfo", key: str) -> None:
         """Run the batch under its tables' read locks; fill the cache."""
         try:
+            if self.cluster is not None:
+                self._execute_clustered(ticket, session, info, key)
+                return
             tables = [self.database.table(name) for name in info.table_names
                       if self.database.has_table(name)]
             with read_locks(tables):
@@ -529,6 +571,49 @@ class SkyServerPool:
             if info.cacheable:
                 self.result_cache.put(
                     key, CacheEntry(schema_version, versions, result))
+        except Exception as error:
+            self._finish_failed(ticket, error)
+            return
+        with self._cond:
+            self.completed += 1
+            self._per_class[ticket.user_class]["completed"] += 1
+        ticket._complete(result)
+
+    def _execute_clustered(self, ticket: QueryTicket, session: Any,
+                           info: "_BatchInfo", key: str) -> None:
+        """The cluster-mode execution path (no coordinator-wide locks).
+
+        The :class:`~repro.cluster.ClusterSession` takes the shard (or
+        gathered-coordinator) read locks itself — the worker must NOT
+        pre-acquire coordinator read locks, because a data-shipping
+        fallback would then need the write lock to re-gather (a
+        forbidden upgrade).  Freshness for the cache is established by
+        snapshotting every referenced table's per-shard modification
+        counters before and after: an entry is only filled when nothing
+        moved underneath the execution.
+        """
+        cluster = self.cluster
+        try:
+            placed = [name for name in info.table_names
+                      if cluster.placement(name) is not None]
+            unplaced = [name for name in info.table_names
+                        if cluster.placement(name) is None]
+            before = {name: cluster.table_versions(name) for name in placed}
+            ticket.epoch = self.database.epoch + cluster.epoch
+            result = session.query(ticket.sql)
+            # Placed tables validate against the shard counters (the
+            # coordinator's copy is just a gather cache whose counters
+            # move on every re-materialisation); tables living only on
+            # the coordinator (##results and friends) keep using its own
+            # modification counters.
+            versions = {name: self.database.table(name).modification_counter
+                        for name in unplaced if self.database.has_table(name)}
+            schema_version = self.database.schema_version
+            after = {name: cluster.table_versions(name) for name in placed}
+            if info.cacheable and before == after:
+                self.result_cache.put(
+                    key, CacheEntry(schema_version, versions, result,
+                                    cluster_versions=after))
         except Exception as error:
             self._finish_failed(ticket, error)
             return

@@ -49,19 +49,36 @@ class QueryExecution:
 
 
 class SkyServer:
-    """Public access point to one SkyServer database."""
+    """Public access point to one SkyServer database.
+
+    With a :class:`~repro.cluster.ShardCluster` attached the server is a
+    *cluster coordinator*: SQL routes through the distributed planner
+    (scatter-gather for distributable shapes, data-shipping gather for
+    the rest), the spatial search forms scatter to HTM-pruned shards,
+    and ``site_statistics()["cluster"]`` reports shard, pruning and
+    merge counters.  Results are identical to the single-node layout.
+    """
 
     def __init__(self, database: Database, *,
                  limits: Optional[QueryLimits] = None,
-                 site_name: str = "SkyServer (reproduction)"):
+                 site_name: str = "SkyServer (reproduction)",
+                 cluster=None):
         self.database = database
         self.limits = limits or QueryLimits.private()
         self.site_name = site_name
+        self.cluster = cluster
         register_spatial_functions(database)
         register_url_functions(database)
-        self.session = SqlSession(database,
-                                  row_limit=self.limits.max_rows,
-                                  time_limit_seconds=self.limits.max_seconds)
+        if cluster is not None:
+            from ..cluster import ClusterSession
+
+            self.session = ClusterSession(
+                cluster, row_limit=self.limits.max_rows,
+                time_limit_seconds=self.limits.max_seconds)
+        else:
+            self.session = SqlSession(database,
+                                      row_limit=self.limits.max_rows,
+                                      time_limit_seconds=self.limits.max_seconds)
         #: The concurrent serving pool, once one is started/attached.
         self._pool = None
 
@@ -71,22 +88,28 @@ class SkyServer:
     def from_survey(cls, config: Optional[SurveyConfig] = None, *,
                     limits: Optional[QueryLimits] = None,
                     build_neighbors: bool = True,
-                    columnar: bool = False) -> tuple["SkyServer", PipelineOutput]:
+                    columnar: bool = False,
+                    shards: int = 1,
+                    partition: str = "hash") -> tuple["SkyServer", PipelineOutput]:
         """Generate a synthetic survey, load it and return the running server.
 
         This is the one-call path the examples and benchmarks use:
         schema → pipeline → loader → server.  ``columnar=True`` stores
         the loaded tables column-oriented so single-table scans run
-        through the vectorized batch engine.
+        through the vectorized batch engine; ``shards=N`` partitions
+        the loaded database across N in-process shard nodes (``hash``,
+        ``zone`` or ``htm`` placement) and returns the server as the
+        cluster's coordinator.
         """
         output = SyntheticSurvey(config or SurveyConfig()).run()
         database = create_skyserver_database(with_indices=False)
-        loader = SkyServerLoader(database, columnar=columnar)
+        loader = SkyServerLoader(database, columnar=columnar, shards=shards,
+                                 partition=partition)
         report = loader.load_pipeline_output(output, build_neighbors=build_neighbors)
         if not report.succeeded:
             failures = [result.error for result in report.step_results if not result.succeeded]
             raise RuntimeError("survey load failed: " + "; ".join(failures))
-        return cls(database, limits=limits), output
+        return cls(database, limits=limits, cluster=report.cluster), output
 
     # -- free-form SQL -----------------------------------------------------------
 
@@ -170,30 +193,71 @@ class SkyServer:
         objid = None
         specobjid = None
         if "{objid}" in query.sql:
-            photo = self.database.table("PhotoObj")
-            for _row_id, row in photo.iter_rows():
-                objid = row["objid"]
-                break
+            row = self._first_row("PhotoObj")
+            objid = row["objid"] if row is not None else None
         if "{specobjid}" in query.sql:
-            spec = self.database.table("SpecObj")
-            for _row_id, row in spec.iter_rows():
-                specobjid = row["specobjid"]
-                break
+            row = self._first_row("SpecObj")
+            specobjid = row["specobjid"] if row is not None else None
         return fill_placeholders(query, objid=objid, specobjid=specobjid)
+
+    def _first_row(self, table_name: str) -> Optional[dict]:
+        """The first loaded row of a table (the cluster's sequence 0)."""
+        if self.cluster is not None:
+            return self.cluster.first_row(table_name)
+        for _row_id, row in self.database.table(table_name).iter_rows():
+            return row
+        return None
 
     # -- the point-and-click interfaces ---------------------------------------------
 
     def cone_search(self, ra: float, dec: float, radius_arcmin: float) -> list[dict]:
-        """The radial search form: objects within a radius, nearest first."""
+        """The radial search form: objects within a radius, nearest first.
+
+        On a sharded server the HTM cover prunes the scatter to the
+        shards whose trixel/declination ranges the cone touches; each
+        surviving shard answers through its own htmID index.
+        """
+        if self.cluster is not None:
+            from ..htm import cover_circle
+            from .spatial import nearby_from_candidates
+
+            candidates = self.cluster.executor.cone_candidate_rows(
+                cover_circle(ra, dec, radius_arcmin))
+            return nearby_from_candidates(candidates, ra, dec, radius_arcmin)
         return get_nearby_objects(self.database, ra, dec, radius_arcmin)
 
     def rectangle_search(self, ra_min: float, dec_min: float,
                          ra_max: float, dec_max: float) -> list[dict]:
-        """The rectangular search form."""
+        """The rectangular search form (shard-pruned when clustered)."""
+        if self.cluster is not None:
+            from ..htm import RectangleEq, cover
+            from .spatial import rect_from_candidates
+
+            region = RectangleEq(ra_min, ra_max, dec_min, dec_max)
+            candidates = self.cluster.executor.cone_candidate_rows(
+                cover(region, cover_depth=8))
+            return rect_from_candidates(candidates, region)
         return get_objects_in_rect(self.database, ra_min, dec_min, ra_max, dec_max)
 
     def explore_object(self, obj_id: int) -> dict[str, Any]:
         """The Object Explorer page: the whole record plus everything linked to it."""
+        if self.cluster is not None:
+            from ..engine.concurrency import read_locks
+
+            # The explorer reads point lookups across the whole snowflake;
+            # gather the (cached) coordinator copies once, then hold their
+            # read locks so a concurrent re-gather (truncate + refill)
+            # cannot be observed between the lookups below.
+            names = ["PhotoObj", "Neighbors", "SpecObj", "SpecLine",
+                     "USNO", "ROSAT", "FIRST"]
+            self.cluster.ensure_local(names)
+            tables = [self.database.table(name) for name in names
+                      if self.database.has_table(name)]
+            with read_locks(tables):
+                return self._explore_object_locked(obj_id)
+        return self._explore_object_locked(obj_id)
+
+    def _explore_object_locked(self, obj_id: int) -> dict[str, Any]:
         photo = self.database.table("PhotoObj")
         record: Optional[dict] = None
         index = photo.find_index_on(["objID"])
@@ -260,11 +324,17 @@ class SkyServer:
 
     def site_statistics(self) -> dict[str, Any]:
         """Row counts, sizes and execution counters: the 'about the data' page."""
+        if self.cluster is not None:
+            tables = self.cluster.size_report()
+            total_bytes = sum(entry["total_bytes"] for entry in tables)
+        else:
+            tables = self.database.size_report()
+            total_bytes = self.database.total_bytes()
         return {
             "site": self.site_name,
             "limits": self.limits.describe(),
-            "tables": self.database.size_report(),
-            "total_bytes": self.database.total_bytes(),
+            "tables": tables,
+            "total_bytes": total_bytes,
             "plan_cache": self.plan_cache_statistics(),
             "execution_modes": self.session.execution_mode_statistics(),
             "optimizer": {
@@ -272,4 +342,6 @@ class SkyServer:
                 "statistics_freshness": self.database.statistics_freshness(),
             },
             "serving": self.serving_statistics(),
+            "cluster": (self.cluster.statistics()
+                        if self.cluster is not None else None),
         }

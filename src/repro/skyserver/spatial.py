@@ -70,11 +70,16 @@ def _candidate_rows(database: Database, ranges: Iterable[HtmRange]) -> Iterable[
             yield row
 
 
-def get_nearby_objects(database: Database, ra: float, dec: float,
-                       radius_arcmin: float) -> list[dict]:
-    """``fGetNearbyObjEq``: objID, distance (arcmin), type and mode of nearby objects."""
+def nearby_from_candidates(candidates: Iterable[dict], ra: float, dec: float,
+                           radius_arcmin: float) -> list[dict]:
+    """Exact-distance filter + nearest-first sort over HTM candidates.
+
+    Shared by the single-node path below and the cluster's scatter
+    (:meth:`repro.cluster.ClusterExecutor.cone_candidate_rows`), which
+    gathers the candidate rows from the surviving shards instead.
+    """
     rows = []
-    for row in _candidate_rows(database, cover_circle(ra, dec, radius_arcmin)):
+    for row in candidates:
         distance = arcmin_between(ra, dec, row["ra"], row["dec"])
         if distance <= radius_arcmin:
             rows.append({
@@ -85,8 +90,36 @@ def get_nearby_objects(database: Database, ra: float, dec: float,
                 "ra": row["ra"],
                 "dec": row["dec"],
             })
-    rows.sort(key=lambda entry: entry["distance"])
+    # objID tiebreaker: candidate order differs between the single-node
+    # path (htmID-index order) and the cluster scatter (shard order), so
+    # exact distance ties must not decide by input order.
+    rows.sort(key=lambda entry: (entry["distance"], entry["objID"]))
     return rows
+
+
+def rect_from_candidates(candidates: Iterable[dict],
+                         region: "RectangleEq") -> list[dict]:
+    """Exact-containment filter + (ra, dec) sort over HTM candidates."""
+    rows = []
+    for row in candidates:
+        if region.contains_radec(row["ra"], row["dec"]):
+            rows.append({
+                "objID": row["objid"],
+                "ra": row["ra"],
+                "dec": row["dec"],
+                "type": row["type"],
+                "mode": row["mode"],
+                "modelMag_r": row["modelmag_r"],
+            })
+    rows.sort(key=lambda entry: (entry["ra"], entry["dec"], entry["objID"]))
+    return rows
+
+
+def get_nearby_objects(database: Database, ra: float, dec: float,
+                       radius_arcmin: float) -> list[dict]:
+    """``fGetNearbyObjEq``: objID, distance (arcmin), type and mode of nearby objects."""
+    candidates = _candidate_rows(database, cover_circle(ra, dec, radius_arcmin))
+    return nearby_from_candidates(candidates, ra, dec, radius_arcmin)
 
 
 def get_nearest_object(database: Database, ra: float, dec: float,
@@ -100,19 +133,8 @@ def get_objects_in_rect(database: Database, ra_min: float, dec_min: float,
                         ra_max: float, dec_max: float) -> list[dict]:
     """``fGetObjFromRectEq``: objects inside an (ra, dec) bounding box."""
     region = RectangleEq(ra_min, ra_max, dec_min, dec_max)
-    rows = []
-    for row in _candidate_rows(database, cover(region, cover_depth=8)):
-        if region.contains_radec(row["ra"], row["dec"]):
-            rows.append({
-                "objID": row["objid"],
-                "ra": row["ra"],
-                "dec": row["dec"],
-                "type": row["type"],
-                "mode": row["mode"],
-                "modelMag_r": row["modelmag_r"],
-            })
-    rows.sort(key=lambda entry: (entry["ra"], entry["dec"]))
-    return rows
+    candidates = _candidate_rows(database, cover(region, cover_depth=8))
+    return rect_from_candidates(candidates, region)
 
 
 def get_htm_id(ra: float, dec: float, depth: int = DEFAULT_DEPTH) -> int:
