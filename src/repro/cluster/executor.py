@@ -29,7 +29,6 @@ from __future__ import annotations
 import heapq
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterator, Optional, Sequence
 
 from ..engine.batch import BATCH_ROWS, ColumnBatch
@@ -42,6 +41,7 @@ from ..engine.index import _KeyWrapper
 from ..engine.operators import (ExecutionStatistics, QueryResult, _AggState,
                                 _SortKey, _create_table_for_rows, _hashable,
                                 evaluate_projected)
+from ..engine.planner import Planner
 from ..engine.sql import SqlSession, parse_batch
 from ..engine.sql.ast import (AnalyzeStatement, DeclareStatement,
                               SelectStatement, SetStatement)
@@ -96,9 +96,16 @@ class ClusterExecutor:
                  max_workers: Optional[int] = None,
                  simulated_scan_mbps: Optional[float] = None):
         self.cluster = cluster
-        workers = max_workers or max(1, min(cluster.shard_count, 8))
-        self._pool = ThreadPoolExecutor(max_workers=workers,
-                                        thread_name_prefix="repro-shard")
+        #: Shard fragments run on the process-wide shared worker pool
+        #: (the same one morsel-parallel scans and the serving pool
+        #: lease from), so a sharded cluster under a parallel serving
+        #: workload cannot oversubscribe the machine.  ``max_workers``
+        #: bounds this executor's lease request, not a private pool.
+        from ..engine.parallel import get_worker_pool
+
+        self._pool = get_worker_pool()
+        self._fragment_workers = max_workers or max(
+            1, min(cluster.shard_count, 8))
         #: Per-shard simulated sequential-scan bandwidth (MB/s); None = off.
         self.simulated_scan_mbps = simulated_scan_mbps
         self._mutex = threading.Lock()
@@ -140,10 +147,10 @@ class ClusterExecutor:
         self._count(fragments_pruned=pruned, fragments_executed=len(survivors))
 
         started = time.perf_counter()
-        futures = [
-            self._pool.submit(self._run_fragment, shard_id, plan, variables)
-            for shard_id in sorted(survivors)]
-        fragments = [future.result() for future in futures]
+        with self._pool.lease(self._fragment_workers) as grant:
+            fragments = list(grant.ordered_map(
+                lambda shard_id: self._run_fragment(shard_id, plan, variables),
+                sorted(survivors)))
 
         statistics = ExecutionStatistics()
         for fragment in fragments:
@@ -787,11 +794,12 @@ class ClusterExecutor:
         surviving = candidates & stats_survivors
         self._count(fragments_executed=len(surviving),
                     fragments_pruned=self.cluster.shard_count - len(surviving))
-        futures = [self._pool.submit(self._shard_candidates, shard_id, ranges)
-                   for shard_id in sorted(surviving)]
         rows: list[dict[str, Any]] = []
-        for future in futures:
-            rows.extend(future.result())
+        with self._pool.lease(self._fragment_workers) as grant:
+            for shard_rows in grant.ordered_map(
+                    lambda shard_id: self._shard_candidates(shard_id, ranges),
+                    sorted(surviving)):
+                rows.extend(shard_rows)
         return rows
 
     def _shard_candidates(self, shard_id: int, ranges) -> list[dict[str, Any]]:
@@ -877,7 +885,10 @@ class ClusterExecutor:
             }
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=False)
+        # The worker pool is process-global and shared with the rest of
+        # the stack (morsel scans, other clusters, the serving pool), so
+        # tearing down one executor must not stop its threads.
+        pass
 
     # -- helpers -----------------------------------------------------------
 
@@ -938,13 +949,22 @@ class ClusterSession:
 
     def __init__(self, cluster: ShardCluster, *,
                  row_limit: Optional[int] = None,
-                 time_limit_seconds: Optional[float] = None):
+                 time_limit_seconds: Optional[float] = None,
+                 parallelism: int = 1):
         self.cluster = cluster
         self.database = cluster.coordinator
         self.row_limit = row_limit
         self.time_limit_seconds = time_limit_seconds
+        #: Morsel-parallel degree for coordinator-side (fallback/gather)
+        #: plans; the distributed scatter-gather path parallelises over
+        #: shards instead.  1 keeps the session byte-compatible with the
+        #: pre-parallel behaviour.
+        self.parallelism = max(1, parallelism)
+        planner = (Planner(cluster.coordinator, parallelism=self.parallelism)
+                   if self.parallelism > 1 else None)
         self.session = SqlSession(cluster.coordinator, row_limit=row_limit,
-                                  time_limit_seconds=time_limit_seconds)
+                                  time_limit_seconds=time_limit_seconds,
+                                  planner=planner)
         self.planner = self.session.planner
         self.variables = self.session.variables
         self.plan_cache = self.session.plan_cache
@@ -1071,6 +1091,10 @@ class ClusterSession:
                     result.statistics.batches_processed)
             else:
                 self.session.row_executions += 1
+        if result.statistics.morsels_dispatched:
+            self.session.parallel_executions += 1
+            self.session.morsels_dispatched += (
+                result.statistics.morsels_dispatched)
         result.statistics.plan_cache_hits = 0
         result.statistics.plan_cache_misses = 1
         return StatementResult(statement, "select", result=result)

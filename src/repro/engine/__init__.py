@@ -30,7 +30,9 @@ from .index import BTreeIndex
 from .logical import (FunctionRef, Join, LogicalQuery, OrderItem, Query,
                       SelectItem, TableRef, contains_variables,
                       referenced_tables)
-from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult)
+from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult,
+                        SortMergeJoin)
+from .parallel import WorkerPool, get_worker_pool
 from .planner import Planner
 from .sql import PlanCache, SqlSession, parse_batch, parse_expression, parse_select
 from .stats import (ColumnStatistics, TableStatistics, collect_table_statistics)
@@ -42,6 +44,9 @@ from .view import View
 
 __all__ = [
     "Database",
+    "WorkerPool",
+    "get_worker_pool",
+    "SortMergeJoin",
     "Table",
     "TableStorage",
     "RowStore",

@@ -21,6 +21,17 @@ from .types import NULL
 BATCH_ROWS = 4096
 
 
+def morsel_ranges(total: int, size: int = BATCH_ROWS) -> list[tuple[int, int]]:
+    """The ``[start, stop)`` row ranges a scan of ``total`` slots splits into.
+
+    Morsels are fixed-size row-range slices of the column buffers — the
+    unit the parallel scheduler hands to workers.  The serial batch loop
+    walks the identical ranges, which is what makes parallel execution's
+    ordered gather reproduce the serial batch stream exactly.
+    """
+    return [(start, min(start + size, total)) for start in range(0, total, size)]
+
+
 class BatchRowView:
     """A dict-like view of one batch row, addressed by column name.
 

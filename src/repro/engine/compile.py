@@ -34,6 +34,15 @@ execution** into closures:
 Folding is conservative: a constant subtree whose evaluation raises is
 left as a lazy closure so errors surface exactly where the interpreter
 would raise them (or not at all, when short-circuiting skips them).
+
+Thread safety: a compiled closure closes only over immutable compile
+products (folded constants, pre-compiled regexes, the frozen variable
+values) and *reads* whatever row dict, scope or column buffers it is
+handed — it never writes shared state.  The morsel-parallel scan driver
+(:mod:`repro.engine.parallel`) relies on this: one compiled closure is
+shared by every worker, each applying it to its own morsel's
+:class:`~repro.engine.batch.ColumnBatch` concurrently.  Keep new
+codegen paths free of per-call mutable caches.
 """
 
 from __future__ import annotations

@@ -6,7 +6,8 @@ results table), Query 15A (Figure 11: a parallel table scan) and the
 NEO pair query (Figure 12: a nested-loop join of two index scans).
 :func:`render_plan` produces an indented text rendering of the same
 information: operator, target object, predicate, estimated rows and —
-after execution — actual rows.
+after execution — actual rows (plus worker/morsel counts for
+morsel-parallel operators).
 """
 
 from __future__ import annotations
@@ -19,7 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .operators import PhysicalPlan
 
 
-def render_operator(operator: PhysicalOperator, depth: int = 0) -> list[str]:
+def render_operator(operator: PhysicalOperator, depth: int = 0,
+                    executed: bool = False) -> list[str]:
     indent = "  " * depth
     details = operator.details()
     estimated = (operator.planner_rows if operator.planner_rows is not None
@@ -30,12 +32,19 @@ def render_operator(operator: PhysicalOperator, depth: int = 0) -> list[str]:
     line += f" (estimated rows={estimated}"
     if operator.planner_cost:
         line += f" cost={operator.planner_cost:.1f}"
-    if operator.actual_rows:
+    if operator.workers > 1:
+        line += f" workers={operator.workers}"
+    if executed or operator.actual_rows:
+        # After EXPLAIN ANALYZE, every operator reports its actual row
+        # count — zero included: "produced nothing" is an actual, not a
+        # missing estimate.
         line += f", actual rows={operator.actual_rows}"
+        if operator.actual_morsels:
+            line += f" morsels={operator.actual_morsels}"
     line += ")"
     lines = [line]
     for child in operator.children():
-        lines.extend(render_operator(child, depth + 1))
+        lines.extend(render_operator(child, depth + 1, executed))
     return lines
 
 
@@ -43,8 +52,8 @@ def render_plan(plan: "PhysicalPlan") -> str:
     header = []
     if plan.description:
         header.append(plan.description)
-    lines = header + render_operator(plan.root)
     statistics = plan.last_statistics
+    lines = header + render_operator(plan.root, executed=statistics is not None)
     if statistics is not None:
         footer = (f"[compiled exprs={statistics.exprs_compiled}; "
                   f"plan cache hits={statistics.plan_cache_hits} "
@@ -52,6 +61,9 @@ def render_plan(plan: "PhysicalPlan") -> str:
         if statistics.batches_processed:
             footer += (f"; batches={statistics.batches_processed} "
                        f"({statistics.batch_rows} rows)")
+        if statistics.morsels_dispatched:
+            footer += (f"; morsels={statistics.morsels_dispatched} "
+                       f"workers={statistics.parallel_workers}")
         lines.append(footer + "]")
     return "\n".join(lines)
 

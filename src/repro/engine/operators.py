@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
-from .batch import BATCH_ROWS, ColumnBatch
+from .batch import BATCH_ROWS, ColumnBatch, morsel_ranges
 from .catalog import Database
 from .compile import (CompiledExpression, RowCompileError, VectorCompileError,
                       VectorExpression, compile_expression,
@@ -64,6 +64,14 @@ class ExecutionStatistics:
     #: rows they carried (zero on row-at-a-time executions).
     batches_processed: int = 0
     batch_rows: int = 0
+    #: Morsels executed on the shared worker pool, and the widest
+    #: worker grant any parallel operator ran with (zero when the whole
+    #: execution was serial).
+    morsels_dispatched: int = 0
+    parallel_workers: int = 0
+    #: Seconds spent in the simulated per-table I/O model (sleeps are
+    #: concurrent across workers, so this can exceed elapsed time).
+    simulated_io_seconds: float = 0.0
 
     def merge_scan(self, rows: int, row_bytes: float) -> None:
         self.rows_scanned += rows
@@ -81,6 +89,13 @@ class ExecutionContext:
     #: ``Expression.evaluate`` path (the pre-compilation behaviour; kept for
     #: the ablation benchmark and as a safety hatch).
     compile_enabled: bool = True
+    #: Intra-query worker budget (1 = serial; the planner only marks
+    #: operators parallel when it planned with ``parallelism > 1``).
+    parallelism: int = 1
+    #: Simulated sequential-scan bandwidth (MB/s); None = off.  Mirrors
+    #: the cluster executor's per-shard model so morsel workers can
+    #: overlap I/O stalls with compute on a single node.
+    simulated_scan_mbps: Optional[float] = None
 
     def compile(self, expression: Optional[Expression]) -> Optional[CompiledExpression]:
         """Compile an expression once for this execution (or wrap the interpreter)."""
@@ -139,8 +154,14 @@ class PhysicalOperator:
     planner_rows: Optional[int] = None
     planner_cost: float = 0.0
 
+    #: Worker budget the planner assigned this operator (1 = serial).
+    #: EXPLAIN shows ``workers=N`` when the plan is parallel here.
+    workers = 1
+
     def __init__(self) -> None:
         self.actual_rows = 0
+        #: Morsels this operator actually ran on the pool (EXPLAIN ANALYZE).
+        self.actual_morsels = 0
 
     def set_estimates(self, rows: Optional[int] = None,
                       cost: Optional[float] = None) -> None:
@@ -229,6 +250,7 @@ class TableScan(PhysicalOperator):
         row_bytes = int(self.table.average_row_bytes())
         columns, masks = storage.batch_columns()
         binding_name = self.binding_name
+        mbps = context.simulated_scan_mbps
         total = len(storage)
         for start in range(0, total, BATCH_ROWS):
             selection = storage.live_positions(start, start + BATCH_ROWS)
@@ -238,6 +260,10 @@ class TableScan(PhysicalOperator):
             statistics.bytes_scanned += len(selection) * row_bytes
             statistics.batches_processed += 1
             statistics.batch_rows += len(selection)
+            if mbps:
+                seconds = (len(selection) * row_bytes) / (mbps * 1.0e6)
+                statistics.simulated_io_seconds += seconds
+                time.sleep(seconds)
             batch = ColumnBatch(columns, masks, selection, binding_name)
             if predicate_fn is not None:
                 batch.selection = predicate_fn(batch, selection)
@@ -558,6 +584,91 @@ class HashJoin(PhysicalOperator):
         return max(self.build.estimated_rows(), self.probe.estimated_rows())
 
 
+class SortMergeJoin(PhysicalOperator):
+    """Single-pass merge of two inputs already streaming in join-key order.
+
+    The planner only chooses this operator (behind the
+    ``enable_sort_merge`` flag) for a single-column equality join whose
+    both sides are scans of tables *verified* to be stored in ascending
+    key order with no NULL keys — the objID-ordered co-partitioned case:
+    both sides then stream in global key order and the join is one
+    synchronized pass, no hash table.
+
+    The emission contract matches :class:`HashJoin` exactly under that
+    precondition: output is probe-major (one group of matches per probe
+    row, in probe order) and matches within a key group appear in build
+    order — since the probe stream is key-ordered, this is the same
+    sequence a hash join of the same inputs produces, so flipping the
+    flag never changes result order.
+    """
+
+    label = "Sort-Merge Join"
+
+    def __init__(self, build: PhysicalOperator, probe: PhysicalOperator,
+                 build_keys: Sequence[Expression], probe_keys: Sequence[Expression],
+                 residual: Optional[Expression] = None):
+        super().__init__()
+        self.build = build
+        self.probe = probe
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+        self.residual = residual
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.build, self.probe)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Binding]:
+        build_fn = context.compile(self.build_keys[0])
+        probe_fn = context.compile(self.probe_keys[0])
+        residual = context.compile(self.residual)
+        build_scopes = _BindingScopes()
+        probe_scopes = _BindingScopes()
+        merged_scopes = _BindingScopes()
+
+        def keyed_build() -> Iterator[tuple[Any, Binding]]:
+            for binding in self.build.rows(context):
+                key = build_fn(build_scopes.scope_for(binding))
+                if key is NULL:
+                    continue
+                yield key, binding
+
+        build_stream = keyed_build()
+        pending = next(build_stream, None)
+        group_key: Any = None
+        group: list[Binding] = []
+        have_group = False
+        for probe_binding in self.probe.rows(context):
+            key = probe_fn(probe_scopes.scope_for(probe_binding))
+            if key is NULL:
+                continue
+            if not have_group or group_key != key:
+                # Advance the build stream to the first key >= the probe
+                # key, then buffer that key's whole group (both streams
+                # ascend, so skipped build groups can never match again).
+                while pending is not None and pending[0] < key:
+                    pending = next(build_stream, None)
+                group = []
+                while pending is not None and pending[0] == key:
+                    group.append(pending[1])
+                    pending = next(build_stream, None)
+                group_key = key
+                have_group = True
+            for build_binding in group:
+                merged = {**build_binding, **probe_binding}
+                if residual is not None:
+                    if residual(merged_scopes.scope_for(merged)) is not True:
+                        continue
+                yield self._emit(merged)
+
+    def details(self) -> str:
+        build = ", ".join(expression.sql() for expression in self.build_keys)
+        probe = ", ".join(expression.sql() for expression in self.probe_keys)
+        return f"merge({build}) = ({probe})"
+
+    def estimated_rows(self) -> int:
+        return max(self.build.estimated_rows(), self.probe.estimated_rows())
+
+
 # ---------------------------------------------------------------------------
 # Row-stream transforms
 # ---------------------------------------------------------------------------
@@ -648,6 +759,11 @@ def _drive_batches(context: ExecutionContext, scan: "TableScan",
                    filter_fns: Sequence[tuple["FilterOp", VectorExpression]]
                    ) -> Iterator[ColumnBatch]:
     """Pull batches through the scan and its filters, skipping empty ones."""
+    if _parallel_eligible(context, scan):
+        for batch, _payload in _parallel_morsels(context, scan, scan_predicate,
+                                                 filter_fns):
+            yield batch
+        return
     for batch in scan.batches(context, scan_predicate):
         for filter_op, predicate_fn in filter_fns:
             if not batch.selection:
@@ -655,6 +771,95 @@ def _drive_batches(context: ExecutionContext, scan: "TableScan",
             filter_op.apply_batch(batch, predicate_fn)
         if batch.selection:
             yield batch
+
+
+# -- the morsel-parallel scan driver -----------------------------------------
+
+def _parallel_eligible(context: ExecutionContext, scan: "TableScan") -> bool:
+    """Runtime re-check of the planner's parallel marking (advisory flags)."""
+    return (context.parallelism > 1 and scan.workers > 1
+            and scan.table.storage.kind == "column")
+
+
+def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
+                      scan_predicate: Optional[VectorExpression],
+                      filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+                      payload_fn=None
+                      ) -> Iterator[tuple[ColumnBatch, Any]]:
+    """Run a scan chain's morsels on the shared pool, gathering in order.
+
+    Each morsel is one ``BATCH_ROWS`` row-range slice of the column
+    buffers; its task — live-mask lookup against a snapshot taken once
+    up front, the simulated I/O stall, the vectorized scan predicate and
+    every filter, then the optional ``payload_fn`` over the filtered
+    batch — runs entirely on a worker thread.  Workers touch no shared
+    mutable state (compiled vector closures only read the buffers; each
+    morsel owns its batch), so probes and filters are lock-free.
+
+    The coordinator consumes results strictly in morsel order, folding
+    the per-morsel counters into the shared statistics and the
+    operators' actuals in that same order, which makes the yielded
+    ``(batch, payload)`` stream — and every counter — byte-identical to
+    the serial driver's, whatever the worker grant was.
+
+    Empty morsels (no live rows, or nothing survived the filters) are
+    dropped exactly as the serial driver drops them.
+    """
+    from .parallel import get_worker_pool
+
+    storage = scan.table.storage
+    row_bytes = int(scan.table.average_row_bytes())
+    columns, masks = storage.batch_columns()
+    binding_name = scan.binding_name
+    mbps = context.simulated_scan_mbps
+    mask = storage.live_mask_snapshot()
+    predicates = [fn for _op, fn in filter_fns]
+
+    def run_morsel(span: tuple[int, int]):
+        start, stop = span
+        selection = storage.live_positions(start, stop, mask=mask)
+        if not selection:
+            return None
+        scanned = len(selection)
+        io_seconds = 0.0
+        if mbps:
+            io_seconds = (scanned * row_bytes) / (mbps * 1.0e6)
+            time.sleep(io_seconds)
+        batch = ColumnBatch(columns, masks, selection, binding_name)
+        if scan_predicate is not None:
+            batch.selection = scan_predicate(batch, selection)
+        counts = [len(batch.selection)]
+        for predicate_fn in predicates:
+            if not batch.selection:
+                break
+            batch.selection = predicate_fn(batch, batch.selection)
+            counts.append(len(batch.selection))
+        payload = (payload_fn(batch) if payload_fn is not None and batch.selection
+                   else None)
+        return batch, scanned, counts, io_seconds, payload
+
+    statistics = context.statistics
+    pool = get_worker_pool()
+    with pool.lease(scan.workers) as lease:
+        statistics.parallel_workers = max(statistics.parallel_workers,
+                                          lease.workers, 1)
+        spans = morsel_ranges(len(mask))
+        for result in lease.ordered_map(run_morsel, spans):
+            if result is None:
+                continue
+            batch, scanned, counts, io_seconds, payload = result
+            statistics.rows_scanned += scanned
+            statistics.bytes_scanned += scanned * row_bytes
+            statistics.batches_processed += 1
+            statistics.batch_rows += scanned
+            statistics.morsels_dispatched += 1
+            statistics.simulated_io_seconds += io_seconds
+            scan.actual_rows += counts[0]
+            scan.actual_morsels += 1
+            for (filter_op, _fn), passed in zip(filter_fns, counts[1:]):
+                filter_op.actual_rows += passed
+            if batch.selection:
+                yield batch, payload
 
 
 # -- the vectorized hash-join pipeline ---------------------------------------
@@ -708,7 +913,14 @@ class _BatchJoinSource:
         probe_null_possible = any(tag is None for _fn, tag in self.probe_key_fns)
         probe_fns = [fn for fn, _tag in self.probe_key_fns]
         single_key = len(probe_fns) == 1
-        for batch in _drive_batches(context, *self.probe_chain[:3]):
+        residual_fn = self.residual_fn
+        filter_predicates = [fn for _op, fn in self.filter_fns]
+
+        def probe_batch(batch: ColumnBatch):
+            """One probe morsel: lock-free lookups into the finished
+            (read-only) hash table, gather, residual and filters.  Safe
+            to run on a worker: it reads only the shared table/store and
+            this morsel's own batch."""
             selection = batch.selection
             key_columns = [fn(batch, selection) for fn in probe_fns]
             probe_positions: list[int] = []
@@ -728,7 +940,7 @@ class _BatchJoinSource:
                         probe_positions.append(position)
                         build_ordinals.append(ordinal)
             if not probe_positions:
-                continue
+                return None
             columns: dict[str, list] = {}
             for key_name in needed_probe:
                 buffer = batch.columns[key_name.split(".", 1)[1]]
@@ -738,18 +950,47 @@ class _BatchJoinSource:
                 columns[key_name] = [store[i] for i in build_ordinals]
             out = ColumnBatch(columns, {}, list(range(len(probe_positions))),
                               JOIN_BATCH_BINDING)
-            if self.residual_fn is not None:
-                out.selection = self.residual_fn(out, out.selection)
-            join.actual_rows += len(out.selection)
-            for filter_op, predicate_fn in self.filter_fns:
+            if residual_fn is not None:
+                out.selection = residual_fn(out, out.selection)
+            joined = len(out.selection)
+            counts: list[int] = []
+            for predicate_fn in filter_predicates:
                 if not out.selection:
                     break
-                filter_op.apply_batch(out, predicate_fn)
+                out.selection = predicate_fn(out, out.selection)
+                counts.append(len(out.selection))
+            return out, joined, counts
+
+        probe_scan = self.probe_chain[0]
+        if _parallel_eligible(context, probe_scan):
+            morsels = _parallel_morsels(context, *self.probe_chain[:3],
+                                        payload_fn=probe_batch)
+            for _batch, probed in morsels:
+                join.actual_morsels += 1
+                if probed is None:
+                    continue
+                out, joined, counts = probed
+                join.actual_rows += joined
+                for (filter_op, _fn), passed in zip(self.filter_fns, counts):
+                    filter_op.actual_rows += passed
+                if out.selection:
+                    yield out
+            return
+        for batch in _drive_batches(context, *self.probe_chain[:3]):
+            probed = probe_batch(batch)
+            if probed is None:
+                continue
+            out, joined, counts = probed
+            join.actual_rows += joined
+            for (filter_op, _fn), passed in zip(self.filter_fns, counts):
+                filter_op.actual_rows += passed
             if out.selection:
                 yield out
 
     def _build(self, context: ExecutionContext, needed_build: Sequence[str]
                ) -> tuple[dict, dict[str, list]]:
+        if _parallel_eligible(context, self.build_chain[0]):
+            return self._build_parallel(context, needed_build)
         build_fns = [fn for fn, _tag in self.build_key_fns]
         null_possible = any(tag is None for _fn, tag in self.build_key_fns)
         single_key = len(build_fns) == 1
@@ -779,6 +1020,72 @@ class _BatchJoinSource:
                 else:
                     bucket.append(ordinal)
                 ordinal += 1
+        return hash_table, build_store
+
+    def _build_parallel(self, context: ExecutionContext,
+                        needed_build: Sequence[str]
+                        ) -> tuple[dict, dict[str, list]]:
+        """Partitioned parallel build: per-morsel hash fragments.
+
+        Each worker builds a *local* hash fragment over its morsel —
+        local ordinals, locally gathered store columns — and the
+        coordinator merges the fragments in morsel order, shifting each
+        fragment's ordinals by the running slot count.  Because morsel
+        order equals scan order and every NULL key still consumes a
+        slot, the merged table and store are exactly what the serial
+        single-pass build produces, so probe output (and its order) is
+        unchanged.
+        """
+        build_fns = [fn for fn, _tag in self.build_key_fns]
+        null_possible = any(tag is None for _fn, tag in self.build_key_fns)
+        single_key = len(build_fns) == 1
+        columns = [key.split(".", 1)[1] for key in needed_build]
+
+        def build_fragment(batch: ColumnBatch):
+            selection = batch.selection
+            key_columns = [fn(batch, selection) for fn in build_fns]
+            stores = []
+            for column in columns:
+                buffer = batch.columns[column]
+                stores.append([buffer[i] for i in selection])
+            if single_key:
+                keys: Sequence = key_columns[0]
+            else:
+                keys = list(zip(*key_columns))
+            local_table: dict = {}
+            slot = 0
+            for key in keys:
+                if null_possible and (
+                        key is NULL if single_key
+                        else any(part is NULL for part in key)):
+                    slot += 1
+                    continue
+                bucket = local_table.get(key)
+                if bucket is None:
+                    local_table[key] = [slot]
+                else:
+                    bucket.append(slot)
+                slot += 1
+            return local_table, stores, slot
+
+        hash_table: dict = {}
+        build_store: dict[str, list] = {key: [] for key in needed_build}
+        offset = 0
+        morsels = _parallel_morsels(context, *self.build_chain[:3],
+                                    payload_fn=build_fragment)
+        for _batch, fragment in morsels:
+            if fragment is None:
+                continue
+            local_table, stores, slots = fragment
+            for key_name, values in zip(needed_build, stores):
+                build_store[key_name].extend(values)
+            for key, locals_ in local_table.items():
+                bucket = hash_table.get(key)
+                if bucket is None:
+                    hash_table[key] = [slot + offset for slot in locals_]
+                else:
+                    bucket.extend(slot + offset for slot in locals_)
+            offset += slots
         return hash_table, build_store
 
 
@@ -956,6 +1263,14 @@ class GroupAggregate(PhysicalOperator):
 
     label = "Aggregate"
 
+    #: Parallel merge strategy the planner proved safe: ``"partial"``
+    #: merges per-morsel :meth:`_AggState.partial_state` fragments (only
+    #: when the merge is provably bit-exact — the same associativity
+    #: rules the cluster executor applies across shards); ``"ordered"``
+    #: keeps the fold on the coordinator in morsel order (order-sensitive
+    #: float SUM/AVG, DISTINCT, unproven integer sums).
+    parallel_mode = "ordered"
+
     def __init__(self, child: PhysicalOperator, group_by: Sequence[Expression],
                  aggregates: Sequence[AggregateCall], binding_name: str = OUTPUT_BINDING):
         super().__init__()
@@ -1044,6 +1359,14 @@ class GroupAggregate(PhysicalOperator):
             except VectorCompileError:
                 return None
             context.statistics.exprs_compiled += compiled_count
+            if self.parallel_mode == "partial" and _parallel_eligible(context, scan):
+                return self._run_parallel_partial(context, scan, scan_predicate,
+                                                  filter_fns, group_fns,
+                                                  argument_fns)
+            # "ordered" parallel mode needs no special casing: the
+            # parallel driver inside _drive_batches gathers morsels in
+            # scan order and the fold below runs on the coordinator,
+            # which IS the ordered gather.
             batches = _drive_batches(context, scan, scan_predicate, filter_fns)
             return self._run_vectorized(context, batches, group_fns, argument_fns)
         joined = _join_vector_source(context, self.child)
@@ -1114,6 +1437,107 @@ class GroupAggregate(PhysicalOperator):
                 for result_key, column in value_columns:
                     states[result_key].update(
                         1 if column is None else column[position])
+        for key in order:
+            states = groups[key]
+            row = {}
+            for expression, value in zip(self.group_by, key):
+                row[_group_key_name(expression)] = value
+            for aggregate in self.aggregates:
+                row[aggregate.result_key()] = states[aggregate.result_key()].result()
+            yield self._emit({self.binding_name: row})
+
+    def _run_parallel_partial(self, context: ExecutionContext, scan: "TableScan",
+                              scan_predicate: Optional[VectorExpression],
+                              filter_fns: Sequence[tuple["FilterOp",
+                                                         VectorExpression]],
+                              group_fns: Sequence[VectorExpression],
+                              argument_fns: Sequence[tuple[str,
+                                                           Optional[VectorExpression],
+                                                           Optional[str]]]
+                              ) -> Iterator[Binding]:
+        """Morsel-parallel aggregation through mergeable partial states.
+
+        Each worker folds its morsel into local :class:`_AggState`
+        fragments (the exact per-batch arithmetic of the serial fold);
+        the coordinator merges the fragments **in morsel order** through
+        ``partial_state()/merge_partial()`` — the same machinery the
+        cluster uses across shards.  The planner only selects this mode
+        when the merge is provably bit-exact, so results stay
+        byte-identical to serial execution.  Group output order is
+        first-seen order under the morsel-order merge, which equals the
+        serial scan's first-seen order.
+        """
+        aggregates = self.aggregates
+
+        if not self.group_by:
+            def scalar_partial(batch: ColumnBatch):
+                local = {aggregate.result_key(): _AggState(aggregate)
+                         for aggregate in aggregates}
+                selection = batch.selection
+                for result_key, argument_fn, tag in argument_fns:
+                    state = local[result_key]
+                    if argument_fn is None:
+                        state.update_count(len(selection))
+                    else:
+                        state.update_batch(argument_fn(batch, selection), tag)
+                return local
+
+            states = {aggregate.result_key(): _AggState(aggregate)
+                      for aggregate in aggregates}
+            morsels = _parallel_morsels(context, scan, scan_predicate,
+                                        filter_fns, payload_fn=scalar_partial)
+            for _batch, local in morsels:
+                self.actual_morsels += 1
+                if local is None:
+                    continue
+                for result_key, state in states.items():
+                    state.merge_partial(local[result_key].partial_state())
+            row = {result_key: state.result()
+                   for result_key, state in states.items()}
+            yield self._emit({self.binding_name: row})
+            return
+
+        def grouped_partial(batch: ColumnBatch):
+            selection = batch.selection
+            key_columns = [group_fn(batch, selection) for group_fn in group_fns]
+            value_columns = [(result_key,
+                              argument_fn(batch, selection)
+                              if argument_fn is not None else None)
+                             for result_key, argument_fn, _tag in argument_fns]
+            local_groups: dict[tuple, dict[str, _AggState]] = {}
+            local_order: list[tuple] = []
+            for position in range(len(selection)):
+                key = tuple(column[position] for column in key_columns)
+                local = local_groups.get(key)
+                if local is None:
+                    local = {aggregate.result_key(): _AggState(aggregate)
+                             for aggregate in aggregates}
+                    local_groups[key] = local
+                    local_order.append(key)
+                for result_key, column in value_columns:
+                    local[result_key].update(
+                        1 if column is None else column[position])
+            return local_groups, local_order
+
+        groups: dict[tuple, dict[str, _AggState]] = {}
+        order: list[tuple] = []
+        morsels = _parallel_morsels(context, scan, scan_predicate, filter_fns,
+                                    payload_fn=grouped_partial)
+        for _batch, fragment in morsels:
+            self.actual_morsels += 1
+            if fragment is None:
+                continue
+            local_groups, local_order = fragment
+            for key in local_order:
+                states = groups.get(key)
+                if states is None:
+                    states = {aggregate.result_key(): _AggState(aggregate)
+                              for aggregate in aggregates}
+                    groups[key] = states
+                    order.append(key)
+                local = local_groups[key]
+                for result_key, state in states.items():
+                    state.merge_partial(local[result_key].partial_state())
         for key in order:
             states = groups[key]
             row = {}
@@ -1715,12 +2139,17 @@ class PhysicalPlan:
     database: Database
     description: str = ""
     last_statistics: Optional[ExecutionStatistics] = None
+    #: Intra-query worker budget the planner built this plan with (1 =
+    #: serial) and the simulated-I/O bandwidth executions should model.
+    parallelism: int = 1
+    simulated_scan_mbps: Optional[float] = None
 
     def reset_actuals(self) -> None:
         """Zero the per-run actual-row counters before a (re-)execution."""
 
         def walk(operator: PhysicalOperator) -> None:
             operator.actual_rows = 0
+            operator.actual_morsels = 0
             for child in operator.children():
                 walk(child)
 
@@ -1737,6 +2166,8 @@ class PhysicalPlan:
             database=self.database,
             evaluation=self.database.evaluation_context(variables),
             compile_enabled=compiled,
+            parallelism=self.parallelism,
+            simulated_scan_mbps=self.simulated_scan_mbps,
         )
         self.last_statistics = context.statistics
         started_wall = time.perf_counter()

@@ -43,11 +43,21 @@ from .logical import FunctionRef, LogicalQuery, RelationRef
 from .operators import (CoveringIndexScan, DistinctOp, FilterOp, FunctionScan,
                         GroupAggregate, HashJoin, IndexNestedLoopJoin,
                         IndexRangeScan, InsertIntoOp, NestedLoopJoin,
-                        PhysicalOperator, PhysicalPlan, ProjectOp, SortOp,
-                        TableScan, TopOp)
+                        PhysicalOperator, PhysicalPlan, ProjectOp, SortMergeJoin,
+                        SortOp, TableScan, TopOp)
 from .stats import TableStatistics
 from .table import Table
-from .types import NULL
+from .types import NULL, DataType
+
+#: Integer-valued column types whose float-accumulated SUM/AVG partials
+#: merge bit-exactly while the total stays below 2**53 (the same rule
+#: the cluster executor applies to shard partials — keep in sync with
+#: ``repro.cluster.executor._EXACT_SUM_TYPES``).
+_EXACT_SUM_TYPES = (DataType.INTEGER, DataType.BIGINT, DataType.BOOLEAN)
+
+#: Column types the sort-merge sortedness verification accepts (ordered
+#: scalar comparisons with no surprises).
+_MERGE_KEY_TYPES = (DataType.INTEGER, DataType.BIGINT, DataType.FLOAT)
 
 #: Sentinel for "this bound does not fold to a plan-time constant".
 _UNKNOWN = object()
@@ -179,10 +189,21 @@ class Planner:
     INDEX_ENTRY_COST = 1.0
     HASH_BUILD_COST = 2.0
     HASH_PROBE_COST = 1.0
+    #: A sort-merge join touches each input row once with no hash-table
+    #: build, so both sides pay the sequential rate.
+    MERGE_ROW_COST = 1.0
+
+    #: Tables below this row count are not worth splitting into morsels:
+    #: a parallel scan pays a lease, per-morsel dispatch and an ordered
+    #: gather, which only amortises over enough batches.
+    PARALLEL_ROW_THRESHOLD = 10_000
 
     def __init__(self, database: Database, *, enable_hash_join: bool = True,
                  enable_fusion: bool = True, enable_vectorized: bool = True,
-                 enable_cbo: bool = True, enable_index_join: bool = True):
+                 enable_cbo: bool = True, enable_index_join: bool = True,
+                 enable_sort_merge: bool = False, parallelism: int = 1,
+                 parallel_row_threshold: Optional[int] = None,
+                 simulated_scan_mbps: Optional[float] = None):
         self.database = database
         #: When False, equality joins without a usable index fall back to a
         #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
@@ -204,6 +225,28 @@ class Planner:
         #: together with ``enable_hash_join`` this pins the join strategy
         #: (the join-equivalence property tests force all three).
         self.enable_index_join = enable_index_join
+        #: When True, equality joins between two base-table scans that
+        #: are both verifiably stored in key order are also costed as a
+        #: sort-merge join.  Off by default: plans (and EXPLAIN output)
+        #: must stay byte-identical unless the knob is turned.
+        self.enable_sort_merge = enable_sort_merge
+        #: Morsel-parallel degree requested for eligible scans.  1 (the
+        #: default) plans exactly as before — no operator is annotated
+        #: and execution stays serial.
+        self.parallelism = max(1, parallelism)
+        #: Row-count floor below which scans stay serial even with
+        #: ``parallelism > 1`` (tests pass 0 to force parallel plans).
+        self.parallel_row_threshold = (self.PARALLEL_ROW_THRESHOLD
+                                       if parallel_row_threshold is None
+                                       else max(0, parallel_row_threshold))
+        #: Simulated sequential-scan bandwidth (MB/s) charged as sleep
+        #: time per batch — the same knob the cluster executor exposes,
+        #: so single-node parallel speedups are measurable under the
+        #: I/O model of §5 rather than pure-GIL compute.
+        self.simulated_scan_mbps = simulated_scan_mbps
+        #: Sortedness verification cache for sort-merge planning:
+        #: (table, column) -> (modification_counter, is_sorted).
+        self._sorted_cache: dict[tuple[str, str], tuple[int, bool]] = {}
         #: Number of plans built; the plan-cache tests assert a cache hit
         #: leaves this untouched.
         self.plans_built = 0
@@ -791,6 +834,18 @@ class Planner:
                             + matches * self.RANDOM_LOOKUP_COST)
                         rows = max(1, int(root_rows * matches * local_selectivity))
                         options.append((cost, 0, ("index", candidate), rows))
+                if (self.enable_sort_merge and len(equalities) == 1
+                        and self._merge_join_applicable(root, info,
+                                                        inner_path.operator,
+                                                        equalities[0])):
+                    rows = self._join_output_estimate(root_rows,
+                                                      inner_path.estimated_rows,
+                                                      equalities, by_name)
+                    build_new = inner_path.estimated_rows <= root_rows
+                    cost = (root_cost + inner_path.cost
+                            + (root_rows + inner_path.estimated_rows)
+                            * self.MERGE_ROW_COST)
+                    options.append((cost, 1, ("merge", build_new), rows))
                 if equalities and self.enable_hash_join:
                     rows = self._join_output_estimate(root_rows,
                                                       inner_path.estimated_rows,
@@ -803,14 +858,14 @@ class Planner:
                     cost = (root_cost + inner_path.cost
                             + build_rows * self.HASH_BUILD_COST
                             + probe_rows * self.HASH_PROBE_COST)
-                    options.append((cost, 1, ("hash", build_new), rows))
+                    options.append((cost, 2, ("hash", build_new), rows))
                 nested_cost = (root_cost
                                + max(1, root_rows) * max(1.0, inner_path.cost))
                 nested_rows = max(1, int(
                     root_rows * inner_path.estimated_rows
                     * self._combine_selectivities(
                         [self.RESIDUAL_SELECTIVITY] * len(join_conjuncts))))
-                options.append((nested_cost, 2, ("nested", None), nested_rows))
+                options.append((nested_cost, 3, ("nested", None), nested_rows))
 
                 for cost, priority, choice, rows in options:
                     key = (connected, cost, priority, name)
@@ -830,6 +885,12 @@ class Planner:
                 root, used_conjuncts = built
                 pool.remaining = [c for c in pool.remaining
                                   if c not in used_conjuncts]
+            elif kind == "merge":
+                root = self._build_merge_join(root, inner_path.operator,
+                                              equalities, join_conjuncts,
+                                              build_new=extra)
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in join_conjuncts]
             elif kind == "hash":
                 root = self._build_hash_join(root, inner_path.operator,
                                              equalities, join_conjuncts,
@@ -952,6 +1013,90 @@ class Planner:
             return HashJoin(inner_operator, root, new_keys, old_keys, residual)
         return HashJoin(root, inner_operator, old_keys, new_keys, residual)
 
+    # -- sort-merge join planning -----------------------------------------------
+
+    def _merge_join_applicable(self, root: PhysicalOperator,
+                               info: _RelationInfo,
+                               inner_operator: PhysicalOperator,
+                               equality: tuple[Expression, Expression,
+                                               Expression]) -> bool:
+        """True when ``root ⋈ info`` qualifies for a sort-merge join.
+
+        The merge operator never sorts — it *verifies* that both inputs
+        are base-table scans whose key column is stored in ascending
+        order with no NULLs (the objID-ordered co-partitioned case the
+        survey loader produces).  Anything else — index paths, joined
+        pipelines, unsorted or nullable keys — falls back to the hash
+        and nested-loop options.
+        """
+        _conjunct, new_side, old_side = equality
+        if not (isinstance(new_side, ColumnRef) and isinstance(old_side, ColumnRef)):
+            return False
+        if not isinstance(root, TableScan) or not isinstance(inner_operator, TableScan):
+            return False
+        old_qualifier = (old_side.qualifier or "").lower()
+        if old_qualifier and old_qualifier != root.binding_name.lower():
+            return False
+        if not root.table.has_column(old_side.name):
+            return False
+        new_qualifier = (new_side.qualifier or "").lower()
+        if new_qualifier and new_qualifier != info.binding_name.lower():
+            return False
+        assert info.table is not None
+        if not info.table.has_column(new_side.name):
+            return False
+        return (self._table_sorted(root.table, old_side.name)
+                and self._table_sorted(info.table, new_side.name))
+
+    def _table_sorted(self, table: Table, column_name: str) -> bool:
+        """Verified "stored in ascending ``column_name`` order, no NULLs".
+
+        The verification scan is O(rows) but cached per (table, column)
+        and keyed by the table's modification counter, so it reruns only
+        after DML — the planner's usual amortisation argument.
+        """
+        key = (table.name.lower(), column_name.lower())
+        version = table.modification_counter
+        cached = self._sorted_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        column = table.column(column_name)
+        sorted_ok = column is not None and column.dtype in _MERGE_KEY_TYPES
+        if sorted_ok:
+            name = column_name.lower()
+            previous: Any = None
+            for row in table.storage.iter_dicts():
+                value = row.get(name, NULL)
+                if value is NULL or (previous is not None and value < previous):
+                    sorted_ok = False
+                    break
+                previous = value
+        self._sorted_cache[key] = (version, sorted_ok)
+        return sorted_ok
+
+    def _build_merge_join(self, root: PhysicalOperator,
+                          inner_operator: PhysicalOperator,
+                          equalities: Sequence[tuple[Expression, Expression,
+                                                     Expression]],
+                          join_conjuncts: Sequence[Expression],
+                          build_new: bool = True) -> SortMergeJoin:
+        """Construct the sort-merge join the CBO costed.
+
+        Mirrors :meth:`_build_hash_join`'s side assignment so the
+        emission order (probe-major, matches in build order) lines up
+        with what the hash join would have produced.
+        """
+        new_keys = [new for (_conjunct, new, _old) in equalities]
+        old_keys = [old for (_conjunct, _new, old) in equalities]
+        equality_conjuncts = [conjunct for conjunct, _new, _old in equalities]
+        residual = combine_conjuncts([conjunct for conjunct in join_conjuncts
+                                      if conjunct not in equality_conjuncts])
+        if build_new:
+            return SortMergeJoin(inner_operator, root, new_keys, old_keys,
+                                 residual)
+        return SortMergeJoin(root, inner_operator, old_keys, new_keys,
+                             residual)
+
     def _index_join(self, outer: PhysicalOperator, info: _RelationInfo,
                     equalities: Sequence[tuple[Expression, Expression, Expression]],
                     join_conjuncts: Sequence[Expression],
@@ -1010,10 +1155,130 @@ class Planner:
 
         if self.enable_vectorized:
             self._mark_vectorized_pipeline(root)
+            if self.parallelism > 1:
+                self._mark_parallel(root, relations)
         if self.enable_cbo:
             self._propagate_costs(root)
         return PhysicalPlan(root=root, output_names=query.output_names(),
-                            database=self.database)
+                            database=self.database,
+                            parallelism=self.parallelism,
+                            simulated_scan_mbps=self.simulated_scan_mbps)
+
+    # -- morsel-parallel marking ---------------------------------------------------
+
+    def _mark_parallel(self, root: PhysicalOperator,
+                       relations: Sequence[_RelationInfo]) -> None:
+        """Annotate batch-marked operators with the parallel degree.
+
+        Only columnar, batch-mode table scans above the row threshold
+        get ``workers > 1``; hash joins and aggregates fed by such a
+        scan inherit the annotation (and aggregates get their
+        partial/ordered mode).  Execution re-checks eligibility at run
+        time, so these flags — like the vectorized marks they piggyback
+        on — are advisory.
+        """
+
+        def chain_scan(node: PhysicalOperator) -> Optional[TableScan]:
+            while isinstance(node, FilterOp):
+                node = node.child
+            return node if isinstance(node, TableScan) else None
+
+        def scan_parallel(node: PhysicalOperator) -> bool:
+            scan = chain_scan(node)
+            return scan is not None and scan.workers > 1
+
+        def walk(operator: PhysicalOperator) -> None:
+            for child in operator.children():
+                walk(child)
+            if isinstance(operator, TableScan):
+                if (operator.vectorized
+                        and operator.table.storage.kind == "column"
+                        and operator.table.row_count >= self.parallel_row_threshold):
+                    operator.workers = self.parallelism
+            elif isinstance(operator, HashJoin) and operator.vectorized:
+                if scan_parallel(operator.build) or scan_parallel(operator.probe):
+                    operator.workers = self.parallelism
+            elif isinstance(operator, GroupAggregate) and operator.vectorized:
+                chain: PhysicalOperator = operator.child
+                while isinstance(chain, FilterOp):
+                    chain = chain.child
+                if isinstance(chain, TableScan) and chain.workers > 1:
+                    operator.workers = self.parallelism
+                    operator.parallel_mode = self._parallel_aggregate_mode(
+                        operator, relations)
+                elif isinstance(chain, HashJoin) and chain.workers > 1:
+                    # Join-fed aggregation consumes the (ordered) parallel
+                    # batch stream; the fold itself stays on the coordinator.
+                    operator.workers = self.parallelism
+
+        walk(root)
+
+    def _parallel_aggregate_mode(self, aggregate: GroupAggregate,
+                                 relations: Sequence[_RelationInfo]) -> str:
+        """``"partial"`` when per-morsel partials merge bit-exactly.
+
+        The single-node mirror of the cluster executor's
+        ``_aggregate_mode`` (keep the rules in sync): COUNT/MIN/MAX are
+        always safe; SUM/AVG only over an integer-typed column whose
+        ANALYZE-bounded total provably stays below 2**53 (the running
+        total is a float, so integer addition is associative only while
+        exactly representable); DISTINCT needs the merged value stream.
+        ``"ordered"`` folds morsels on the coordinator in scan order —
+        bit-identical to serial by construction, just less parallel.
+        """
+        for call in aggregate.aggregates:
+            if call.distinct:
+                return "ordered"
+            if call.func not in ("sum", "avg"):
+                continue
+            argument = call.argument
+            if argument is None:
+                continue
+            if not isinstance(argument, ColumnRef):
+                return "ordered"
+            if not self._sum_stays_exact(argument, relations):
+                return "ordered"
+        return "partial"
+
+    def _sum_stays_exact(self, argument: ColumnRef,
+                         relations: Sequence[_RelationInfo]) -> bool:
+        """True when |sum(column)| is provably < 2**53 (exact as a float)."""
+        qualifier = (argument.qualifier or "").lower()
+        owner: Optional[_RelationInfo] = None
+        for info in relations:
+            if info.kind != "table" or info.table is None:
+                continue
+            if qualifier and qualifier != info.binding_name.lower():
+                continue
+            if info.table.has_column(argument.name):
+                if owner is not None:
+                    return False
+                owner = info
+        if owner is None or owner.table is None:
+            return False
+        column = owner.table.column(argument.name)
+        if column is None or column.dtype not in _EXACT_SUM_TYPES:
+            return False
+        statistics = self.database.table_statistics(owner.table.name)
+        column_stats = (statistics.column(argument.name)
+                        if statistics is not None else None)
+        if (column_stats is None or column_stats.minimum is None
+                or column_stats.maximum is None):
+            return False
+        try:
+            bound = max(abs(column_stats.minimum), abs(column_stats.maximum), 1)
+        except TypeError:
+            return False
+        rows = max(1, owner.table.row_count)
+        for info in relations:
+            if info is owner:
+                continue
+            # A join can multiply occurrences of each value.
+            other_rows = (info.table.row_count
+                          if info.kind == "table" and info.table is not None
+                          else info.estimated_rows)
+            rows *= max(1, other_rows)
+        return rows * bound < 2 ** 53
 
     def _propagate_costs(self, root: PhysicalOperator) -> None:
         """Fill in estimates for operators join/access planning did not cost.

@@ -170,6 +170,10 @@ class SqlSession:
         self.batch_executions = 0
         self.row_executions = 0
         self.batches_processed = 0
+        #: SELECT executions that dispatched morsels to the shared
+        #: worker pool, and the total morsel count across them.
+        self.parallel_executions = 0
+        self.morsels_dispatched = 0
 
     # -- variables ----------------------------------------------------------
 
@@ -249,6 +253,8 @@ class SqlSession:
             "batch_executions": self.batch_executions,
             "row_executions": self.row_executions,
             "batches_processed": self.batches_processed,
+            "parallel_executions": self.parallel_executions,
+            "morsels_dispatched": self.morsels_dispatched,
         }
 
     # -- plan cache -------------------------------------------------------------
@@ -306,5 +312,8 @@ class SqlSession:
                 self.batches_processed += result.statistics.batches_processed
             else:
                 self.row_executions += 1
+            if result.statistics.morsels_dispatched:
+                self.parallel_executions += 1
+                self.morsels_dispatched += result.statistics.morsels_dispatched
             return StatementResult(statement, "select", result=result)
         raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")

@@ -325,13 +325,34 @@ class ColumnStore(TableStorage):
     def column_dtype(self, name: str) -> DataType:
         return self._columns[name.lower()].dtype
 
-    def live_positions(self, start: int, stop: int) -> list[int]:
-        """Row ids of live rows in [start, stop) — a batch's selection vector."""
+    def live_positions(self, start: int, stop: int,
+                       mask: Optional[bytes] = None) -> list[int]:
+        """Row ids of live rows in [start, stop) — a batch's selection vector.
+
+        With ``mask`` (a :meth:`live_mask_snapshot`), positions come
+        from that frozen mask instead of the current one: every morsel
+        of a parallel scan reads the same snapshot, so one scan sees
+        one consistent row set even while DML lands behind it.
+        """
+        if mask is not None:
+            stop = min(stop, len(mask))
+            return [i for i in range(start, stop) if mask[i]]
         stop = min(stop, len(self._live))
         if self._live_count == len(self._live):
             return list(range(start, stop))
         live = self._live
         return [i for i in range(start, stop) if live[i]]
+
+    def live_mask_snapshot(self) -> bytes:
+        """An immutable copy of the live mask, frozen at call time.
+
+        The parallel scan driver snapshots once up front and passes the
+        copy to every morsel's :meth:`live_positions`; appends that
+        publish after the snapshot are invisible to the whole scan
+        (vacuum/clear only run under the table's exclusive lock, so the
+        buffers behind the snapshot stay position-stable for readers).
+        """
+        return bytes(self._live)
 
 
 def make_storage(kind: str, columns: Sequence[Column]) -> TableStorage:

@@ -287,8 +287,22 @@ class SkyServerPool:
 
     def __init__(self, server: Any, *, workers: int = 8,
                  service_classes: Optional[dict[str, ServiceClass]] = None,
-                 result_cache_size: int = 256):
+                 result_cache_size: int = 256, parallelism: int = 1):
         self.database: Database = getattr(server, "database", server)
+        #: Morsel-parallel degree for each worker's sessions.  Clamped
+        #: so ``workers × parallelism`` cannot exceed the shared worker
+        #: pool's capacity — nested parallelism (a full serving pool of
+        #: parallel queries) throttles at the door, and the pool's
+        #: lease accounting degrades the remainder at run time.  The
+        #: knob never affects cache keys or admission quotas: parallel
+        #: and serial execution share a cache entry, and admission
+        #: counts queries, not the workers inside one.
+        if parallelism > 1:
+            from ..engine.parallel import get_worker_pool
+
+            capacity = get_worker_pool().capacity
+            parallelism = min(parallelism, max(1, capacity // max(1, workers)))
+        self.parallelism = max(1, parallelism)
         #: The server's shard cluster, when it is a cluster coordinator:
         #: worker sessions route through the distributed planner and
         #: cache entries record per-shard modification counters.
@@ -490,10 +504,18 @@ class SkyServerPool:
 
                 session = ClusterSession(self.cluster,
                                          row_limit=limits.max_rows,
-                                         time_limit_seconds=limits.max_seconds)
+                                         time_limit_seconds=limits.max_seconds,
+                                         parallelism=self.parallelism)
             else:
+                planner = None
+                if self.parallelism > 1:
+                    from ..engine.planner import Planner
+
+                    planner = Planner(self.database,
+                                      parallelism=self.parallelism)
                 session = SqlSession(self.database, row_limit=limits.max_rows,
-                                     time_limit_seconds=limits.max_seconds)
+                                     time_limit_seconds=limits.max_seconds,
+                                     planner=planner)
             sessions[ticket.user_class] = session
         try:
             info = self._analyze_batch(ticket.sql, key)
@@ -717,9 +739,13 @@ class SkyServerPool:
 
     def statistics(self) -> dict[str, Any]:
         """The ``site_statistics()["serving"]["pool"]`` payload."""
+        from ..engine.parallel import get_worker_pool
+
         with self._cond:
             return {
                 "workers": len(self._threads),
+                "parallelism": self.parallelism,
+                "worker_pool": get_worker_pool().statistics(),
                 "queue_depth": len(self._queue),
                 "queue_depth_peak": self.queue_depth_peak,
                 "running": dict(self._running),

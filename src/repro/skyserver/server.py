@@ -132,13 +132,16 @@ class SkyServer:
     # -- concurrent serving ------------------------------------------------------
 
     def start_pool(self, *, workers: int = 8, service_classes=None,
-                   result_cache_size: int = 256):
+                   result_cache_size: int = 256, parallelism: int = 1):
         """Start (and attach) a concurrent serving pool over this database.
 
         Returns the :class:`~repro.skyserver.pool.SkyServerPool`; its
         admission/queue/cache/lock counters appear in
         ``site_statistics()["serving"]`` from then on.  A previously
-        attached pool is shut down first.
+        attached pool is shut down first.  ``parallelism`` enables
+        morsel-parallel execution inside each worker's sessions (clamped
+        so workers x parallelism never oversubscribes the shared engine
+        worker pool; cache keys and admission quotas are unaffected).
         """
         from .pool import SkyServerPool
 
@@ -146,7 +149,8 @@ class SkyServer:
             self._pool.shutdown()
         return SkyServerPool(self, workers=workers,
                              service_classes=service_classes,
-                             result_cache_size=result_cache_size)
+                             result_cache_size=result_cache_size,
+                             parallelism=parallelism)
 
     def attach_pool(self, pool) -> None:
         """Register ``pool`` as this server's serving pool (pool calls this)."""
