@@ -31,7 +31,7 @@ import threading
 import time
 from typing import Any, Iterator, Optional, Sequence
 
-from ..engine.batch import BATCH_ROWS, ColumnBatch
+from ..engine.batch import ColumnBatch
 from ..engine.compile import (VectorCompileError, compile_expression,
                               compile_vector_predicate,
                               compile_vector_projection)
@@ -39,8 +39,11 @@ from ..engine.errors import QueryLimitExceeded, SQLSyntaxError
 from ..engine.expressions import (ColumnRef, Expression, RowScope, Star)
 from ..engine.index import _KeyWrapper
 from ..engine.operators import (ExecutionStatistics, QueryResult, _AggState,
-                                _SortKey, _create_table_for_rows, _hashable,
+                                _SortKey, _apply_scan_predicate,
+                                _create_table_for_rows, _hashable,
+                                _zone_predicates, _zone_skips,
                                 evaluate_projected)
+from ..engine.segments import compile_zone_predicate
 from ..engine.planner import Planner
 from ..engine.sql import SqlSession, parse_batch
 from ..engine.sql.ast import (AnalyzeStatement, DeclareStatement,
@@ -159,6 +162,8 @@ class ClusterExecutor:
             statistics.batches_processed += fragment.statistics.batches_processed
             statistics.batch_rows += fragment.statistics.batch_rows
             statistics.exprs_compiled += fragment.statistics.exprs_compiled
+            statistics.segments_scanned += fragment.statistics.segments_scanned
+            statistics.segments_skipped += fragment.statistics.segments_skipped
 
         if plan.is_aggregate:
             rows = self._merge_aggregate(plan, fragments, evaluation)
@@ -334,43 +339,64 @@ class ClusterExecutor:
                     predicate_expr, evaluation, table, relation.binding)
             except VectorCompileError:
                 return None
+            predicate_fn.zone_predicate = compile_zone_predicate(
+                predicate_expr, evaluation, table, relation.binding)
         column_names = [column.name.lower() for column in table.columns]
 
         def generate() -> Iterator[tuple[tuple, dict]]:
             storage = table.storage
-            columns, masks = storage.batch_columns()
-            total = len(storage)
+            zone_fns = _zone_predicates(True, predicate_fn)
             scanned = 0
+            segments_scanned = 0
+            segments_skipped = 0
             try:
-                for start in range(0, total, BATCH_ROWS):
-                    selection = storage.live_positions(start, start + BATCH_ROWS)
+                for unit in storage.scan_units():
+                    segment = unit.segment
+                    if (segment is not None and zone_fns
+                            and _zone_skips(zone_fns, segment)):
+                        # Segment-granular pruning under the shard's
+                        # placement ∩ statistics intersection: skipped
+                        # segments pay neither decode nor simulated I/O.
+                        segments_skipped += 1
+                        continue
+                    selection = unit.selection()
                     if not selection:
                         continue
+                    if segment is not None:
+                        segments_scanned += 1
                     scanned += len(selection)
-                    batch = ColumnBatch(columns, masks, selection,
-                                        relation.binding)
+                    batch = ColumnBatch(unit.columns(), unit.masks(),
+                                        selection, relation.binding)
                     if predicate_fn is not None:
-                        batch.selection = predicate_fn(batch, selection)
+                        batch.selection = _apply_scan_predicate(
+                            predicate_fn, batch, selection, segment)
                     view = batch.row_view()
+                    base = unit.base
                     for position in batch.selection:
                         view.index = position
                         row = {name: view[name] for name in column_names}
-                        yield (sequences[position],), row
+                        yield (sequences[base + position],), row
             finally:
                 self._account_scan(relation, scanned,
-                                   int(table.average_row_bytes()))
+                                   int(table.average_row_bytes()),
+                                   segments_scanned=segments_scanned,
+                                   segments_skipped=segments_skipped)
 
         return generate()
 
     #: Per-thread scan accounting sink (set around fragment iteration).
     _accounting = threading.local()
 
-    def _account_scan(self, relation, scanned: int, row_bytes: int) -> None:
+    def _account_scan(self, relation, scanned: int, row_bytes: int, *,
+                      segments_scanned: int = 0,
+                      segments_skipped: int = 0) -> None:
         fragment: Optional[_Fragment] = getattr(self._accounting, "fragment",
                                                 None)
         if fragment is not None:
             fragment.statistics.rows_scanned += scanned
             fragment.statistics.bytes_scanned += scanned * row_bytes
+            fragment.statistics.segments_scanned += segments_scanned
+            fragment.statistics.segments_skipped += segments_skipped
 
     # -- join fragments ----------------------------------------------------
 
@@ -628,6 +654,9 @@ class ClusterExecutor:
                 predicate_fn = compile_vector_predicate(
                     relation.access.predicate, evaluation, table,
                     relation.binding)
+                predicate_fn.zone_predicate = compile_zone_predicate(
+                    relation.access.predicate, evaluation, table,
+                    relation.binding)
             argument_fns = []
             for aggregate in plan.aggregates:
                 if aggregate.distinct:
@@ -642,21 +671,29 @@ class ClusterExecutor:
             return False
         states = [_AggState(aggregate) for aggregate in plan.aggregates]
         storage = table.storage
-        columns, masks = storage.batch_columns()
         row_bytes = int(table.average_row_bytes())
         statistics = fragment.statistics
-        total = len(storage)
-        for start in range(0, total, BATCH_ROWS):
-            selection = storage.live_positions(start, start + BATCH_ROWS)
+        zone_fns = _zone_predicates(True, predicate_fn)
+        for unit in storage.scan_units():
+            segment = unit.segment
+            if (segment is not None and zone_fns
+                    and _zone_skips(zone_fns, segment)):
+                statistics.segments_skipped += 1
+                continue
+            selection = unit.selection()
             if not selection:
                 continue
+            if segment is not None:
+                statistics.segments_scanned += 1
             statistics.rows_scanned += len(selection)
             statistics.bytes_scanned += len(selection) * row_bytes
             statistics.batches_processed += 1
             statistics.batch_rows += len(selection)
-            batch = ColumnBatch(columns, masks, selection, relation.binding)
+            batch = ColumnBatch(unit.columns(), unit.masks(), selection,
+                                relation.binding)
             if predicate_fn is not None:
-                selection = predicate_fn(batch, selection)
+                selection = _apply_scan_predicate(predicate_fn, batch,
+                                                  selection, segment)
                 batch.selection = selection
             if not selection:
                 continue
@@ -1095,6 +1132,8 @@ class ClusterSession:
             self.session.parallel_executions += 1
             self.session.morsels_dispatched += (
                 result.statistics.morsels_dispatched)
+        self.session.segments_scanned += result.statistics.segments_scanned
+        self.session.segments_skipped += result.statistics.segments_skipped
         result.statistics.plan_cache_hits = 0
         result.statistics.plan_cache_misses = 1
         return StatementResult(statement, "select", result=result)

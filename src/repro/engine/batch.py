@@ -28,6 +28,12 @@ def morsel_ranges(total: int, size: int = BATCH_ROWS) -> list[tuple[int, int]]:
     unit the parallel scheduler hands to workers.  The serial batch loop
     walks the identical ranges, which is what makes parallel execution's
     ordered gather reproduce the serial batch stream exactly.
+
+    Segmented column stores no longer call this for scans — their
+    morsels are :meth:`ColumnStore.scan_units` (one per sealed
+    segment, ``SEGMENT_ROWS == BATCH_ROWS``, plus the tail), which
+    tile row ids exactly like these ranges do.  It remains the tiling
+    for row stores and non-scan consumers.
     """
     return [(start, min(start + size, total)) for start in range(0, total, size)]
 

@@ -1030,7 +1030,13 @@ def _codegen_vector(expression: Expression, evaluation: EvaluationContext,
         lines.append(f"    return [{body} for _i in _sel]")
     namespace = dict(generator.env)
     exec(compile("\n".join(lines), "<vector-codegen>", "exec"), namespace)
-    return namespace["_vector_fn"], tag
+    fn = namespace["_vector_fn"]
+    # The column names the generated loop reads.  A single-column
+    # predicate can run over a sealed segment's dictionary instead of
+    # its decoded rows (segments.SealedSegment.code_filter); row-view
+    # fallbacks never set this, so they always take the decoded path.
+    fn.vector_columns = list(generator.columns)
+    return fn, tag
 
 
 def _row_view_fallback(expression: Expression, evaluation: EvaluationContext,

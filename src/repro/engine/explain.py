@@ -41,6 +41,11 @@ def render_operator(operator: PhysicalOperator, depth: int = 0,
         line += f", actual rows={operator.actual_rows}"
         if operator.actual_morsels:
             line += f" morsels={operator.actual_morsels}"
+        scanned = getattr(operator, "actual_segments_scanned", 0)
+        skipped = getattr(operator, "actual_segments_skipped", 0)
+        if scanned or skipped:
+            line += (f" segments={scanned}/{scanned + skipped}"
+                     f" skipped={skipped}")
     line += ")"
     lines = [line]
     for child in operator.children():

@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
-from .batch import BATCH_ROWS, ColumnBatch, morsel_ranges
+from .batch import ColumnBatch
 from .catalog import Database
 from .compile import (CompiledExpression, RowCompileError, VectorCompileError,
                       VectorExpression, compile_expression,
@@ -34,6 +34,7 @@ from .expressions import (AggregateCall, ColumnRef, EvaluationContext,
 from .functions import TableValuedFunction
 from .index import BTreeIndex
 from .logical import SelectItem
+from .segments import compile_zone_predicate
 from .table import Table
 from .types import NULL, Column, DataType
 
@@ -64,6 +65,11 @@ class ExecutionStatistics:
     #: rows they carried (zero on row-at-a-time executions).
     batches_processed: int = 0
     batch_rows: int = 0
+    #: Sealed segments whose data a batch scan actually touched, and
+    #: segments the zone maps let it skip — or answer — without
+    #: decoding a single value.
+    segments_scanned: int = 0
+    segments_skipped: int = 0
     #: Morsels executed on the shared worker pool, and the widest
     #: worker grant any parallel operator ran with (zero when the whole
     #: execution was serial).
@@ -120,9 +126,19 @@ class ExecutionContext:
 
     def compile_vector_predicate(self, expression: Expression, table: "Table",
                                  binding_name: str) -> VectorExpression:
-        """Vector compile (raises VectorCompileError); counters as compile_row."""
-        return compile_vector_predicate(expression, self.evaluation,
-                                        table, binding_name)
+        """Vector compile (raises VectorCompileError); counters as compile_row.
+
+        The compiled function also carries the predicate's *zone form*
+        (``fn.zone_predicate``) when the expression is analyzable over
+        per-segment zone maps — scans consult it to skip sealed
+        segments before touching their data.
+        """
+        fn = compile_vector_predicate(expression, self.evaluation,
+                                      table, binding_name)
+        if getattr(fn, "zone_predicate", None) is None:
+            fn.zone_predicate = compile_zone_predicate(
+                expression, self.evaluation, table, binding_name)
+        return fn
 
     def compile_vector_projection(self, expression: Expression, table: "Table",
                                   binding_name: str):
@@ -213,12 +229,23 @@ class TableScan(PhysicalOperator):
 
     label = "Table Scan"
 
+    #: Planner toggle: consult per-segment zone maps so compiled
+    #: predicates can skip sealed segments they prove empty
+    #: (``Planner(enable_zone_maps=False)`` clears it for the ablation
+    #: benchmark).  Zone maps are conservative — a segment is only
+    #: skipped when no live row in it could possibly match.
+    use_zone_maps = True
+
     def __init__(self, table: Table, binding_name: str,
                  predicate: Optional[Expression] = None):
         super().__init__()
         self.table = table
         self.binding_name = binding_name
         self.predicate = predicate
+        #: Per-run segment counters for EXPLAIN ANALYZE
+        #: (``segments=<scanned>/<total> skipped=<n>``).
+        self.actual_segments_scanned = 0
+        self.actual_segments_skipped = 0
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
         row_bytes = int(self.table.average_row_bytes())
@@ -236,26 +263,44 @@ class TableScan(PhysicalOperator):
             yield self._emit({binding_name: row})
 
     def batches(self, context: ExecutionContext,
-                predicate_fn: Optional[VectorExpression] = None
+                predicate_fn: Optional[VectorExpression] = None,
+                zone_fns: Optional[Sequence[Any]] = None
                 ) -> Iterator[ColumnBatch]:
         """Columnar scan: yield :class:`ColumnBatch` chunks of live rows.
 
         ``predicate_fn`` is the pre-compiled vector form of
         :attr:`predicate` (the pipeline driver compiles the whole chain
-        before pulling the first batch).  Statistics account exactly as
-        the row path: every live row is scanned, pass or fail.
+        before pulling the first batch).  The scan walks the storage's
+        scan units — one per sealed segment plus the append tail — so
+        sealed segments whose zone maps prove the predicate can never
+        match are skipped before any column is decoded, and equality
+        predicates over a dictionary-encoded column filter by code.
+        ``zone_fns`` extends the skip test with the zone forms of
+        filters stacked above the scan; when omitted, the scan
+        predicate's own zone form applies.  Statistics account exactly
+        as the row path for every unit actually scanned, pass or fail;
+        skipped segments contribute neither rows nor simulated I/O.
         """
         storage = self.table.storage
         statistics = context.statistics
         row_bytes = int(self.table.average_row_bytes())
-        columns, masks = storage.batch_columns()
         binding_name = self.binding_name
         mbps = context.simulated_scan_mbps
-        total = len(storage)
-        for start in range(0, total, BATCH_ROWS):
-            selection = storage.live_positions(start, start + BATCH_ROWS)
+        if zone_fns is None:
+            zone_fns = _zone_predicates(self.use_zone_maps, predicate_fn)
+        for unit in storage.scan_units():
+            segment = unit.segment
+            if segment is not None and zone_fns and _zone_skips(zone_fns,
+                                                                segment):
+                statistics.segments_skipped += 1
+                self.actual_segments_skipped += 1
+                continue
+            selection = unit.selection()
             if not selection:
                 continue
+            if segment is not None:
+                statistics.segments_scanned += 1
+                self.actual_segments_scanned += 1
             statistics.rows_scanned += len(selection)
             statistics.bytes_scanned += len(selection) * row_bytes
             statistics.batches_processed += 1
@@ -264,9 +309,11 @@ class TableScan(PhysicalOperator):
                 seconds = (len(selection) * row_bytes) / (mbps * 1.0e6)
                 statistics.simulated_io_seconds += seconds
                 time.sleep(seconds)
-            batch = ColumnBatch(columns, masks, selection, binding_name)
+            batch = ColumnBatch(unit.columns(), unit.masks(), selection,
+                                binding_name)
             if predicate_fn is not None:
-                batch.selection = predicate_fn(batch, selection)
+                batch.selection = _apply_scan_predicate(predicate_fn, batch,
+                                                        selection, segment)
             self.actual_rows += len(batch.selection)
             yield batch
 
@@ -712,6 +759,49 @@ class FilterOp(PhysicalOperator):
 
 # -- the vectorized single-table pipeline -----------------------------------
 
+def _zone_predicates(enabled: bool, *fns) -> list:
+    """Collect the compiled zone-map forms riding on vector predicates.
+
+    Each entry maps a sealed segment to an ``(any_possible, all_match)``
+    verdict; a predicate outside the zone-analyzable subset simply
+    carries no zone form and contributes nothing (conservative: the
+    segment is scanned).
+    """
+    if not enabled:
+        return []
+    zones = []
+    for fn in fns:
+        zone = getattr(fn, "zone_predicate", None) if fn is not None else None
+        if zone is not None:
+            zones.append(zone)
+    return zones
+
+
+def _zone_skips(zone_fns, segment) -> bool:
+    """True when any predicate's zone verdict proves the segment empty."""
+    return any(not zone_fn(segment)[0] for zone_fn in zone_fns)
+
+
+def _apply_scan_predicate(predicate_fn, batch: ColumnBatch, selection: list,
+                          segment) -> list:
+    """Narrow ``selection`` by the compiled scan predicate.
+
+    On a sealed segment, a predicate whose generated loop reads exactly
+    one column runs over that column's *dictionary* when it is
+    dict/RLE-encoded — one evaluation per distinct value instead of per
+    row — and rows are then filtered by code, which is exactly
+    equivalent to decode-then-filter.
+    """
+    if segment is not None:
+        columns = getattr(predicate_fn, "vector_columns", None)
+        if columns is not None and len(columns) == 1:
+            filtered = segment.code_filter(columns[0], predicate_fn, selection,
+                                           batch.binding_name)
+            if filtered is not None:
+                return filtered
+    return predicate_fn(batch, selection)
+
+
 def _vector_chain(context: ExecutionContext, child: PhysicalOperator
                   ) -> Optional[tuple["TableScan", Optional[VectorExpression],
                                       list[tuple["FilterOp", VectorExpression]], int]]:
@@ -764,7 +854,9 @@ def _drive_batches(context: ExecutionContext, scan: "TableScan",
                                                  filter_fns):
             yield batch
         return
-    for batch in scan.batches(context, scan_predicate):
+    zone_fns = _zone_predicates(scan.use_zone_maps, scan_predicate,
+                                *[fn for _op, fn in filter_fns])
+    for batch in scan.batches(context, scan_predicate, zone_fns=zone_fns):
         for filter_op, predicate_fn in filter_fns:
             if not batch.selection:
                 break
@@ -788,13 +880,20 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
                       ) -> Iterator[tuple[ColumnBatch, Any]]:
     """Run a scan chain's morsels on the shared pool, gathering in order.
 
-    Each morsel is one ``BATCH_ROWS`` row-range slice of the column
-    buffers; its task — live-mask lookup against a snapshot taken once
-    up front, the simulated I/O stall, the vectorized scan predicate and
-    every filter, then the optional ``payload_fn`` over the filtered
-    batch — runs entirely on a worker thread.  Workers touch no shared
-    mutable state (compiled vector closures only read the buffers; each
-    morsel owns its batch), so probes and filters are lock-free.
+    Each morsel is one scan unit — a sealed segment or the append tail,
+    which the storage aligns with the ``BATCH_ROWS`` morsel size; its
+    task — live-mask lookup against a snapshot taken once up front, the
+    simulated I/O stall, the vectorized scan predicate and every
+    filter, then the optional ``payload_fn`` over the filtered batch —
+    runs entirely on a worker thread.  Workers touch no shared mutable
+    state (compiled vector closures only read the buffers — sealed
+    segments decode into a per-task cache; each morsel owns its batch),
+    so probes and filters are lock-free.
+
+    Zone-map skipping composes with the pool on the coordinator side:
+    sealed segments the compiled zone predicates prove empty are never
+    submitted as tasks, so they pay neither worker time nor simulated
+    I/O.
 
     The coordinator consumes results strictly in morsel order, folding
     the per-morsel counters into the shared statistics and the
@@ -809,15 +908,25 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
 
     storage = scan.table.storage
     row_bytes = int(scan.table.average_row_bytes())
-    columns, masks = storage.batch_columns()
     binding_name = scan.binding_name
     mbps = context.simulated_scan_mbps
+    units = storage.scan_units()
     mask = storage.live_mask_snapshot()
     predicates = [fn for _op, fn in filter_fns]
+    zone_fns = _zone_predicates(scan.use_zone_maps, scan_predicate, *predicates)
+    statistics = context.statistics
 
-    def run_morsel(span: tuple[int, int]):
-        start, stop = span
-        selection = storage.live_positions(start, stop, mask=mask)
+    tasks = []
+    for unit in units:
+        if (unit.segment is not None and zone_fns
+                and _zone_skips(zone_fns, unit.segment)):
+            statistics.segments_skipped += 1
+            scan.actual_segments_skipped += 1
+            continue
+        tasks.append(unit)
+
+    def run_unit(unit):
+        selection = unit.selection(mask=mask)
         if not selection:
             return None
         scanned = len(selection)
@@ -825,9 +934,11 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
         if mbps:
             io_seconds = (scanned * row_bytes) / (mbps * 1.0e6)
             time.sleep(io_seconds)
-        batch = ColumnBatch(columns, masks, selection, binding_name)
+        batch = ColumnBatch(unit.columns(), unit.masks(), selection,
+                            binding_name)
         if scan_predicate is not None:
-            batch.selection = scan_predicate(batch, selection)
+            batch.selection = _apply_scan_predicate(scan_predicate, batch,
+                                                    selection, unit.segment)
         counts = [len(batch.selection)]
         for predicate_fn in predicates:
             if not batch.selection:
@@ -838,16 +949,17 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
                    else None)
         return batch, scanned, counts, io_seconds, payload
 
-    statistics = context.statistics
     pool = get_worker_pool()
     with pool.lease(scan.workers) as lease:
         statistics.parallel_workers = max(statistics.parallel_workers,
                                           lease.workers, 1)
-        spans = morsel_ranges(len(mask))
-        for result in lease.ordered_map(run_morsel, spans):
+        for unit, result in zip(tasks, lease.ordered_map(run_unit, tasks)):
             if result is None:
                 continue
             batch, scanned, counts, io_seconds, payload = result
+            if unit.sealed:
+                statistics.segments_scanned += 1
+                scan.actual_segments_scanned += 1
             statistics.rows_scanned += scanned
             statistics.bytes_scanned += scanned * row_bytes
             statistics.batches_processed += 1
@@ -1271,6 +1383,12 @@ class GroupAggregate(PhysicalOperator):
     #: float SUM/AVG, DISTINCT, unproven integer sums).
     parallel_mode = "ordered"
 
+    #: Planner proof (the CBO's ``_sum_stays_exact``) that every SUM/AVG
+    #: argument is an exact-integer column bounded below 2**53, letting
+    #: the scalar fold answer sums from zone-map integer totals on
+    #: fully-matched segments without changing a single bit.
+    zone_exact_sums = False
+
     def __init__(self, child: PhysicalOperator, group_by: Sequence[Expression],
                  aggregates: Sequence[AggregateCall], binding_name: str = OUTPUT_BINDING):
         super().__init__()
@@ -1363,6 +1481,11 @@ class GroupAggregate(PhysicalOperator):
                 return self._run_parallel_partial(context, scan, scan_predicate,
                                                   filter_fns, group_fns,
                                                   argument_fns)
+            if not self.group_by and not _parallel_eligible(context, scan):
+                zone_run = self._run_zone_scalar(context, scan, scan_predicate,
+                                                 filter_fns, argument_fns)
+                if zone_run is not None:
+                    return zone_run
             # "ordered" parallel mode needs no special casing: the
             # parallel driver inside _drive_batches gathers morsels in
             # scan order and the fold below runs on the coordinator,
@@ -1445,6 +1568,139 @@ class GroupAggregate(PhysicalOperator):
             for aggregate in self.aggregates:
                 row[aggregate.result_key()] = states[aggregate.result_key()].result()
             yield self._emit({self.binding_name: row})
+
+    def _run_zone_scalar(self, context: ExecutionContext, scan: "TableScan",
+                         scan_predicate: Optional[VectorExpression],
+                         filter_fns: Sequence[tuple["FilterOp",
+                                                    VectorExpression]],
+                         argument_fns: Sequence[tuple[str,
+                                                      Optional[VectorExpression],
+                                                      Optional[str]]]
+                         ) -> Optional[Iterator[Binding]]:
+        """Scalar aggregation that answers segments from zone maps, or None.
+
+        A sealed segment that every predicate conjunct proves *fully
+        matched* — and that carries no tombstoned rows — contributes
+        COUNT/MIN/MAX (and, when the planner proved the sum exact via
+        :attr:`zone_exact_sums`, SUM/AVG) straight from its zone map,
+        without decoding a single value.  Zone minima/maxima use the
+        same first-wins comparisons and zone integer sums the same
+        exact arithmetic as :class:`_AggState`, so the merged fold is
+        bit-identical to scanning.  Segments that cannot be answered
+        (or skipped) are scanned with the ordinary per-batch
+        accounting; the append tail always scans.
+        """
+        if not scan.use_zone_maps:
+            return None
+        specs: list[tuple[str, Optional[str], str,
+                          Optional[VectorExpression], Optional[str]]] = []
+        binding = scan.binding_name.lower()
+        for aggregate, (result_key, argument_fn, tag) in zip(self.aggregates,
+                                                             argument_fns):
+            if aggregate.distinct:
+                return None
+            if aggregate.argument is None:
+                specs.append((result_key, None, "count_star", argument_fn, tag))
+                continue
+            func = aggregate.func
+            if func not in ("count", "min", "max", "sum", "avg"):
+                return None
+            argument = aggregate.argument
+            if not isinstance(argument, ColumnRef):
+                return None
+            qualifier = (argument.qualifier or "").lower()
+            if qualifier and qualifier != binding:
+                return None
+            column = argument.name.lower()
+            if not scan.table.has_column(column):
+                return None
+            if func in ("sum", "avg") and (not self.zone_exact_sums
+                                           or tag != "int"):
+                # Only planner-proved exact-integer columns whose
+                # codegen tag guarantees non-NULL, non-bool ints may be
+                # answered from zone integer sums.
+                return None
+            specs.append((result_key, column, func, argument_fn, tag))
+        predicate_fns = [scan_predicate] + [fn for _op, fn in filter_fns]
+        zone_pairs = [getattr(fn, "zone_predicate", None)
+                      for fn in predicate_fns if fn is not None]
+        return self._zone_scalar_fold(context, scan, scan_predicate,
+                                      filter_fns, specs, zone_pairs)
+
+    def _zone_scalar_fold(self, context: ExecutionContext, scan: "TableScan",
+                          scan_predicate: Optional[VectorExpression],
+                          filter_fns: Sequence[tuple["FilterOp",
+                                                     VectorExpression]],
+                          specs, zone_fns) -> Iterator[Binding]:
+        statistics = context.statistics
+        storage = scan.table.storage
+        row_bytes = int(scan.table.average_row_bytes())
+        binding_name = scan.binding_name
+        mbps = context.simulated_scan_mbps
+        states: dict[str, _AggState] = {}
+        for aggregate, spec in zip(self.aggregates, specs):
+            states[spec[0]] = _AggState(aggregate)
+        for unit in storage.scan_units():
+            segment = unit.segment
+            if segment is not None:
+                verdicts = [(zone_fn(segment) if zone_fn is not None
+                             else (True, False)) for zone_fn in zone_fns]
+                if any(not any_possible for any_possible, _all in verdicts):
+                    statistics.segments_skipped += 1
+                    scan.actual_segments_skipped += 1
+                    continue
+                if (segment.tombstones == 0
+                        and all(all_match for _any, all_match in verdicts)):
+                    contributions = _zone_contributions(segment, specs)
+                    if contributions is not None:
+                        # Answered without touching the data: counts as
+                        # a skipped segment (no rows or bytes scanned,
+                        # no simulated I/O), but the operators' actual
+                        # rows match the scan they replaced.
+                        statistics.segments_skipped += 1
+                        scan.actual_segments_skipped += 1
+                        scan.actual_rows += segment.rows
+                        for filter_op, _fn in filter_fns:
+                            filter_op.actual_rows += segment.rows
+                        for result_key, partial in contributions:
+                            states[result_key].merge_partial(partial)
+                        continue
+            selection = unit.selection()
+            if not selection:
+                continue
+            if segment is not None:
+                statistics.segments_scanned += 1
+                scan.actual_segments_scanned += 1
+            statistics.rows_scanned += len(selection)
+            statistics.bytes_scanned += len(selection) * row_bytes
+            statistics.batches_processed += 1
+            statistics.batch_rows += len(selection)
+            if mbps:
+                seconds = (len(selection) * row_bytes) / (mbps * 1.0e6)
+                statistics.simulated_io_seconds += seconds
+                time.sleep(seconds)
+            batch = ColumnBatch(unit.columns(), unit.masks(), selection,
+                                binding_name)
+            if scan_predicate is not None:
+                batch.selection = _apply_scan_predicate(scan_predicate, batch,
+                                                        selection, segment)
+            scan.actual_rows += len(batch.selection)
+            for filter_op, predicate_fn in filter_fns:
+                if not batch.selection:
+                    break
+                filter_op.apply_batch(batch, predicate_fn)
+            if not batch.selection:
+                continue
+            selection = batch.selection
+            for result_key, _column, _func, argument_fn, tag in specs:
+                state = states[result_key]
+                if argument_fn is None:
+                    state.update_count(len(selection))
+                else:
+                    state.update_batch(argument_fn(batch, selection), tag)
+        row = {result_key: state.result()
+               for result_key, state in states.items()}
+        yield self._emit({self.binding_name: row})
 
     def _run_parallel_partial(self, context: ExecutionContext, scan: "TableScan",
                               scan_predicate: Optional[VectorExpression],
@@ -1557,6 +1813,41 @@ class GroupAggregate(PhysicalOperator):
 
     def estimated_rows(self) -> int:
         return self.scale_rows(self.child.estimated_rows())
+
+
+def _zone_contributions(segment, specs) -> Optional[list]:
+    """Per-aggregate ``partial_state`` tuples read off a segment's zone maps.
+
+    Returns ``[(result_key, (count, total, minimum, maximum)), ...]`` —
+    the exact mergeable fragments :meth:`_AggState.merge_partial`
+    consumes — or None when any aggregate needs the real values (e.g. a
+    MIN over a segment whose zone could not rank its values, or a SUM
+    whose zone lost integer exactness).
+    """
+    contributions = []
+    for result_key, column, func, _argument_fn, _tag in specs:
+        if func == "count_star":
+            contributions.append((result_key, (segment.rows, 0.0, None, None)))
+            continue
+        zone = segment.zone(column)
+        if zone is None:
+            return None
+        nonnull = zone.nonnull
+        if func == "count":
+            contributions.append((result_key, (nonnull, 0.0, None, None)))
+        elif func in ("min", "max"):
+            if nonnull and zone.kind is None:
+                # Mixed types or NaN: the zone could not rank the
+                # values, so the segment must be scanned.
+                return None
+            contributions.append((result_key,
+                                  (nonnull, 0.0, zone.minimum, zone.maximum)))
+        else:  # sum / avg over planner-proved exact-integer columns
+            if zone.int_sum is None or (nonnull and zone.kind != "num"):
+                return None
+            contributions.append((result_key,
+                                  (nonnull, zone.int_sum, None, None)))
+    return contributions
 
 
 def _group_key_name(expression: Expression) -> str:
@@ -2150,6 +2441,9 @@ class PhysicalPlan:
         def walk(operator: PhysicalOperator) -> None:
             operator.actual_rows = 0
             operator.actual_morsels = 0
+            if isinstance(operator, TableScan):
+                operator.actual_segments_scanned = 0
+                operator.actual_segments_skipped = 0
             for child in operator.children():
                 walk(child)
 

@@ -21,6 +21,13 @@ backbone of the whole layer: morsels are submitted in scan order with a
 bounded in-flight window and their results are yielded strictly in
 submission order, so every downstream consumer observes exactly the
 batch stream the serial path would have produced.
+
+Since the segment layer landed, a columnar scan's morsels are its
+storage **scan units** — one per sealed segment (``SEGMENT_ROWS`` =
+``BATCH_ROWS``) plus the append tail — and the coordinator consults
+each unit's zone maps *before* submission: a provably-empty segment is
+dropped from the task list entirely, so skipping composes with
+parallelism instead of wasting a worker on an empty morsel.
 """
 
 from __future__ import annotations

@@ -203,7 +203,8 @@ class Planner:
                  enable_cbo: bool = True, enable_index_join: bool = True,
                  enable_sort_merge: bool = False, parallelism: int = 1,
                  parallel_row_threshold: Optional[int] = None,
-                 simulated_scan_mbps: Optional[float] = None):
+                 simulated_scan_mbps: Optional[float] = None,
+                 enable_zone_maps: bool = True):
         self.database = database
         #: When False, equality joins without a usable index fall back to a
         #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
@@ -244,6 +245,12 @@ class Planner:
         #: so single-node parallel speedups are measurable under the
         #: I/O model of §5 rather than pure-GIL compute.
         self.simulated_scan_mbps = simulated_scan_mbps
+        #: When False, batch scans never consult per-segment zone maps
+        #: (every sealed segment is scanned) and scalar aggregates never
+        #: answer segments from them — the segment benchmark's ablation
+        #: baseline.  Results are byte-identical either way; only the
+        #: amount of data touched changes.
+        self.enable_zone_maps = enable_zone_maps
         #: Sortedness verification cache for sort-merge planning:
         #: (table, column) -> (modification_counter, is_sorted).
         self._sorted_cache: dict[tuple[str, str], tuple[int, bool]] = {}
@@ -1157,12 +1164,47 @@ class Planner:
             self._mark_vectorized_pipeline(root)
             if self.parallelism > 1:
                 self._mark_parallel(root, relations)
+        self._mark_zone_maps(root, relations)
         if self.enable_cbo:
             self._propagate_costs(root)
         return PhysicalPlan(root=root, output_names=query.output_names(),
                             database=self.database,
                             parallelism=self.parallelism,
                             simulated_scan_mbps=self.simulated_scan_mbps)
+
+    # -- zone-map marking ----------------------------------------------------------
+
+    def _mark_zone_maps(self, root: PhysicalOperator,
+                        relations: Sequence[_RelationInfo]) -> None:
+        """Stamp the plan's zone-map flags.
+
+        Every base-table scan gets this planner's :attr:`enable_zone_maps`
+        toggle (skipping is always safe — zone maps are conservative).
+        Scalar aggregates additionally get :attr:`GroupAggregate.
+        zone_exact_sums` when the CBO's exact-integer proof
+        (:meth:`_sum_stays_exact` — the same machinery that picks the
+        parallel partial-merge mode) covers every SUM/AVG argument, which
+        lets execution answer fully-matched segments from zone integer
+        sums without changing a single bit of the result.
+        """
+
+        def walk(operator: PhysicalOperator) -> None:
+            if isinstance(operator, TableScan):
+                operator.use_zone_maps = self.enable_zone_maps
+            if (self.enable_zone_maps and isinstance(operator, GroupAggregate)
+                    and not operator.group_by):
+                sums = [aggregate.argument for aggregate in operator.aggregates
+                        if aggregate.func in ("sum", "avg")
+                        and aggregate.argument is not None
+                        and not aggregate.distinct]
+                if all(isinstance(argument, ColumnRef)
+                       and self._sum_stays_exact(argument, relations)
+                       for argument in sums):
+                    operator.zone_exact_sums = True
+            for child in operator.children():
+                walk(child)
+
+        walk(root)
 
     # -- morsel-parallel marking ---------------------------------------------------
 

@@ -174,6 +174,10 @@ class SqlSession:
         #: worker pool, and the total morsel count across them.
         self.parallel_executions = 0
         self.morsels_dispatched = 0
+        #: Sealed segments scanned vs skipped-or-answered by zone maps
+        #: across this session's SELECTs.
+        self.segments_scanned = 0
+        self.segments_skipped = 0
 
     # -- variables ----------------------------------------------------------
 
@@ -255,6 +259,8 @@ class SqlSession:
             "batches_processed": self.batches_processed,
             "parallel_executions": self.parallel_executions,
             "morsels_dispatched": self.morsels_dispatched,
+            "segments_scanned": self.segments_scanned,
+            "segments_skipped": self.segments_skipped,
         }
 
     # -- plan cache -------------------------------------------------------------
@@ -315,5 +321,7 @@ class SqlSession:
             if result.statistics.morsels_dispatched:
                 self.parallel_executions += 1
                 self.morsels_dispatched += result.statistics.morsels_dispatched
+            self.segments_scanned += result.statistics.segments_scanned
+            self.segments_skipped += result.statistics.segments_skipped
             return StatementResult(statement, "select", result=result)
         raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")

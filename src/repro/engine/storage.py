@@ -13,10 +13,13 @@ Two interchangeable implementations of :class:`TableStorage` exist:
 * :class:`RowStore` — the original list-of-dicts layout.  It remains
   the default (and the write-optimised path): one dict per row, ``None``
   tombstones for deletes.
-* :class:`ColumnStore` — one buffer per column plus a null mask and a
-  live (non-tombstone) mask.  INTEGER/BIGINT columns use ``array('q')``
-  (promoted to a plain list on 64-bit overflow), FLOAT uses
-  ``array('d')``, everything else a plain Python list.
+* :class:`ColumnStore` — sealed, compressed segments plus an append
+  tail, with a global live (non-tombstone) mask.  The tail keeps one
+  buffer per column (INTEGER/BIGINT use ``array('q')``, promoted to a
+  plain list on 64-bit overflow; FLOAT uses ``array('d')``; everything
+  else a plain Python list); every :data:`~repro.engine.segments.
+  SEGMENT_ROWS` appends it is sealed into an encoded segment with a
+  zone map (:mod:`repro.engine.segments`).
 
 Both stores share the same row-id contract the indices rely on: ids are
 assigned densely on append, survive deletes (tombstones), and are only
@@ -39,6 +42,7 @@ from array import array
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
 from .errors import SchemaError
+from .segments import SEGMENT_ROWS, _logical_bytes, build_segment
 from .types import Column, DataType, NULL
 
 
@@ -227,13 +231,115 @@ class _ColumnData:
         self.null_count = 0
 
 
-class ColumnStore(TableStorage):
-    """Column-oriented storage: one buffer per column plus a live mask.
+class _Parts:
+    """One atomically-published snapshot of a :class:`ColumnStore`.
 
-    Dict materialisation (``get``/``iter_rows``) is the compatibility
-    adapter for row-at-a-time operators; the vectorized execution path
-    reads the buffers directly through :meth:`batch_columns` and
-    :meth:`live_positions`.
+    ``segments`` are immutable sealed runs of :data:`SEGMENT_ROWS` rows;
+    ``tail`` is the mutable append run (local coordinates, global id =
+    ``base`` + local position); ``live`` is the global live mask shared
+    across publications — appends extend it in place (prefix-stable),
+    deletes zero a byte.  Seal/vacuum/clear publish a *new* triple, so
+    a reader that grabbed ``store._parts`` once keeps a position-stable
+    view for its whole scan.
+    """
+
+    __slots__ = ("segments", "tail", "base", "live")
+
+    def __init__(self, segments: tuple, tail: dict[str, _ColumnData],
+                 base: int, live: bytearray):
+        self.segments = segments
+        self.tail = tail
+        self.base = base
+        self.live = live
+
+
+class _ScanUnit:
+    """One unit of scan dispatch: a sealed segment or the append tail.
+
+    Positions are *local* (0-based within the unit); ``base`` converts
+    back to global row ids.  ``columns()``/``masks()`` give local
+    buffers — lazily decoded for sealed segments, the live buffers for
+    the tail — so batches built from a unit slot straight into the
+    vectorized pipeline.
+    """
+
+    __slots__ = ("store", "parts", "segment", "base", "stop")
+
+    def __init__(self, store: "ColumnStore", parts: _Parts,
+                 segment, base: int, stop: int):
+        self.store = store
+        self.parts = parts
+        self.segment = segment          # SealedSegment, or None for the tail
+        self.base = base
+        self.stop = stop
+
+    @property
+    def sealed(self) -> bool:
+        return self.segment is not None
+
+    def selection(self, mask: Optional[bytes] = None) -> list[int]:
+        """Local positions of live rows (optionally from a frozen mask)."""
+        live = mask if mask is not None else self.parts.live
+        base = self.base
+        stop = min(self.stop, len(live))
+        if stop <= base:
+            return []
+        if (self.segment is None or self.segment.tombstones == 0) and \
+                mask is None and self.store._live_count == len(live):
+            return list(range(stop - base))
+        return [i - base for i in range(base, stop) if live[i]]
+
+    def columns(self) -> Mapping[str, Sequence]:
+        if self.segment is not None:
+            return _LazySegmentColumns(self.segment)
+        return {name: data.values for name, data in self.parts.tail.items()}
+
+    def masks(self) -> Mapping[str, Sequence]:
+        if self.segment is not None:
+            return self.segment.masks
+        return {name: data.mask for name, data in self.parts.tail.items()
+                if data.null_count}
+
+    def zone(self, name: str):
+        if self.segment is None:
+            return None
+        return self.segment.zone(name)
+
+
+class _LazySegmentColumns(dict):
+    """Column mapping that decodes a sealed column on first access and
+    caches the result for the rest of the scan of that unit."""
+
+    __slots__ = ("segment",)
+
+    def __init__(self, segment):
+        super().__init__()
+        self.segment = segment
+
+    def __missing__(self, name: str) -> Sequence:
+        decoded = self.segment.decode_column(name)
+        self[name] = decoded
+        return decoded
+
+
+class ColumnStore(TableStorage):
+    """Column-oriented storage: sealed, encoded segments plus an append tail.
+
+    Every :data:`~repro.engine.segments.SEGMENT_ROWS` appends, the tail
+    is **sealed**: each column picks an encoding (dictionary / RLE /
+    delta / plain — see :mod:`repro.engine.segments`) and gets a zone
+    map (min/max, null count, exact integer sum) the execution layer
+    uses to skip segments, filter by dictionary codes and answer
+    aggregates without touching data.  Deletes tombstone the global
+    live mask and bump the owning segment's ``tombstones`` counter (the
+    DML invalidation: a tombstoned segment still *skips* safely but no
+    longer *answers* from its zone map); :meth:`vacuum` re-seals the
+    compacted rows into fresh segments with rebuilt zone maps.
+
+    Dict materialisation (``get``/``iter_rows``) remains the
+    compatibility adapter for row-at-a-time operators; the vectorized
+    path reads per-unit local buffers through :meth:`scan_units` (or
+    the global concatenation through :meth:`batch_columns`).
     """
 
     kind = "column"
@@ -241,89 +347,243 @@ class ColumnStore(TableStorage):
     def __init__(self, columns: Sequence[Column]):
         if not columns:
             raise SchemaError("a column store needs at least one column")
-        self._columns: dict[str, _ColumnData] = {}
-        for column in columns:
-            self._columns[column.name.lower()] = _ColumnData(column)
-        self._names: list[str] = list(self._columns)
-        self._live = bytearray()
+        self._column_defs: dict[str, Column] = {
+            column.name.lower(): column for column in columns}
+        self._names: list[str] = list(self._column_defs)
+        self._parts = _Parts((), self._fresh_tail(), 0, bytearray())
         self._live_count = 0
+        #: Total segments sealed over this store's lifetime (vacuum
+        #: re-seals count too) — reported by :meth:`storage_statistics`.
+        self.segments_sealed = 0
+
+    def _fresh_tail(self) -> dict[str, _ColumnData]:
+        return {name: _ColumnData(column)
+                for name, column in self._column_defs.items()}
+
+    # -- the row-id contract ---------------------------------------------
 
     def next_row_id(self) -> int:
-        return len(self._live)
+        return len(self._parts.live)
 
     def append(self, row: dict[str, Any]) -> int:
-        row_id = len(self._live)
-        for name, data in self._columns.items():
+        parts = self._parts
+        row_id = len(parts.live)
+        for name, data in parts.tail.items():
             data.append(row.get(name, NULL))
         # The live flag is published last: a lock-free reader that sees
         # it set is guaranteed every column buffer already holds the row.
-        self._live.append(1)
+        parts.live.append(1)
         self._live_count += 1
+        if len(parts.live) - parts.base >= SEGMENT_ROWS:
+            self._seal(parts)
         return row_id
 
+    def _seal(self, parts: _Parts) -> None:
+        """Seal the (full) tail into an encoded segment + fresh tail.
+
+        Publishes a new parts triple; readers holding the old one keep
+        scanning the old tail buffers, which are never touched again.
+        """
+        base = parts.base
+        specs = {name: (data.values, data.mask if data.null_count else None,
+                        data.dtype)
+                 for name, data in parts.tail.items()}
+        dead = SEGMENT_ROWS - sum(parts.live[base:base + SEGMENT_ROWS])
+        segment = build_segment(base, specs, tombstones=dead)
+        self._parts = _Parts(parts.segments + (segment,), self._fresh_tail(),
+                             base + SEGMENT_ROWS, parts.live)
+        self.segments_sealed += 1
+
     def get(self, row_id: int) -> Optional[dict[str, Any]]:
-        if not (0 <= row_id < len(self._live)) or not self._live[row_id]:
+        parts = self._parts
+        if not (0 <= row_id < len(parts.live)) or not parts.live[row_id]:
             return None
-        return {name: self._columns[name].get(row_id) for name in self._names}
+        if row_id >= parts.base:
+            local = row_id - parts.base
+            return {name: parts.tail[name].get(local) for name in self._names}
+        segment = parts.segments[row_id // SEGMENT_ROWS]
+        local = row_id - segment.base
+        return {name: segment.value_at(name, local) for name in self._names}
 
     def delete(self, row_id: int) -> bool:
-        if 0 <= row_id < len(self._live) and self._live[row_id]:
-            self._live[row_id] = 0
+        parts = self._parts
+        if 0 <= row_id < len(parts.live) and parts.live[row_id]:
+            parts.live[row_id] = 0
             self._live_count -= 1
+            if row_id < parts.base:
+                # Invalidate the zone map for answering (skipping stays
+                # safe: the zone still bounds a superset of live rows).
+                parts.segments[row_id // SEGMENT_ROWS].tombstones += 1
             return True
         return False
 
     def clear(self) -> None:
-        for data in self._columns.values():
-            data.clear()
-        self._live = bytearray()
+        self._parts = _Parts((), self._fresh_tail(), 0, bytearray())
         self._live_count = 0
 
     def vacuum(self) -> int:
-        dead = len(self._live) - self._live_count
-        if dead:
-            keep = [i for i, live in enumerate(self._live) if live]
-            for data in self._columns.values():
-                data.compact(keep)
-            self._live = bytearray(b"\x01" * len(keep))
+        """Drop tombstones and **re-seal**: compacted rows are packed
+        into fresh segments (zone maps rebuilt, tombstone counters back
+        to zero) with the remainder as the new tail — never a
+        degradation to one big plain append run."""
+        parts = self._parts
+        dead = len(parts.live) - self._live_count
+        if not dead:
+            return 0
+        keep = [i for i, live in enumerate(parts.live) if live]
+        compacted = {name: self._compact_column(parts, name, keep)
+                     for name in self._names}
+        count = len(keep)
+        sealed_rows = (count // SEGMENT_ROWS) * SEGMENT_ROWS
+        segments = []
+        for start in range(0, sealed_rows, SEGMENT_ROWS):
+            specs = {}
+            for name, (values, mask) in compacted.items():
+                local_mask = mask[start:start + SEGMENT_ROWS]
+                specs[name] = (values[start:start + SEGMENT_ROWS],
+                               local_mask if any(local_mask) else None,
+                               self._column_defs[name].dtype)
+            segments.append(build_segment(start, specs))
+        self.segments_sealed += len(segments)
+        tail = self._fresh_tail()
+        for name, (values, mask) in compacted.items():
+            data = tail[name]
+            for local in range(sealed_rows, count):
+                data.append(NULL if mask[local] else values[local])
+        self._parts = _Parts(tuple(segments), tail, sealed_rows,
+                             bytearray(b"\x01" * count))
         return dead
+
+    def _compact_column(self, parts: _Parts, name: str,
+                        keep: Sequence[int]):
+        """(values, mask) for the kept positions of one column, global
+        order, decoded segment by segment."""
+        values: list = []
+        mask = bytearray()
+        data = parts.tail[name]
+        pieces = [(segment.base, segment.base + segment.rows, segment)
+                  for segment in parts.segments]
+        pieces.append((parts.base, len(parts.live), None))
+        index = 0
+        total = len(keep)
+        for start, stop, segment in pieces:
+            if index >= total:
+                break
+            if keep[index] >= stop:
+                continue
+            if segment is not None:
+                buffer = segment.decode_column(name)
+                local_mask = segment.masks.get(name)
+            else:
+                buffer = data.values
+                local_mask = data.mask if data.null_count else None
+            while index < total and keep[index] < stop:
+                local = keep[index] - start
+                values.append(buffer[local])
+                mask.append(local_mask[local] if local_mask is not None else 0)
+                index += 1
+        return values, mask
 
     @property
     def live_count(self) -> int:
         return self._live_count
 
     def __len__(self) -> int:
-        return len(self._live)
+        return len(self._parts.live)
 
     def iter_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
-        columns = [(name, self._columns[name]) for name in self._names]
+        parts = self._parts
         # Snapshot the live mask: one scan sees one consistent row-id
         # set even if appends extend the store while it runs.
-        for row_id, live in enumerate(bytes(self._live)):
-            if live:
-                yield row_id, {name: data.get(row_id) for name, data in columns}
+        snapshot = bytes(parts.live)
+        names = self._names
+        for segment in parts.segments:
+            decoded = None
+            for local in range(segment.rows):
+                row_id = segment.base + local
+                if row_id >= len(snapshot) or not snapshot[row_id]:
+                    continue
+                if decoded is None:
+                    decoded = {name: segment.decode_column(name)
+                               for name in names}
+                row = {}
+                for name in names:
+                    mask = segment.masks.get(name)
+                    row[name] = (NULL if mask is not None and mask[local]
+                                 else decoded[name][local])
+                yield row_id, row
+        tail = parts.tail
+        for row_id in range(parts.base, len(snapshot)):
+            if snapshot[row_id]:
+                local = row_id - parts.base
+                yield row_id, {name: tail[name].get(local) for name in names}
 
     def slots(self) -> list[Optional[dict[str, Any]]]:
-        return [self.get(row_id) for row_id in range(len(self._live))]
+        return [self.get(row_id) for row_id in range(len(self._parts.live))]
 
     # -- the vectorized read interface -----------------------------------
 
+    def scan_units(self) -> list[_ScanUnit]:
+        """The scan's dispatch units — one per sealed segment plus (when
+        non-empty) one for the append tail — from a single consistent
+        parts snapshot.  This is both the batch loop and the morsel
+        scheduler's work list: sealed units carry zone maps, so a unit
+        the zone verdict rules out is skipped without decoding."""
+        parts = self._parts
+        units = [_ScanUnit(self, parts, segment, segment.base,
+                           segment.base + segment.rows)
+                 for segment in parts.segments]
+        if len(parts.live) > parts.base:
+            units.append(_ScanUnit(self, parts, None, parts.base,
+                                   parts.base + SEGMENT_ROWS))
+        return units
+
+    def segments(self) -> tuple:
+        """The sealed segments of the current snapshot (tests/statistics)."""
+        return self._parts.segments
+
     def batch_columns(self) -> tuple[Mapping[str, Sequence], Mapping[str, bytearray]]:
-        """(column buffers, null masks) for batch execution.
+        """(column buffers, null masks) for batch execution — the
+        *global* concatenated view (compatibility path; per-unit access
+        through :meth:`scan_units` avoids decoding skipped segments).
 
         The masks mapping only contains columns that actually hold NULLs;
         the vector codegen treats absent masks as "never NULL".
         """
-        buffers = {name: data.values for name, data in self._columns.items()}
-        masks = {name: data.mask for name, data in self._columns.items()
-                 if data.null_count}
+        parts = self._parts
+        buffers: dict[str, Sequence] = {}
+        masks: dict[str, bytearray] = {}
+        for name in self._names:
+            if not parts.segments:
+                data = parts.tail[name]
+                buffers[name] = data.values
+                if data.null_count:
+                    masks[name] = data.mask
+                continue
+            values: list = []
+            mask = bytearray()
+            for segment in parts.segments:
+                values.extend(segment.decode_column(name))
+                local = segment.masks.get(name)
+                mask.extend(local if local is not None else bytes(segment.rows))
+            data = parts.tail[name]
+            values.extend(data.values)
+            mask.extend(data.mask)
+            buffers[name] = values
+            if any(mask):
+                masks[name] = mask
         return buffers, masks
 
     def column_null_count(self, name: str) -> int:
-        return self._columns[name.lower()].null_count
+        parts = self._parts
+        key = name.lower()
+        total = parts.tail[key].null_count
+        for segment in parts.segments:
+            total += segment.null_count(key)
+        return total
 
     def column_dtype(self, name: str) -> DataType:
-        return self._columns[name.lower()].dtype
+        return self._column_defs[name.lower()].dtype
 
     def live_positions(self, start: int, stop: int,
                        mask: Optional[bytes] = None) -> list[int]:
@@ -337,10 +597,10 @@ class ColumnStore(TableStorage):
         if mask is not None:
             stop = min(stop, len(mask))
             return [i for i in range(start, stop) if mask[i]]
-        stop = min(stop, len(self._live))
-        if self._live_count == len(self._live):
+        live = self._parts.live
+        stop = min(stop, len(live))
+        if self._live_count == len(live):
             return list(range(start, stop))
-        live = self._live
         return [i for i in range(start, stop) if live[i]]
 
     def live_mask_snapshot(self) -> bytes:
@@ -352,7 +612,39 @@ class ColumnStore(TableStorage):
         (vacuum/clear only run under the table's exclusive lock, so the
         buffers behind the snapshot stay position-stable for readers).
         """
-        return bytes(self._live)
+        return bytes(self._parts.live)
+
+    def storage_statistics(self) -> dict[str, Any]:
+        """Encoded vs. logical bytes, segment and encoding counts — the
+        compression report behind ``site_statistics()["storage"]``."""
+        parts = self._parts
+        encoded = 0
+        logical = 0
+        encodings: dict[str, int] = {}
+        for segment in parts.segments:
+            encoded += segment.encoded_bytes()
+            for name in self._names:
+                column = segment.columns[name]
+                logical += _logical_bytes(segment.decode_column(name)
+                                          if column.name != "plain"
+                                          else column.values,
+                                          column.dtype)
+                encodings[column.name] = encodings.get(column.name, 0) + 1
+        tail_rows = len(parts.live) - parts.base
+        for name, data in parts.tail.items():
+            size = _logical_bytes(data.values, data.dtype)
+            encoded += size + (len(data.mask) if data.null_count else 0)
+            logical += size
+        return {
+            "segments": len(parts.segments),
+            "segments_sealed": self.segments_sealed,
+            "sealed_rows": parts.base,
+            "tail_rows": tail_rows,
+            "encoded_bytes": encoded,
+            "logical_bytes": logical,
+            "compression_ratio": (logical / encoded) if encoded else 1.0,
+            "encodings": dict(sorted(encodings.items())),
+        }
 
 
 def make_storage(kind: str, columns: Sequence[Column]) -> TableStorage:

@@ -326,6 +326,49 @@ class SkyServer:
         """The SkyServerQA object-browser tree (tables, views, functions, indexes)."""
         return self.database.describe()
 
+    def storage_statistics(self) -> dict[str, Any]:
+        """The segment/compression report behind ``site_statistics()["storage"]``.
+
+        Per-table encoded vs. logical bytes and compression ratio from
+        the column stores' sealed segments (summed across the shards
+        when clustered), plus how many segments this server's queries
+        actually scanned vs. let the zone maps skip.
+        """
+        databases = ([node.database for node in self.cluster.shards]
+                     if self.cluster is not None else [self.database])
+        tables: dict[str, dict[str, Any]] = {}
+        for database in databases:
+            for name in database.table_names():
+                table = database.table(name)
+                report = getattr(table.storage, "storage_statistics", None)
+                if report is None:
+                    continue
+                stats = report()
+                entry = tables.get(table.name)
+                if entry is None:
+                    tables[table.name] = dict(stats)
+                    continue
+                for key in ("segments", "segments_sealed", "sealed_rows",
+                            "tail_rows", "encoded_bytes", "logical_bytes"):
+                    entry[key] += stats[key]
+                for encoding, count in stats["encodings"].items():
+                    entry["encodings"][encoding] = (
+                        entry["encodings"].get(encoding, 0) + count)
+                entry["compression_ratio"] = (
+                    entry["logical_bytes"] / entry["encoded_bytes"]
+                    if entry["encoded_bytes"] else 1.0)
+        encoded = sum(entry["encoded_bytes"] for entry in tables.values())
+        logical = sum(entry["logical_bytes"] for entry in tables.values())
+        modes = self.session.execution_mode_statistics()
+        return {
+            "tables": tables,
+            "encoded_bytes": encoded,
+            "logical_bytes": logical,
+            "compression_ratio": (logical / encoded) if encoded else 1.0,
+            "segments_scanned": modes.get("segments_scanned", 0),
+            "segments_skipped": modes.get("segments_skipped", 0),
+        }
+
     def site_statistics(self) -> dict[str, Any]:
         """Row counts, sizes and execution counters: the 'about the data' page."""
         if self.cluster is not None:
@@ -346,6 +389,7 @@ class SkyServer:
                 "statistics_freshness": self.database.statistics_freshness(),
             },
             "serving": self.serving_statistics(),
+            "storage": self.storage_statistics(),
             "cluster": (self.cluster.statistics()
                         if self.cluster is not None else None),
         }

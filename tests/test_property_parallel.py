@@ -334,7 +334,17 @@ def test_explain_analyze_reports_actuals_and_morsels():
     assert "morsels=" in text
     modes = session.execution_mode_statistics()
     assert modes["parallel_executions"] == 1
-    assert modes["morsels_dispatched"] == 3
+    # The two sealed segments' zone maps prove mag > 9999 can never
+    # match (mag tops out around 24), so only the append tail becomes a
+    # morsel — segment skipping composes with the pool.
+    assert modes["morsels_dispatched"] == 1
+    assert "skipped=2" in text
+
+    # Without an analyzable predicate nothing is skippable: every scan
+    # unit (two sealed segments + the tail) is dispatched as a morsel.
+    session.execute("select count(*) as n from obj")
+    modes = session.execution_mode_statistics()
+    assert modes["morsels_dispatched"] == 1 + 3
 
 
 def test_parallelism_one_plans_and_renders_identically():
