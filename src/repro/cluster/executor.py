@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Iterator, Optional, Sequence
 
 from ..engine.batch import ColumnBatch
@@ -43,12 +44,12 @@ from ..engine.operators import (ExecutionStatistics, QueryResult, _AggState,
                                 _create_table_for_rows, _hashable,
                                 _zone_predicates, _zone_skips,
                                 evaluate_projected)
-from ..engine.segments import compile_zone_predicate
+from ..engine.segments import compile_zone_predicate, runtime_range_zone
 from ..engine.planner import Planner
 from ..engine.sql import SqlSession, parse_batch
 from ..engine.sql.ast import (AnalyzeStatement, DeclareStatement,
                               SelectStatement, SetStatement)
-from ..engine.sql.session import StatementResult
+from ..engine.sql.session import PlanCache, StatementResult
 from ..engine.types import NULL, DataType
 from .planner import (ClusterPlan, ClusterPlanner, CoPartitionedJoinPlan,
                       FallbackPlan, FragmentRelation, SingleTablePlan,
@@ -92,6 +93,49 @@ class _Fragment:
         self.statistics = ExecutionStatistics()
 
 
+class _ShardJoinFilter:
+    """Shard-local runtime join filter for a co-partitioned join.
+
+    Built from the inner (build) side's exact key set after the shard's
+    hash table is complete, and pushed sideways into the drive scan of
+    the *same* shard — co-partitioning guarantees every drive row's
+    matches are shard-local, so the shard's own build keys are the full
+    truth for its drive rows.  Pruning is sound by construction: a drive
+    row whose key is NULL or absent from the key set can never survive
+    the exact hash lookup that follows, and a sealed segment whose zone
+    range misses [min(keys), max(keys)] holds no such key (tombstoned
+    rows only shrink the live set the zone bounds).  An empty build
+    prunes the entire drive scan.
+    """
+
+    __slots__ = ("column", "keys", "zone_fn")
+
+    def __init__(self, column: str, keys: set, zone_fn) -> None:
+        self.column = column
+        self.keys = keys
+        self.zone_fn = zone_fn
+
+    def prunes_segment(self, segment) -> bool:
+        if not self.keys:
+            return True
+        return self.zone_fn is not None and not self.zone_fn(segment)[0]
+
+    def matches(self, value) -> bool:
+        return value is not NULL and value in self.keys
+
+    def filter_selection(self, batch: ColumnBatch) -> tuple[list[int], int]:
+        """(kept positions, pruned count) for a drive-scan batch."""
+        column = batch.columns.get(self.column)
+        if column is None:
+            return batch.selection, 0
+        mask = batch.masks.get(self.column)
+        keys = self.keys
+        kept = [position for position in batch.selection
+                if not (mask is not None and mask[position])
+                and column[position] in keys]
+        return kept, len(batch.selection) - len(kept)
+
+
 class ClusterExecutor:
     """Runs cluster plans over the shard pool and merges the streams."""
 
@@ -111,6 +155,10 @@ class ClusterExecutor:
             1, min(cluster.shard_count, 8))
         #: Per-shard simulated sequential-scan bandwidth (MB/s); None = off.
         self.simulated_scan_mbps = simulated_scan_mbps
+        #: Sideways information passing for co-partitioned joins: after a
+        #: shard builds its inner hash table, the build keys prune the
+        #: shard's own drive scan.  Results are byte-identical either way.
+        self.enable_runtime_filters = True
         self._mutex = threading.Lock()
         self.distributed_queries = 0
         self.copartitioned_queries = 0
@@ -164,6 +212,10 @@ class ClusterExecutor:
             statistics.exprs_compiled += fragment.statistics.exprs_compiled
             statistics.segments_scanned += fragment.statistics.segments_scanned
             statistics.segments_skipped += fragment.statistics.segments_skipped
+            statistics.runtime_filter_segments_pruned += \
+                fragment.statistics.runtime_filter_segments_pruned
+            statistics.runtime_filter_rows_pruned += \
+                fragment.statistics.runtime_filter_rows_pruned
 
         if plan.is_aggregate:
             rows = self._merge_aggregate(plan, fragments, evaluation)
@@ -253,14 +305,16 @@ class ClusterExecutor:
 
         return bind
 
-    def _iter_single(self, shard, relation: FragmentRelation, evaluation
+    def _iter_single(self, shard, relation: FragmentRelation, evaluation,
+                     runtime_filter: Optional[_ShardJoinFilter] = None
                      ) -> Iterator[tuple[tuple, dict[str, Any]]]:
         """(merge key, row) pairs in this shard's access-path order."""
         table = shard.table(relation.table_name)
         sequences = shard.sequence_list(relation.table_name)
         access = relation.access
         if access.kind == "scan":
-            yield from self._iter_scan(shard, relation, evaluation)
+            yield from self._iter_scan(shard, relation, evaluation,
+                                       runtime_filter)
             return
         index = self._find_index(table, access.index_name)
         if index is None:
@@ -299,16 +353,18 @@ class ClusterExecutor:
             # scans still account their rows/bytes (and simulated I/O).
             self._account_scan(relation, scanned, row_bytes)
 
-    def _iter_scan(self, shard, relation: FragmentRelation, evaluation
+    def _iter_scan(self, shard, relation: FragmentRelation, evaluation,
+                   runtime_filter: Optional[_ShardJoinFilter] = None
                    ) -> Iterator[tuple[tuple, dict[str, Any]]]:
         table = shard.table(relation.table_name)
         sequences = shard.sequence_list(relation.table_name)
         predicate_expr = relation.access.predicate
         row_bytes = int(table.average_row_bytes())
         scanned = 0
+        pruned = 0
         if table.storage.kind == "column":
             iterated = self._iter_scan_columnar(table, sequences, relation,
-                                                evaluation)
+                                                evaluation, runtime_filter)
             if iterated is not None:
                 yield from iterated
                 return
@@ -323,12 +379,18 @@ class ClusterExecutor:
                     scope.bind(binding, row)
                     if predicate(scope) is not True:
                         continue
+                if (runtime_filter is not None and not runtime_filter.matches(
+                        row.get(runtime_filter.column, NULL))):
+                    pruned += 1
+                    continue
                 yield (sequences[row_id],), row
         finally:
-            self._account_scan(relation, scanned, row_bytes)
+            self._account_scan(relation, scanned, row_bytes,
+                               runtime_rows_pruned=pruned)
 
     def _iter_scan_columnar(self, table, sequences: Sequence[int],
-                            relation: FragmentRelation, evaluation
+                            relation: FragmentRelation, evaluation,
+                            runtime_filter: Optional[_ShardJoinFilter] = None
                             ) -> Optional[Iterator[tuple[tuple, dict]]]:
         """Vectorized scan: batch predicate, then materialise survivors."""
         predicate_expr = relation.access.predicate
@@ -349,6 +411,8 @@ class ClusterExecutor:
             scanned = 0
             segments_scanned = 0
             segments_skipped = 0
+            runtime_segments = 0
+            runtime_rows = 0
             try:
                 for unit in storage.scan_units():
                     segment = unit.segment
@@ -358,6 +422,13 @@ class ClusterExecutor:
                         # placement ∩ statistics intersection: skipped
                         # segments pay neither decode nor simulated I/O.
                         segments_skipped += 1
+                        continue
+                    if (segment is not None and runtime_filter is not None
+                            and runtime_filter.prunes_segment(segment)):
+                        # Build-key range misses the segment's zone:
+                        # skipped before decode, like static zone skips.
+                        segments_skipped += 1
+                        runtime_segments += 1
                         continue
                     selection = unit.selection()
                     if not selection:
@@ -370,6 +441,10 @@ class ClusterExecutor:
                     if predicate_fn is not None:
                         batch.selection = _apply_scan_predicate(
                             predicate_fn, batch, selection, segment)
+                    if runtime_filter is not None and batch.selection:
+                        batch.selection, dropped = \
+                            runtime_filter.filter_selection(batch)
+                        runtime_rows += dropped
                     view = batch.row_view()
                     base = unit.base
                     for position in batch.selection:
@@ -380,7 +455,9 @@ class ClusterExecutor:
                 self._account_scan(relation, scanned,
                                    int(table.average_row_bytes()),
                                    segments_scanned=segments_scanned,
-                                   segments_skipped=segments_skipped)
+                                   segments_skipped=segments_skipped,
+                                   runtime_segments_pruned=runtime_segments,
+                                   runtime_rows_pruned=runtime_rows)
 
         return generate()
 
@@ -389,7 +466,9 @@ class ClusterExecutor:
 
     def _account_scan(self, relation, scanned: int, row_bytes: int, *,
                       segments_scanned: int = 0,
-                      segments_skipped: int = 0) -> None:
+                      segments_skipped: int = 0,
+                      runtime_segments_pruned: int = 0,
+                      runtime_rows_pruned: int = 0) -> None:
         fragment: Optional[_Fragment] = getattr(self._accounting, "fragment",
                                                 None)
         if fragment is not None:
@@ -397,6 +476,10 @@ class ClusterExecutor:
             fragment.statistics.bytes_scanned += scanned * row_bytes
             fragment.statistics.segments_scanned += segments_scanned
             fragment.statistics.segments_skipped += segments_skipped
+            fragment.statistics.runtime_filter_segments_pruned += \
+                runtime_segments_pruned
+            fragment.statistics.runtime_filter_rows_pruned += \
+                runtime_rows_pruned
 
     # -- join fragments ----------------------------------------------------
 
@@ -448,7 +531,9 @@ class ClusterExecutor:
         residual = (compile_expression(plan.residual, evaluation)
                     if plan.residual is not None else None)
         drive_binding = plan.drive.binding
-        drive_stream = self._iter_single(shard, plan.drive, evaluation)
+        runtime_filter = self._shard_join_filter(plan, hash_table)
+        drive_stream = self._iter_single(shard, plan.drive, evaluation,
+                                         runtime_filter)
         try:
             for drive_tag, drive_row in drive_stream:
                 drive_scope.bind(drive_binding, drive_row)
@@ -464,6 +549,35 @@ class ClusterExecutor:
                     yield drive_tag + (ordinal,), (drive_row, inner_row)
         finally:
             drive_stream.close()
+
+    def _shard_join_filter(self, plan: CoPartitionedJoinPlan,
+                           hash_table: dict[tuple, list]
+                           ) -> Optional[_ShardJoinFilter]:
+        """Runtime filter over the shard's build keys, when sound to push.
+
+        Requires a single bare-column drive key over a scan access path;
+        the key set is exact (not a Bloom sketch — the shard already
+        holds it), and the zone form only attaches when every key is a
+        real number, since string or mixed-type bounds do not compose
+        with numeric zone ranges.
+        """
+        if not self.enable_runtime_filters:
+            return None
+        if len(plan.drive_keys) != 1:
+            return None
+        key_expr = plan.drive_keys[0]
+        if not isinstance(key_expr, ColumnRef):
+            return None
+        if plan.drive.access.kind != "scan":
+            return None
+        keys = {key[0] for key in hash_table}
+        zone_fn = None
+        if keys and all(isinstance(key, (int, float))
+                        and not isinstance(key, bool)
+                        and key == key for key in keys):
+            zone_fn = runtime_range_zone(key_expr.name.lower(),
+                                         min(keys), max(keys))
+        return _ShardJoinFilter(key_expr.name.lower(), keys, zone_fn)
 
     # -- row fragments (project / sort keys / local TOP) -------------------
 
@@ -1006,6 +1120,18 @@ class ClusterSession:
         self.variables = self.session.variables
         self.plan_cache = self.session.plan_cache
         self.cluster_planner = ClusterPlanner(cluster)
+        #: Fragment-plan cache: (normalised SQL, statement position) →
+        #: (plan, coordinator schema version, per-table snapshot of
+        #: every shard's modification counter at planning time).  A hit
+        #: re-checks staleness **per shard** before reuse: shard-local
+        #: DML bumps that shard's counter, the snapshot no longer
+        #: matches, and the plan is re-derived from current statistics
+        #: instead of shipping a shape chosen against stale ones.
+        self._fragment_plans: "OrderedDict[tuple[str, int], tuple[ClusterPlan, int, dict[str, tuple]]]" = OrderedDict()
+        self._fragment_plan_capacity = 128
+        self.fragment_plan_hits = 0
+        self.fragment_plan_misses = 0
+        self.fragment_plan_invalidations = 0
 
     # -- SqlSession surface -------------------------------------------------
 
@@ -1014,7 +1140,8 @@ class ClusterSession:
         if not statements:
             raise SQLSyntaxError("empty SQL batch")
         results: list[StatementResult] = []
-        for statement in statements:
+        cache_key = PlanCache.normalize(sql_text)
+        for position, statement in enumerate(statements):
             if isinstance(statement, DeclareStatement):
                 for name in statement.names:
                     self.session.declare(name)
@@ -1030,7 +1157,8 @@ class ClusterSession:
             elif isinstance(statement, AnalyzeStatement):
                 results.append(self._analyze(statement))
             elif isinstance(statement, SelectStatement):
-                results.append(self._select(statement))
+                results.append(self._select(statement,
+                                            (cache_key, position)))
             else:
                 raise SQLSyntaxError(
                     f"unsupported statement type {type(statement).__name__}")
@@ -1070,6 +1198,9 @@ class ClusterSession:
     # -- statement dispatch -------------------------------------------------
 
     def _analyze(self, statement: AnalyzeStatement) -> StatementResult:
+        # Fresh statistics can change access-path choices everywhere, so
+        # the whole fragment-plan cache is rebuilt on demand.
+        self._fragment_plans.clear()
         names = ([statement.table] if statement.table
                  else sorted(self.cluster.table_keys()))
         analyzed: list[str] = []
@@ -1089,10 +1220,49 @@ class ClusterSession:
                   else self.cluster.table_keys())
         self.cluster.ensure_local(tables)
 
-    def _select(self, statement: SelectStatement) -> StatementResult:
+    def _plan_fragment(self, query, key: tuple[str, int]) -> ClusterPlan:
+        """Plan ``query``, reusing a cached fragment plan only when every
+        shard is provably unchanged since it was planned."""
+        entry = self._fragment_plans.get(key)
+        if entry is not None:
+            plan, schema_version, versions = entry
+            fresh = (schema_version == self.database.schema_version
+                     and all(self.cluster.table_versions(name) == captured
+                             for name, captured in versions.items()))
+            if fresh:
+                self._fragment_plans.move_to_end(key)
+                self.fragment_plan_hits += 1
+                return plan
+            # Some shard (or the coordinator catalog) changed under the
+            # plan: one shard-local INSERT is enough to make the cached
+            # shape's statistics-derived choices stale.
+            del self._fragment_plans[key]
+            self.fragment_plan_invalidations += 1
+        self.fragment_plan_misses += 1
+        plan = self.cluster_planner.plan(query)
+        tables = ClusterPlanner.plan_tables(plan)
+        if tables and not plan.into:
+            self._fragment_plans[key] = (
+                plan, self.database.schema_version,
+                {name: self.cluster.table_versions(name) for name in tables})
+            while len(self._fragment_plans) > self._fragment_plan_capacity:
+                self._fragment_plans.popitem(last=False)
+        return plan
+
+    def fragment_plan_statistics(self) -> dict[str, int]:
+        """Fragment-plan cache counters for this session."""
+        return {
+            "entries": len(self._fragment_plans),
+            "hits": self.fragment_plan_hits,
+            "misses": self.fragment_plan_misses,
+            "invalidations": self.fragment_plan_invalidations,
+        }
+
+    def _select(self, statement: SelectStatement,
+                key: tuple[str, int]) -> StatementResult:
         assert statement.query is not None
         query = statement.query
-        plan = self.cluster_planner.plan(query)
+        plan = self._plan_fragment(query, key)
         if isinstance(plan, FallbackPlan):
             self.cluster.executor._count(fallback_queries=1)
             self._gather_for(plan)

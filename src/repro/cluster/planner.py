@@ -168,6 +168,22 @@ class ClusterPlanner:
     def coordinator(self) -> Database:
         return self.cluster.coordinator
 
+    @staticmethod
+    def plan_tables(plan: ClusterPlan) -> list[str]:
+        """Base tables of a distributable fragment plan.
+
+        The session's fragment-plan cache validates a cached plan
+        against the per-shard modification counters of exactly these
+        tables (see :meth:`ShardCluster.table_versions`); fallback plans
+        return ``[]`` and are never cached — their coordinator plans
+        live in the wrapped session's own plan cache.
+        """
+        if isinstance(plan, SingleTablePlan):
+            return [plan.relation.table_name]
+        if isinstance(plan, CoPartitionedJoinPlan):
+            return [plan.drive.table_name, plan.inner.table_name]
+        return []
+
     # -- entry point -------------------------------------------------------
 
     def plan(self, query: LogicalQuery) -> ClusterPlan:

@@ -42,7 +42,11 @@ handed — it never writes shared state.  The morsel-parallel scan driver
 (:mod:`repro.engine.parallel`) relies on this: one compiled closure is
 shared by every worker, each applying it to its own morsel's
 :class:`~repro.engine.batch.ColumnBatch` concurrently.  Keep new
-codegen paths free of per-call mutable caches.
+codegen paths free of per-call mutable caches.  Runtime join filters
+(:class:`repro.engine.operators.RuntimeJoinFilter`) obey the same
+contract — built once after the hash build, then only *read* by
+workers — so they compose with any closure compiled here without
+changing which rows those closures ultimately accept.
 """
 
 from __future__ import annotations

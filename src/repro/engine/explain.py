@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from .operators import PhysicalOperator
+from .stats import q_error
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .operators import PhysicalPlan
@@ -37,8 +38,13 @@ def render_operator(operator: PhysicalOperator, depth: int = 0,
     if executed or operator.actual_rows:
         # After EXPLAIN ANALYZE, every operator reports its actual row
         # count — zero included: "produced nothing" is an actual, not a
-        # missing estimate.
+        # missing estimate.  The estimate is repeated as ``est=`` with
+        # its q-error so misestimates (the cardinality-feedback trigger)
+        # are visible right next to the observed count.
         line += f", actual rows={operator.actual_rows}"
+        if operator.planner_rows is not None:
+            error = q_error(operator.planner_rows, operator.actual_rows)
+            line += f" est={operator.planner_rows} q-err={error:.1f}"
         if operator.actual_morsels:
             line += f" morsels={operator.actual_morsels}"
         scanned = getattr(operator, "actual_segments_scanned", 0)
@@ -46,6 +52,11 @@ def render_operator(operator: PhysicalOperator, depth: int = 0,
         if scanned or skipped:
             line += (f" segments={scanned}/{scanned + skipped}"
                      f" skipped={skipped}")
+        kind = getattr(operator, "runtime_filter_kind", None)
+        if kind is not None:
+            line += (f" runtime_filter: {kind},"
+                     f" pruned={operator.runtime_segments_pruned}"
+                     f"/{operator.runtime_rows_pruned}")
     line += ")"
     lines = [line]
     for child in operator.children():

@@ -34,7 +34,7 @@ from .expressions import (AggregateCall, ColumnRef, EvaluationContext,
 from .functions import TableValuedFunction
 from .index import BTreeIndex
 from .logical import SelectItem
-from .segments import compile_zone_predicate
+from .segments import compile_zone_predicate, runtime_range_zone
 from .table import Table
 from .types import NULL, Column, DataType
 
@@ -78,6 +78,14 @@ class ExecutionStatistics:
     #: Seconds spent in the simulated per-table I/O model (sleeps are
     #: concurrent across workers, so this can exceed elapsed time).
     simulated_io_seconds: float = 0.0
+    #: Probe-side pruning by runtime join filters (sideways information
+    #: passing): sealed segments never read because the build side's
+    #: key range proved them matchless, and probe rows the build-key
+    #: Bloom filter dropped before materialization.  Both are also
+    #: counted in ``segments_skipped`` / reflected in narrower batches;
+    #: these attribute the win to the runtime filter specifically.
+    runtime_filter_segments_pruned: int = 0
+    runtime_filter_rows_pruned: int = 0
 
     def merge_scan(self, rows: int, row_bytes: float) -> None:
         self.rows_scanned += rows
@@ -246,6 +254,11 @@ class TableScan(PhysicalOperator):
         #: (``segments=<scanned>/<total> skipped=<n>``).
         self.actual_segments_scanned = 0
         self.actual_segments_skipped = 0
+        #: How much of the above a *runtime* join filter contributed
+        #: (also in the totals; kept apart so cardinality feedback can
+        #: ignore scans whose observed rows a sibling's build pruned).
+        self.actual_runtime_segments_pruned = 0
+        self.actual_runtime_rows_pruned = 0
 
     def rows(self, context: ExecutionContext) -> Iterator[Binding]:
         row_bytes = int(self.table.average_row_bytes())
@@ -264,7 +277,8 @@ class TableScan(PhysicalOperator):
 
     def batches(self, context: ExecutionContext,
                 predicate_fn: Optional[VectorExpression] = None,
-                zone_fns: Optional[Sequence[Any]] = None
+                zone_fns: Optional[Sequence[Any]] = None,
+                runtime_filter: Optional["RuntimeJoinFilter"] = None
                 ) -> Iterator[ColumnBatch]:
         """Columnar scan: yield :class:`ColumnBatch` chunks of live rows.
 
@@ -277,9 +291,13 @@ class TableScan(PhysicalOperator):
         predicates over a dictionary-encoded column filter by code.
         ``zone_fns`` extends the skip test with the zone forms of
         filters stacked above the scan; when omitted, the scan
-        predicate's own zone form applies.  Statistics account exactly
-        as the row path for every unit actually scanned, pass or fail;
-        skipped segments contribute neither rows nor simulated I/O.
+        predicate's own zone form applies.  ``runtime_filter`` carries
+        a finished hash-join build's key summary: segments its range
+        disproves are skipped like zone misses (no rows, no simulated
+        I/O) and surviving rows are thinned by its Bloom filter after
+        the scan predicate.  Statistics account exactly as the row
+        path for every unit actually scanned, pass or fail; skipped
+        segments contribute neither rows nor simulated I/O.
         """
         storage = self.table.storage
         statistics = context.statistics
@@ -294,6 +312,10 @@ class TableScan(PhysicalOperator):
                                                                 segment):
                 statistics.segments_skipped += 1
                 self.actual_segments_skipped += 1
+                continue
+            if (segment is not None and runtime_filter is not None
+                    and runtime_filter.prunes_segment(segment)):
+                runtime_filter.note_segment(statistics)
                 continue
             selection = unit.selection()
             if not selection:
@@ -315,6 +337,11 @@ class TableScan(PhysicalOperator):
                 batch.selection = _apply_scan_predicate(predicate_fn, batch,
                                                         selection, segment)
             self.actual_rows += len(batch.selection)
+            if runtime_filter is not None and batch.selection:
+                kept = runtime_filter.filter_rows(batch, batch.selection)
+                runtime_filter.note_rows(statistics,
+                                         len(batch.selection) - len(kept))
+                batch.selection = kept
             yield batch
 
     def _compiled_predicate(self, context: ExecutionContext) -> Optional[CompiledExpression]:
@@ -583,6 +610,13 @@ class HashJoin(PhysicalOperator):
 
     label = "Hash Join"
 
+    #: Planner toggle (``Planner(enable_runtime_filters=...)``): once the
+    #: batch path's build finishes, summarize its keys as a min/max
+    #: range + Bloom filter and push them into the probe-side scan.
+    #: Runtime filters only drop rows the probe's exact hash lookup
+    #: would drop anyway, so results are identical with them on or off.
+    runtime_filter_enabled = False
+
     def __init__(self, build: PhysicalOperator, probe: PhysicalOperator,
                  build_keys: Sequence[Expression], probe_keys: Sequence[Expression],
                  residual: Optional[Expression] = None):
@@ -592,6 +626,11 @@ class HashJoin(PhysicalOperator):
         self.build_keys = list(build_keys)
         self.probe_keys = list(probe_keys)
         self.residual = residual
+        #: Per-run runtime-filter effect for EXPLAIN ANALYZE
+        #: (``runtime_filter: range+bloom, pruned=<segments>/<rows>``).
+        self.runtime_filter_kind: Optional[str] = None
+        self.runtime_segments_pruned = 0
+        self.runtime_rows_pruned = 0
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.build, self.probe)
@@ -846,17 +885,20 @@ def _vector_chain(context: ExecutionContext, child: PhysicalOperator
 
 def _drive_batches(context: ExecutionContext, scan: "TableScan",
                    scan_predicate: Optional[VectorExpression],
-                   filter_fns: Sequence[tuple["FilterOp", VectorExpression]]
+                   filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
+                   runtime_filter: Optional["RuntimeJoinFilter"] = None
                    ) -> Iterator[ColumnBatch]:
     """Pull batches through the scan and its filters, skipping empty ones."""
     if _parallel_eligible(context, scan):
         for batch, _payload in _parallel_morsels(context, scan, scan_predicate,
-                                                 filter_fns):
+                                                 filter_fns,
+                                                 runtime_filter=runtime_filter):
             yield batch
         return
     zone_fns = _zone_predicates(scan.use_zone_maps, scan_predicate,
                                 *[fn for _op, fn in filter_fns])
-    for batch in scan.batches(context, scan_predicate, zone_fns=zone_fns):
+    for batch in scan.batches(context, scan_predicate, zone_fns=zone_fns,
+                              runtime_filter=runtime_filter):
         for filter_op, predicate_fn in filter_fns:
             if not batch.selection:
                 break
@@ -876,7 +918,8 @@ def _parallel_eligible(context: ExecutionContext, scan: "TableScan") -> bool:
 def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
                       scan_predicate: Optional[VectorExpression],
                       filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
-                      payload_fn=None
+                      payload_fn=None,
+                      runtime_filter: Optional["RuntimeJoinFilter"] = None
                       ) -> Iterator[tuple[ColumnBatch, Any]]:
     """Run a scan chain's morsels on the shared pool, gathering in order.
 
@@ -893,7 +936,11 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
     Zone-map skipping composes with the pool on the coordinator side:
     sealed segments the compiled zone predicates prove empty are never
     submitted as tasks, so they pay neither worker time nor simulated
-    I/O.
+    I/O.  A ``runtime_filter`` (the key summary of a finished hash-join
+    build) prunes the same way — its range verdict runs before
+    dispatch, so a disproved segment is never charged — and its Bloom
+    filter thins each surviving morsel on the worker, with the pruned
+    counts folded in by the coordinator alone.
 
     The coordinator consumes results strictly in morsel order, folding
     the per-morsel counters into the shared statistics and the
@@ -923,6 +970,10 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
             statistics.segments_skipped += 1
             scan.actual_segments_skipped += 1
             continue
+        if (unit.segment is not None and runtime_filter is not None
+                and runtime_filter.prunes_segment(unit.segment)):
+            runtime_filter.note_segment(statistics)
+            continue
         tasks.append(unit)
 
     def run_unit(unit):
@@ -940,6 +991,11 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
             batch.selection = _apply_scan_predicate(scan_predicate, batch,
                                                     selection, unit.segment)
         counts = [len(batch.selection)]
+        pruned = 0
+        if runtime_filter is not None and batch.selection:
+            kept = runtime_filter.filter_rows(batch, batch.selection)
+            pruned = len(batch.selection) - len(kept)
+            batch.selection = kept
         for predicate_fn in predicates:
             if not batch.selection:
                 break
@@ -947,7 +1003,7 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
             counts.append(len(batch.selection))
         payload = (payload_fn(batch) if payload_fn is not None and batch.selection
                    else None)
-        return batch, scanned, counts, io_seconds, payload
+        return batch, scanned, counts, io_seconds, pruned, payload
 
     pool = get_worker_pool()
     with pool.lease(scan.workers) as lease:
@@ -956,7 +1012,7 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
         for unit, result in zip(tasks, lease.ordered_map(run_unit, tasks)):
             if result is None:
                 continue
-            batch, scanned, counts, io_seconds, payload = result
+            batch, scanned, counts, io_seconds, pruned, payload = result
             if unit.sealed:
                 statistics.segments_scanned += 1
                 scan.actual_segments_scanned += 1
@@ -968,6 +1024,8 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
             statistics.simulated_io_seconds += io_seconds
             scan.actual_rows += counts[0]
             scan.actual_morsels += 1
+            if runtime_filter is not None:
+                runtime_filter.note_rows(statistics, pruned)
             for (filter_op, _fn), passed in zip(filter_fns, counts[1:]):
                 filter_op.actual_rows += passed
             if batch.selection:
@@ -981,8 +1039,154 @@ def _parallel_morsels(context: ExecutionContext, scan: "TableScan",
 JOIN_BATCH_BINDING = "#join"
 
 
+class _BloomFilter:
+    """A split-bit Bloom filter over a hash join's build keys.
+
+    A ``bytearray`` holds the bit array (~8 bits per key, two probe
+    positions per key derived from the single ``hash()`` by a
+    Fibonacci-style remix), so inserts and membership tests are O(1)
+    byte operations whatever the build size — a single big-int bit
+    array would copy the whole array on every shift.  Like every Bloom
+    filter it can report false positives — those rows are still
+    dropped later by the probe's exact hash-table lookup — but never
+    false negatives, which is what makes pre-materialization row
+    pruning sound.
+    """
+
+    __slots__ = ("bits", "mask")
+
+    #: Odd 64-bit multiplier (2^64 / golden ratio) used to derive the
+    #: second, independent probe position from the first hash.
+    _REMIX = 0x9E3779B97F4A7C15
+
+    def __init__(self, keys):
+        target = max(64, 8 * len(keys))
+        size = 64
+        while size < target:
+            size <<= 1
+        self.mask = size - 1
+        mask = self.mask
+        remix = self._REMIX
+        bits = bytearray(size >> 3)
+        for key in keys:
+            h = hash(key)
+            first = h & mask
+            second = (h * remix >> 17) & mask
+            bits[first >> 3] |= 1 << (first & 7)
+            bits[second >> 3] |= 1 << (second & 7)
+        self.bits = bits
+
+    def __contains__(self, key) -> bool:
+        h = hash(key)
+        bits = self.bits
+        mask = self.mask
+        first = h & mask
+        if not bits[first >> 3] >> (first & 7) & 1:
+            return False
+        second = (h * self._REMIX >> 17) & mask
+        return bool(bits[second >> 3] >> (second & 7) & 1)
+
+
+class RuntimeJoinFilter:
+    """Sideways information passing: a finished build pruning its probe.
+
+    Built by the batch join driver the moment the hash-join build side
+    completes, and handed to the probe-side :class:`TableScan`.  Two
+    layers, both *sound* — they only ever drop work the probe's exact
+    hash lookup would drop anyway, so results are byte-identical with
+    the filter on or off:
+
+    * **range** — when the (single) probe key is a bare column of a
+      zone-mapped columnar table and every build key is numeric, the
+      build keys' min/max disproves whole sealed segments before they
+      are read (or, on the parallel path, before their morsel is even
+      dispatched).  Tombstones keep this sound: zone bounds cover a
+      superset of the live rows.  An empty build prunes every sealed
+      segment outright — nothing can join.
+    * **bloom** — a :class:`_BloomFilter` over the build keys thins
+      each surviving batch right after the scan predicate, before the
+      join gathers any columns.
+
+    The filter mutates shared counters only through ``note_*``, which
+    the scan/coordinator calls serially — workers only ever *read* it.
+    """
+
+    __slots__ = ("join", "scan", "key_fn", "bloom", "zone_fn", "empty")
+
+    def __init__(self, join: "HashJoin", scan: "TableScan", key_fn,
+                 bloom: Optional[_BloomFilter], zone_fn, empty: bool):
+        self.join = join
+        self.scan = scan
+        self.key_fn = key_fn
+        self.bloom = bloom
+        self.zone_fn = zone_fn
+        self.empty = empty
+
+    def prunes_segment(self, segment) -> bool:
+        if self.empty:
+            return True
+        zone_fn = self.zone_fn
+        return zone_fn is not None and not zone_fn(segment)[0]
+
+    def filter_rows(self, batch: ColumnBatch, selection: list[int]) -> list[int]:
+        if self.empty:
+            return []
+        bloom = self.bloom
+        keys = self.key_fn(batch, selection)
+        return [position for position, key in zip(selection, keys)
+                if key in bloom]
+
+    def note_segment(self, statistics: ExecutionStatistics) -> None:
+        statistics.segments_skipped += 1
+        statistics.runtime_filter_segments_pruned += 1
+        self.scan.actual_segments_skipped += 1
+        self.scan.actual_runtime_segments_pruned += 1
+        self.join.runtime_segments_pruned += 1
+
+    def note_rows(self, statistics: ExecutionStatistics, pruned: int) -> None:
+        if not pruned:
+            return
+        statistics.runtime_filter_rows_pruned += pruned
+        self.scan.actual_runtime_rows_pruned += pruned
+        self.join.runtime_rows_pruned += pruned
+
+
+def _runtime_join_filter(join: "HashJoin", hash_table: dict,
+                         probe_chain: tuple,
+                         probe_key_fns: Sequence[tuple[VectorExpression,
+                                                       Optional[str]]]
+                         ) -> Optional["RuntimeJoinFilter"]:
+    """Derive the probe-side filter from a finished build, or None.
+
+    Only single-key joins are summarized (a compound key's range per
+    component would still be sound but is not worth the bookkeeping),
+    and the range layer additionally requires a bare numeric probe-key
+    column — NaN build keys disable it, since NaN poisons min/max.
+    """
+    if not getattr(join, "runtime_filter_enabled", False):
+        return None
+    if len(probe_key_fns) != 1 or len(join.probe_keys) != 1:
+        return None
+    scan = probe_chain[0]
+    key_fn = probe_key_fns[0][0]
+    keys = hash_table.keys()
+    empty = not hash_table
+    bloom = None if empty else _BloomFilter(keys)
+    zone_fn = None
+    key_expr = join.probe_keys[0]
+    if (not empty and scan.use_zone_maps
+            and isinstance(key_expr, ColumnRef)
+            and all(isinstance(key, (int, float)) and not isinstance(key, bool)
+                    and key == key for key in keys)):
+        zone_fn = runtime_range_zone(key_expr.name.lower(),
+                                     min(keys), max(keys))
+    join.runtime_filter_kind = ("range+bloom" if empty or zone_fn is not None
+                                else "bloom")
+    return RuntimeJoinFilter(join, scan, key_fn, bloom, zone_fn, empty)
+
+
 class _BatchJoinSource:
-    """Drives a :class:`HashJoin` batch-at-a-time over two columnar chains.
+    """Drives a :class:`HashJoin` batch-at-a-time over columnar inputs.
 
     The build side's batches are consumed once: join-key columns feed a
     hash table of build-row ordinals while every column a downstream
@@ -992,15 +1196,29 @@ class _BatchJoinSource:
     ``"binding.column"`` so the join-schema compiled expressions of the
     residual, the filters above the join and the consuming
     projection/aggregation all run as generated loops.
+
+    The probe side is always a scan chain; the build side is either a
+    scan chain (``build_chain``) or another :class:`_BatchJoinSource`
+    (``nested_build``), which is how a left-deep or bushy join tree
+    stays on the batch path: the inner join's gathered output batches —
+    already keyed ``"binding.column"`` — feed the outer build exactly
+    like scan batches feed a single-table build.
+
+    Once the build finishes, its key set is summarized into a
+    :class:`RuntimeJoinFilter` (when the planner enabled them) and
+    pushed into the probe scan, so segments and rows that cannot match
+    any build key are never read, charged or gathered.
     """
 
     def __init__(self, join: "HashJoin",
-                 build_chain: tuple, probe_chain: tuple,
+                 build_chain: Optional[tuple], probe_chain: tuple,
                  build_key_fns: Sequence[tuple[VectorExpression, Optional[str]]],
                  probe_key_fns: Sequence[tuple[VectorExpression, Optional[str]]],
                  residual_fn: Optional[VectorExpression],
                  filter_fns: Sequence[tuple["FilterOp", VectorExpression]],
-                 schema: dict[str, "Table"]):
+                 schema: dict[str, "Table"],
+                 nested_build: Optional[tuple["_BatchJoinSource",
+                                              set[str]]] = None):
         self.join = join
         self.build_chain = build_chain
         self.probe_chain = probe_chain
@@ -1009,16 +1227,22 @@ class _BatchJoinSource:
         self.residual_fn = residual_fn
         self.filter_fns = list(filter_fns)
         self.schema = schema
-        self.build_binding = build_chain[0].binding_name.lower()
+        #: ``(inner source, its residual/filter/key column needs)``
+        #: when the build side is itself a batch join.
+        self.nested_build = nested_build
         self.probe_binding = probe_chain[0].binding_name.lower()
 
     def batches(self, context: ExecutionContext,
                 needed: set[str]) -> Iterator[ColumnBatch]:
+        probe_prefix = self.probe_binding + "."
         needed_build = sorted(key for key in needed
-                              if key.startswith(self.build_binding + "."))
+                              if not key.startswith(probe_prefix))
         needed_probe = sorted(key for key in needed
-                              if key.startswith(self.probe_binding + "."))
+                              if key.startswith(probe_prefix))
         hash_table, build_store = self._build(context, needed_build)
+        runtime_filter = _runtime_join_filter(self.join, hash_table,
+                                              self.probe_chain,
+                                              self.probe_key_fns)
         join = self.join
         # Row-view key fallbacks (tag None) may produce NULLs, which
         # never join — mirror the row path's NULL-key skip exactly.
@@ -1076,7 +1300,8 @@ class _BatchJoinSource:
         probe_scan = self.probe_chain[0]
         if _parallel_eligible(context, probe_scan):
             morsels = _parallel_morsels(context, *self.probe_chain[:3],
-                                        payload_fn=probe_batch)
+                                        payload_fn=probe_batch,
+                                        runtime_filter=runtime_filter)
             for _batch, probed in morsels:
                 join.actual_morsels += 1
                 if probed is None:
@@ -1088,7 +1313,8 @@ class _BatchJoinSource:
                 if out.selection:
                     yield out
             return
-        for batch in _drive_batches(context, *self.probe_chain[:3]):
+        for batch in _drive_batches(context, *self.probe_chain[:3],
+                                    runtime_filter=runtime_filter):
             probed = probe_batch(batch)
             if probed is None:
                 continue
@@ -1101,6 +1327,8 @@ class _BatchJoinSource:
 
     def _build(self, context: ExecutionContext, needed_build: Sequence[str]
                ) -> tuple[dict, dict[str, list]]:
+        if self.nested_build is not None:
+            return self._build_nested(context, needed_build)
         if _parallel_eligible(context, self.build_chain[0]):
             return self._build_parallel(context, needed_build)
         build_fns = [fn for fn, _tag in self.build_key_fns]
@@ -1111,6 +1339,51 @@ class _BatchJoinSource:
         gathered = [(build_store[key], key.split(".", 1)[1]) for key in needed_build]
         ordinal = 0
         for batch in _drive_batches(context, *self.build_chain[:3]):
+            selection = batch.selection
+            key_columns = [fn(batch, selection) for fn in build_fns]
+            for store, column in gathered:
+                buffer = batch.columns[column]
+                store.extend(buffer[i] for i in selection)
+            if single_key:
+                keys: Sequence = key_columns[0]
+            else:
+                keys = list(zip(*key_columns))
+            for key in keys:
+                if null_possible and (
+                        key is NULL if single_key
+                        else any(part is NULL for part in key)):
+                    ordinal += 1
+                    continue
+                bucket = hash_table.get(key)
+                if bucket is None:
+                    hash_table[key] = [ordinal]
+                else:
+                    bucket.append(ordinal)
+                ordinal += 1
+        return hash_table, build_store
+
+    def _build_nested(self, context: ExecutionContext,
+                      needed_build: Sequence[str]
+                      ) -> tuple[dict, dict[str, list]]:
+        """Consume an inner batch join as this join's build side.
+
+        Identical to the serial single-table build except that the
+        incoming batches are the inner join's gathered output — columns
+        already keyed ``"binding.column"`` — so the store gathers by
+        qualified key and the build-key closures are join-schema
+        compiled.  The inner source parallelizes its *own* probe; its
+        ordered batch stream equals its serial one, so ordinals (and
+        with them this join's output order) are unchanged.
+        """
+        source, base_needed = self.nested_build
+        build_fns = [fn for fn, _tag in self.build_key_fns]
+        null_possible = any(tag is None for _fn, tag in self.build_key_fns)
+        single_key = len(build_fns) == 1
+        hash_table: dict = {}
+        build_store: dict[str, list] = {key: [] for key in needed_build}
+        gathered = [(build_store[key], key) for key in needed_build]
+        ordinal = 0
+        for batch in source.batches(context, set(base_needed) | set(needed_build)):
             selection = batch.selection
             key_columns = [fn(batch, selection) for fn in build_fns]
             for store, column in gathered:
@@ -1203,14 +1476,16 @@ class _BatchJoinSource:
 
 def _join_vector_source(context: ExecutionContext, child: PhysicalOperator
                         ) -> Optional[tuple["_BatchJoinSource", set[str], int]]:
-    """Resolve ``child`` as ``[FilterOp…] → HashJoin(columnar, columnar)``.
+    """Resolve ``child`` as ``[FilterOp…] → HashJoin`` over columnar inputs.
 
-    Both join inputs must be ``[FilterOp…] → TableScan`` chains over
-    column stores with distinct bindings, the join keys must
-    vector-compile against their own side, and the residual plus every
-    filter above the join must compile under the join schema.  Returns
-    ``(source, needed_columns, compiled_count)`` or None (the caller
-    falls back to the row path).
+    The probe input must be a ``[FilterOp…] → TableScan`` chain over a
+    column store; the build input may be such a chain *or* another
+    resolvable batch hash join (resolved recursively), which keeps
+    multi-way join trees on the batch path.  All bindings must be
+    distinct, the join keys must vector-compile against their own side,
+    and the residual plus every filter above the join must compile
+    under the join schema.  Returns ``(source, needed_columns,
+    compiled_count)`` or None (the caller falls back to the row path).
     """
     filters: list[FilterOp] = []
     node: PhysicalOperator = child
@@ -1220,22 +1495,40 @@ def _join_vector_source(context: ExecutionContext, child: PhysicalOperator
     if not isinstance(node, HashJoin):
         return None
     join = node
-    build_chain = _vector_chain(context, join.build)
     probe_chain = _vector_chain(context, join.probe)
-    if build_chain is None or probe_chain is None:
+    if probe_chain is None:
         return None
-    build_scan, probe_scan = build_chain[0], probe_chain[0]
-    if build_scan.binding_name.lower() == probe_scan.binding_name.lower():
+    probe_scan = probe_chain[0]
+    build_chain = _vector_chain(context, join.build)
+    nested = None
+    if build_chain is not None:
+        build_scan = build_chain[0]
+        build_schema = {build_scan.binding_name: build_scan.table}
+        compiled_count = build_chain[3] + probe_chain[3]
+    else:
+        resolved = _join_vector_source(context, join.build)
+        if resolved is None:
+            return None
+        nested_source, nested_needed, nested_compiled = resolved
+        nested = (nested_source, set(nested_needed))
+        build_schema = dict(nested_source.schema)
+        compiled_count = nested_compiled + probe_chain[3]
+    build_bindings = {binding.lower() for binding in build_schema}
+    if probe_scan.binding_name.lower() in build_bindings:
         return None
-    schema = {build_scan.binding_name: build_scan.table,
-              probe_scan.binding_name: probe_scan.table}
-    compiled_count = build_chain[3] + probe_chain[3]
+    schema = dict(build_schema)
+    schema[probe_scan.binding_name] = probe_scan.table
     needed: set[str] = set()
     try:
         build_key_fns = []
         for expression in join.build_keys:
-            fn, tag = context.compile_vector_projection(
-                expression, build_scan.table, build_scan.binding_name)
+            if nested is None:
+                fn, tag = context.compile_vector_projection(
+                    expression, build_scan.table, build_scan.binding_name)
+            else:
+                fn, tag, keys = context.compile_join_vector_projection(
+                    expression, build_schema)
+                nested[1].update(keys)
             build_key_fns.append((fn, tag))
             compiled_count += 1
         probe_key_fns = []
@@ -1260,7 +1553,8 @@ def _join_vector_source(context: ExecutionContext, child: PhysicalOperator
     except VectorCompileError:
         return None
     source = _BatchJoinSource(join, build_chain, probe_chain, build_key_fns,
-                              probe_key_fns, residual_fn, filter_fns, schema)
+                              probe_key_fns, residual_fn, filter_fns, schema,
+                              nested_build=nested)
     return source, needed, compiled_count
 
 
@@ -2444,6 +2738,12 @@ class PhysicalPlan:
             if isinstance(operator, TableScan):
                 operator.actual_segments_scanned = 0
                 operator.actual_segments_skipped = 0
+                operator.actual_runtime_segments_pruned = 0
+                operator.actual_runtime_rows_pruned = 0
+            elif isinstance(operator, HashJoin):
+                operator.runtime_filter_kind = None
+                operator.runtime_segments_pruned = 0
+                operator.runtime_rows_pruned = 0
             for child in operator.children():
                 walk(child)
 

@@ -27,7 +27,13 @@ storage **scan units** — one per sealed segment (``SEGMENT_ROWS`` =
 ``BATCH_ROWS``) plus the append tail — and the coordinator consults
 each unit's zone maps *before* submission: a provably-empty segment is
 dropped from the task list entirely, so skipping composes with
-parallelism instead of wasting a worker on an empty morsel.
+parallelism instead of wasting a worker on an empty morsel.  Runtime
+join filters prune at the same point: a hash join's build-key range is
+checked against each segment's zones during dispatch, so a morsel a
+sibling's build side rules out is never submitted (and never charged
+simulated I/O), while the Bloom row filter runs inside the workers —
+only its counters fold back on the coordinator, keeping every
+statistics mutation single-threaded.
 """
 
 from __future__ import annotations

@@ -28,9 +28,10 @@ smaller estimated input as the hash-join build side.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from .catalog import Database
 from .errors import BindError, PlanError
@@ -58,6 +59,17 @@ _EXACT_SUM_TYPES = (DataType.INTEGER, DataType.BIGINT, DataType.BOOLEAN)
 #: Column types the sort-merge sortedness verification accepts (ordered
 #: scalar comparisons with no surprises).
 _MERGE_KEY_TYPES = (DataType.INTEGER, DataType.BIGINT, DataType.FLOAT)
+
+
+def _proper_subsets(members: Sequence[str]) -> Iterator[frozenset]:
+    """Every nonempty proper subset of ``members``, as frozensets.
+
+    Deterministic order — by size, then combination order of the sorted
+    member tuple — which keeps the DP enumeration's tie-breaks stable.
+    """
+    for size in range(1, len(members)):
+        for combo in itertools.combinations(members, size):
+            yield frozenset(combo)
 
 #: Sentinel for "this bound does not fold to a plan-time constant".
 _UNKNOWN = object()
@@ -198,13 +210,21 @@ class Planner:
     #: gather, which only amortises over enough batches.
     PARALLEL_ROW_THRESHOLD = 10_000
 
+    #: DPsize enumerates every connected subset split, which is
+    #: exponential in the relation count; past this many relations the
+    #: greedy planner takes over (the classical cutoff for DP join
+    #: enumeration).
+    DP_RELATION_LIMIT = 8
+
     def __init__(self, database: Database, *, enable_hash_join: bool = True,
                  enable_fusion: bool = True, enable_vectorized: bool = True,
                  enable_cbo: bool = True, enable_index_join: bool = True,
                  enable_sort_merge: bool = False, parallelism: int = 1,
                  parallel_row_threshold: Optional[int] = None,
                  simulated_scan_mbps: Optional[float] = None,
-                 enable_zone_maps: bool = True):
+                 enable_zone_maps: bool = True,
+                 enable_runtime_filters: bool = True,
+                 enable_dp_joins: bool = False):
         self.database = database
         #: When False, equality joins without a usable index fall back to a
         #: nested-loop join of the two inputs — the plan SQL Server 2000 chose
@@ -251,6 +271,19 @@ class Planner:
         #: baseline.  Results are byte-identical either way; only the
         #: amount of data touched changes.
         self.enable_zone_maps = enable_zone_maps
+        #: When False, batch hash joins never derive a runtime filter
+        #: from a finished build (the benchmark's ablation baseline).
+        #: Runtime filters only ever drop probe work the join's exact
+        #: hash lookup would drop, so results are byte-identical either
+        #: way; only the data touched changes.
+        self.enable_runtime_filters = enable_runtime_filters
+        #: When True, join order comes from bushy dynamic programming
+        #: (DPsize) over the same CBO cost formulas instead of the
+        #: greedy one-relation-at-a-time loop; above
+        #: ``DP_RELATION_LIMIT`` relations the greedy planner takes
+        #: over.  Off by default: plans must stay byte-identical unless
+        #: the knob is turned.
+        self.enable_dp_joins = enable_dp_joins
         #: Sortedness verification cache for sort-merge planning:
         #: (table, column) -> (modification_counter, is_sorted).
         self._sorted_cache: dict[tuple[str, str], tuple[int, bool]] = {}
@@ -261,10 +294,18 @@ class Planner:
         #: fallback constants (no statistics, or ``enable_cbo=False``).
         self.cbo_plans = 0
         self.fallback_plans = 0
+        #: Join orders settled by dynamic programming vs the greedy loop
+        #: (only plans with 2+ relations under ``enable_dp_joins``).
+        self.dp_plans = 0
+        #: Per-plan cardinality-feedback overrides (binding -> observed
+        #: rows), set for the duration of one ``plan()`` call.
+        self._overrides: dict[str, int] = {}
 
     # -- public API ---------------------------------------------------------
 
-    def plan(self, query: LogicalQuery) -> PhysicalPlan:
+    def plan(self, query: LogicalQuery, *,
+             cardinality_overrides: Optional[dict[str, int]] = None
+             ) -> PhysicalPlan:
         self.plans_built += 1
         if not query.select:
             raise PlanError("query has an empty select list")
@@ -276,25 +317,40 @@ class Planner:
         if len(by_name) != len(relations):
             raise BindError("duplicate relation alias in FROM clause")
 
-        predicate_pool = self._build_predicate_pool(query, relations)
-        self._assign_local_conjuncts(predicate_pool, relations)
-        if self.enable_cbo:
-            has_statistics = any(
-                info.kind == "table"
-                and self.database.table_statistics(info.table.name) is not None
-                for info in relations)
-            if has_statistics:
-                self.cbo_plans += 1
+        #: Cardinality feedback: observed per-binding row counts from a
+        #: previous execution replace the selectivity-model estimate in
+        #: ``_estimate_relation_cbo`` for the duration of this plan.
+        self._overrides = {name.lower(): max(1, int(rows))
+                           for name, rows in (cardinality_overrides or {}).items()}
+        try:
+            predicate_pool = self._build_predicate_pool(query, relations)
+            self._assign_local_conjuncts(predicate_pool, relations)
+            if self.enable_cbo:
+                has_statistics = any(
+                    info.kind == "table"
+                    and self.database.table_statistics(info.table.name) is not None
+                    for info in relations)
+                if has_statistics:
+                    self.cbo_plans += 1
+                else:
+                    self.fallback_plans += 1
+                # No per-relation pre-pass: _access_path_cbo computes each
+                # relation's post-predicate cardinality exactly once.
+                if (self.enable_dp_joins and 1 < len(relations)
+                        and len(relations) <= self.DP_RELATION_LIMIT):
+                    self.dp_plans += 1
+                    root, planned = self._plan_joins_dp(relations,
+                                                        predicate_pool, query)
+                else:
+                    root, planned = self._plan_joins_cbo(relations,
+                                                         predicate_pool, query)
             else:
                 self.fallback_plans += 1
-            # No per-relation pre-pass: _access_path_cbo computes each
-            # relation's post-predicate cardinality exactly once.
-            root, planned = self._plan_joins_cbo(relations, predicate_pool, query)
-        else:
-            self.fallback_plans += 1
-            for info in relations:
-                info.estimated_rows = self._estimate_relation(info)
-            root, planned = self._plan_joins(relations, predicate_pool, query)
+                for info in relations:
+                    info.estimated_rows = self._estimate_relation(info)
+                root, planned = self._plan_joins(relations, predicate_pool, query)
+        finally:
+            self._overrides = {}
 
         residual = [conjunct for conjunct in predicate_pool.remaining
                     if self._conjunct_aliases(conjunct, by_name) <= planned]
@@ -618,7 +674,15 @@ class Planner:
         return self._sargable_selectivity(statistics, sargable)
 
     def _estimate_relation_cbo(self, info: _RelationInfo) -> int:
-        """Statistics-backed output cardinality of one FROM-clause relation."""
+        """Statistics-backed output cardinality of one FROM-clause relation.
+
+        A cardinality-feedback override (the row count actually observed
+        for this binding on a previous execution of the same statement)
+        wins over the selectivity model outright.
+        """
+        override = self._overrides.get(info.binding_name.lower())
+        if override is not None:
+            return override
         if info.kind == "function":
             return max(1, info.estimated_rows)
         assert info.table is not None
@@ -916,6 +980,189 @@ class Planner:
             unplanned.discard(name)
         return root, planned
 
+    def _plan_joins_dp(self, relations: list[_RelationInfo],
+                       pool: "_PredicatePool", query: LogicalQuery
+                       ) -> tuple[PhysicalOperator, set[str]]:
+        """Bushy dynamic-programming join enumeration (DPsize).
+
+        Costs every subset of the FROM clause bottom-up: a subset's
+        best plan is the cheapest (left, right) split of it, where each
+        split is costed with exactly the option block of
+        :meth:`_plan_joins_cbo` — index nested-loop (right side a
+        single base table), sort-merge (both sides single tables), hash
+        (smaller side builds) and nested-loop — and connected splits
+        (ones joined by an applicable conjunct) are preferred over
+        cross products just as the greedy loop prefers connected
+        relations.  Unlike the greedy loop, the left side may itself be
+        any subtree, so bushy plans fall out for free.
+
+        The enumeration only records decisions; the physical tree is
+        reconstructed afterwards so each predicate-pool conjunct is
+        consumed exactly once, at the split that owns it.  The caller
+        falls back to :meth:`_plan_joins_cbo` above
+        :data:`DP_RELATION_LIMIT` relations (DPsize is exponential in
+        the relation count).
+        """
+        by_name = {info.binding_name: info for info in relations}
+        paths = {info.binding_name: self._access_path_cbo(info, query, relations)
+                 for info in relations}
+        names = sorted(by_name)
+
+        #: frozenset of bindings -> (rows, cost, decision); decision is
+        #: None for singletons, else (left, right, kind, extra,
+        #: join_conjuncts, equalities).
+        table: dict[frozenset, tuple[int, float, Optional[tuple]]] = {}
+        for name in names:
+            path = paths[name]
+            table[frozenset((name,))] = (path.estimated_rows, path.cost, None)
+
+        def applicable_conjuncts(left: frozenset, right: frozenset
+                                 ) -> list[Expression]:
+            both = left | right
+            found = []
+            for conjunct in pool.remaining:
+                aliases = self._conjunct_aliases(conjunct, by_name)
+                if aliases and aliases <= both and aliases & left and aliases & right:
+                    found.append(conjunct)
+            return found
+
+        for size in range(2, len(names) + 1):
+            for subset in itertools.combinations(names, size):
+                members = frozenset(subset)
+                best: Optional[tuple] = None
+                # Every ordered split: left drives/probes, right is the
+                # newly attached side (the greedy loop's "inner").
+                for left in _proper_subsets(subset):
+                    right = members - left
+                    left_rows, left_cost, _d = table[left]
+                    right_rows, right_cost, _d = table[right]
+                    join_conjuncts = applicable_conjuncts(left, right)
+                    equalities = [
+                        self._join_equality_sets(conjunct, left, right, by_name)
+                        for conjunct in join_conjuncts]
+                    equalities = [pair for pair in equalities if pair is not None]
+                    connected = 0 if join_conjuncts else 1
+                    right_name = min(right) if len(right) == 1 else None
+                    info = by_name[right_name] if right_name else None
+
+                    options: list[tuple[float, int, tuple, int]] = []
+                    if (self.enable_index_join and info is not None
+                            and info.kind == "table" and equalities):
+                        candidate = self._index_join_candidate(info, equalities)
+                        if candidate is not None:
+                            index, prefix_columns, _by_column = candidate
+                            statistics = self.database.table_statistics(
+                                info.table.name)
+                            matches = self._index_probe_matches(
+                                info.table, index, prefix_columns)
+                            local_selectivity = self._combine_selectivities(
+                                [self._conjunct_selectivity(statistics, conjunct)
+                                 for conjunct in info.local_conjuncts])
+                            cost = left_cost + left_rows * (
+                                math.log2(max(2, info.table.row_count))
+                                + matches * self.RANDOM_LOOKUP_COST)
+                            rows = max(1, int(left_rows * matches
+                                              * local_selectivity))
+                            options.append((cost, 0, ("index", candidate), rows))
+                    if (self.enable_sort_merge and len(equalities) == 1
+                            and len(left) == 1 and info is not None
+                            and self._merge_join_applicable(
+                                paths[min(left)].operator, info,
+                                paths[right_name].operator, equalities[0])):
+                        rows = self._join_output_estimate(left_rows, right_rows,
+                                                          equalities, by_name)
+                        build_new = right_rows <= left_rows
+                        cost = (left_cost + right_cost
+                                + (left_rows + right_rows) * self.MERGE_ROW_COST)
+                        options.append((cost, 1, ("merge", build_new), rows))
+                    if equalities and self.enable_hash_join:
+                        rows = self._join_output_estimate(left_rows, right_rows,
+                                                          equalities, by_name)
+                        build_new = right_rows <= left_rows
+                        build_rows = right_rows if build_new else left_rows
+                        probe_rows = left_rows if build_new else right_rows
+                        cost = (left_cost + right_cost
+                                + build_rows * self.HASH_BUILD_COST
+                                + probe_rows * self.HASH_PROBE_COST)
+                        options.append((cost, 2, ("hash", build_new), rows))
+                    nested_cost = (left_cost
+                                   + max(1, left_rows) * max(1.0, right_cost))
+                    nested_rows = max(1, int(
+                        left_rows * right_rows * self._combine_selectivities(
+                            [self.RESIDUAL_SELECTIVITY] * len(join_conjuncts))))
+                    options.append((nested_cost, 3, ("nested", None),
+                                    nested_rows))
+
+                    for cost, priority, choice, rows in options:
+                        key = (connected, cost, priority, tuple(sorted(right)),
+                               tuple(sorted(left)))
+                        if best is None or key < best[0]:
+                            best = (key, left, right, choice, rows, cost,
+                                    join_conjuncts, equalities)
+
+                assert best is not None
+                _key, left, right, choice, rows, cost, conjuncts, eqs = best
+                table[members] = (rows, cost,
+                                  (left, right, choice, conjuncts, eqs))
+
+        def build(members: frozenset) -> PhysicalOperator:
+            rows, cost, decision = table[members]
+            if decision is None:
+                return paths[min(members)].operator
+            left, right, (kind, extra), join_conjuncts, equalities = decision
+            root = build(left)
+            if kind == "index":
+                built = self._index_join(root, by_name[min(right)], equalities,
+                                         join_conjuncts, candidate=extra)
+                assert built is not None
+                root, used_conjuncts = built
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in used_conjuncts]
+            elif kind == "merge":
+                root = self._build_merge_join(root, paths[min(right)].operator,
+                                              equalities, join_conjuncts,
+                                              build_new=extra)
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in join_conjuncts]
+            elif kind == "hash":
+                root = self._build_hash_join(root, build(right), equalities,
+                                             join_conjuncts, build_new=extra)
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in join_conjuncts]
+            else:
+                residual = combine_conjuncts(join_conjuncts)
+                root = NestedLoopJoin(root, build(right), residual)
+                pool.remaining = [c for c in pool.remaining
+                                  if c not in join_conjuncts]
+            root.set_estimates(rows, cost)
+            return root
+
+        return build(frozenset(names)), set(names)
+
+    def _join_equality_sets(self, conjunct: Expression, left: frozenset,
+                            right: frozenset,
+                            by_name: dict[str, _RelationInfo]
+                            ) -> Optional[tuple[Expression, Expression,
+                                                Expression]]:
+        """Set-sided :meth:`_join_equality`: ``old(left) = new(right)``.
+
+        Recognises an equality whose two sides reference opposite halves
+        of a DP split; the returned triple matches
+        :meth:`_build_hash_join`'s (conjunct, new_side, old_side) shape,
+        with *new* on the right (attached) half.
+        """
+        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+            return None
+        left_aliases = self._conjunct_aliases(conjunct.left, by_name)
+        right_aliases = self._conjunct_aliases(conjunct.right, by_name)
+        if not left_aliases or not right_aliases:
+            return None
+        if left_aliases <= right and right_aliases <= left:
+            return (conjunct, conjunct.left, conjunct.right)
+        if right_aliases <= right and left_aliases <= left:
+            return (conjunct, conjunct.right, conjunct.left)
+        return None
+
     # -- join planning ---------------------------------------------------------------
 
     def _plan_joins(self, relations: list[_RelationInfo], pool: "_PredicatePool",
@@ -1191,6 +1438,8 @@ class Planner:
         def walk(operator: PhysicalOperator) -> None:
             if isinstance(operator, TableScan):
                 operator.use_zone_maps = self.enable_zone_maps
+            if isinstance(operator, HashJoin):
+                operator.runtime_filter_enabled = self.enable_runtime_filters
             if (self.enable_zone_maps and isinstance(operator, GroupAggregate)
                     and not operator.group_by):
                 sums = [aggregate.argument for aggregate in operator.aggregates
@@ -1405,20 +1654,47 @@ class Planner:
                     op.mark_batch_mode()
 
     def _batch_source_ok(self, node: PhysicalOperator) -> bool:
-        """A columnar TableScan, or a HashJoin of two columnar scan chains."""
+        """A columnar TableScan, or a HashJoin whose probe is a columnar
+        scan chain and whose build is either one too or (recursively)
+        another such HashJoin — the shapes the batch join driver
+        executes."""
         if isinstance(node, TableScan):
             return self._column_backed(node)
         if isinstance(node, HashJoin):
-            bindings = set()
-            for side in (node.build, node.probe):
-                inner: PhysicalOperator = side
-                while isinstance(inner, FilterOp):
-                    inner = inner.child
-                if not (isinstance(inner, TableScan) and self._column_backed(inner)):
-                    return False
-                bindings.add(inner.binding_name.lower())
-            return len(bindings) == 2
+            return self._batch_join_bindings(node) is not None
         return False
+
+    def _batch_join_bindings(self, join: HashJoin) -> Optional[set[str]]:
+        """Binding set of a batch-executable (possibly nested) HashJoin.
+
+        Mirrors the execution-side resolver
+        (:func:`repro.engine.operators._join_vector_source`): the probe
+        must be a ``[FilterOp…] → columnar TableScan`` chain; the build
+        may be one, or a batch-executable HashJoin itself.  Returns
+        None when the shape disqualifies.
+        """
+        sides = []
+        for side in (join.build, join.probe):
+            inner: PhysicalOperator = side
+            while isinstance(inner, FilterOp):
+                inner = inner.child
+            sides.append(inner)
+        build, probe = sides
+        if not (isinstance(probe, TableScan) and self._column_backed(probe)):
+            return None
+        if isinstance(build, TableScan) and self._column_backed(build):
+            build_bindings = {build.binding_name.lower()}
+        elif isinstance(build, HashJoin):
+            nested = self._batch_join_bindings(build)
+            if nested is None:
+                return None
+            build_bindings = nested
+        else:
+            return None
+        probe_binding = probe.binding_name.lower()
+        if probe_binding in build_bindings:
+            return None
+        return build_bindings | {probe_binding}
 
     def _mark_batch_source(self, node: PhysicalOperator) -> None:
         if isinstance(node, TableScan):
@@ -1431,7 +1707,10 @@ class Planner:
             while isinstance(inner, FilterOp):
                 inner.mark_batch_mode()
                 inner = inner.child
-            inner.mark_batch_mode()
+            if isinstance(inner, HashJoin):
+                self._mark_batch_source(inner)
+            else:
+                inner.mark_batch_mode()
 
     @staticmethod
     def _column_backed(scan: TableScan) -> bool:

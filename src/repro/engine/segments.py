@@ -705,3 +705,35 @@ def compile_zone_predicate(expression: Expression,
         return (True, all_match)
 
     return verdict
+
+
+def runtime_range_zone(column: str, low, high) -> Callable:
+    """Zone form of a runtime join filter: build-key bounds vs segment.
+
+    After a hash join's build side finishes, ``[low, high]`` is the
+    min/max of the numeric build keys; a probe-side segment whose zone
+    for ``column`` lies entirely outside that range cannot contain a
+    matching join key, so it can be skipped without being read.  The
+    verdict callable has the ``(any_possible, all_match)`` shape of
+    :func:`compile_zone_predicate` — ``all_match`` is always False
+    because a range overlap never proves membership in the build's
+    exact key set.
+
+    Pruning stays sound under tombstones: zone bounds cover a superset
+    of the live rows, and an all-NULL zone is skippable outright since
+    NULL join keys match nothing on either side.
+    """
+
+    def verdict(segment: SealedSegment) -> tuple[bool, bool]:
+        zone = segment.zones.get(column)
+        if zone is None:
+            return (True, False)
+        if zone.null_count >= zone.rows:
+            return (False, False)
+        if zone.kind != "num":
+            return (True, False)
+        if zone.cmp_max < low or zone.cmp_min > high:
+            return (False, False)
+        return (True, False)
+
+    return verdict

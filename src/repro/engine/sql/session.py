@@ -28,8 +28,9 @@ from typing import Any, Optional
 from ..catalog import Database
 from ..errors import SQLSyntaxError
 from ..expressions import RowScope
-from ..operators import PhysicalPlan, QueryResult
+from ..operators import PhysicalOperator, PhysicalPlan, QueryResult, TableScan
 from ..planner import Planner
+from ..stats import FEEDBACK_QERROR_THRESHOLD, q_error
 from .ast import (AnalyzeStatement, DeclareStatement, SelectStatement,
                   SetStatement, Statement)
 from .parser import parse_batch
@@ -178,6 +179,16 @@ class SqlSession:
         #: across this session's SELECTs.
         self.segments_scanned = 0
         self.segments_skipped = 0
+        #: Cardinality feedback, keyed like the plan cache plus statement
+        #: position: observed per-relation row counts (with the schema
+        #: version they were observed under) from executions whose worst
+        #: per-operator q-error reached ``FEEDBACK_QERROR_THRESHOLD``.
+        #: The misestimated cached plan is invalidated; the next
+        #: execution re-plans with these counts as cardinality overrides.
+        self.feedback_cache: dict[tuple[str, int],
+                                  tuple[int, dict[str, int]]] = {}
+        self.feedback_invalidations = 0
+        self.feedback_replans = 0
 
     # -- variables ----------------------------------------------------------
 
@@ -195,9 +206,10 @@ class SqlSession:
         if not entry.statements:
             raise SQLSyntaxError("empty SQL batch")
         results: list[StatementResult] = []
+        cache_key = PlanCache.normalize(sql_text)
         for position, statement in enumerate(entry.statements):
             results.append(self._execute_statement(statement, entry, position,
-                                                   from_cache))
+                                                   from_cache, cache_key))
         if (not from_cache and self._cacheable(entry.statements)
                 and self.database.schema_version == entry.schema_version):
             # Batches that perform DDL (SELECT INTO) are not cacheable:
@@ -220,7 +232,10 @@ class SqlSession:
             if isinstance(statement, SelectStatement) and statement.query is not None:
                 plan = entry.plans.get(position)
                 if plan is None:
-                    plan = self.planner.plan(statement.query)
+                    overrides = self._feedback_overrides(
+                        PlanCache.normalize(sql_text), position)
+                    plan = self.planner.plan(
+                        statement.query, cardinality_overrides=overrides)
                     entry.plans[position] = plan
                 if (not from_cache and self._cacheable(entry.statements)
                         and self.database.schema_version == entry.schema_version):
@@ -287,7 +302,8 @@ class SqlSession:
     # -- statement dispatch -------------------------------------------------------
 
     def _execute_statement(self, statement: Statement, entry: CachedBatch,
-                           position: int, from_cache: bool) -> StatementResult:
+                           position: int, from_cache: bool,
+                           cache_key: str) -> StatementResult:
         if isinstance(statement, DeclareStatement):
             for name in statement.names:
                 self.declare(name)
@@ -307,7 +323,11 @@ class SqlSession:
             assert statement.query is not None
             plan = entry.plans.get(position)
             if plan is None:
-                plan = self.planner.plan(statement.query)
+                overrides = self._feedback_overrides(cache_key, position)
+                if overrides:
+                    self.feedback_replans += 1
+                plan = self.planner.plan(statement.query,
+                                         cardinality_overrides=overrides)
                 entry.plans[position] = plan
             result = plan.execute(self.variables, row_limit=self.row_limit,
                                   time_limit_seconds=self.time_limit_seconds)
@@ -323,5 +343,79 @@ class SqlSession:
                 self.morsels_dispatched += result.statistics.morsels_dispatched
             self.segments_scanned += result.statistics.segments_scanned
             self.segments_skipped += result.statistics.segments_skipped
+            self._record_feedback(cache_key, position, entry, plan)
             return StatementResult(statement, "select", result=result)
         raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- cardinality feedback -----------------------------------------------------
+
+    def _feedback_overrides(self, cache_key: str,
+                            position: int) -> Optional[dict[str, int]]:
+        """Observed per-relation row counts for a statement, if still valid."""
+        entry = self.feedback_cache.get((cache_key, position))
+        if entry is None:
+            return None
+        version, overrides = entry
+        if version != self.database.schema_version:
+            # DDL changed the catalog under the observation; drop it
+            # rather than steer the planner with counts from tables that
+            # may no longer mean the same thing.
+            del self.feedback_cache[(cache_key, position)]
+            return None
+        return overrides
+
+    def _record_feedback(self, cache_key: str, position: int,
+                         entry: CachedBatch, plan: PhysicalPlan) -> None:
+        """Compare the plan's estimates against its actual row counts.
+
+        When the worst per-operator q-error reaches
+        ``FEEDBACK_QERROR_THRESHOLD``, the observed base-relation
+        cardinalities are stored in the feedback cache and the cached
+        plan for this statement is invalidated, so the next execution
+        re-plans with the observations as selectivity overrides.  Table
+        scans narrowed by a sibling's runtime join filter are *not*
+        observed: their counts reflect the build side's keys, not the
+        relation's own predicate selectivity.
+        """
+        if not getattr(self.planner, "enable_cbo", False):
+            return
+        observed: dict[str, int] = {}
+        worst = 1.0
+
+        def walk(operator: PhysicalOperator) -> None:
+            nonlocal worst
+            if operator.planner_rows is not None:
+                pruned_scan = isinstance(operator, TableScan) and (
+                    operator.actual_runtime_segments_pruned
+                    or operator.actual_runtime_rows_pruned)
+                if not pruned_scan:
+                    worst = max(worst, q_error(operator.planner_rows,
+                                               operator.actual_rows))
+                    if isinstance(operator, TableScan):
+                        observed[operator.binding_name.lower()] = \
+                            operator.actual_rows
+            for child in operator.children():
+                walk(child)
+
+        walk(plan.root)
+        if worst < FEEDBACK_QERROR_THRESHOLD:
+            return
+        key = (cache_key, position)
+        previous = self.feedback_cache.get(key)
+        if (previous is not None
+                and previous == (self.database.schema_version, observed)):
+            # Already re-planned from exactly these observations; the
+            # residual misestimate is not something base-relation
+            # overrides can fix, so keep the current plan.
+            return
+        self.feedback_cache[key] = (self.database.schema_version, observed)
+        if entry.plans.pop(position, None) is not None:
+            self.feedback_invalidations += 1
+
+    def feedback_statistics(self) -> dict[str, int]:
+        """Cardinality-feedback counters for this session."""
+        return {
+            "entries": len(self.feedback_cache),
+            "invalidations": self.feedback_invalidations,
+            "replans": self.feedback_replans,
+        }

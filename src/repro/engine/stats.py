@@ -46,6 +46,24 @@ MCV_COUNT = 8
 #: claiming literally zero rows for a bound just outside the data).
 MIN_SELECTIVITY = 1e-6
 
+#: A cardinality estimate whose q-error reaches this bound is considered
+#: a misestimate: the session feedback cache invalidates the cached plan
+#: and re-plans with the observed row counts as overrides.
+FEEDBACK_QERROR_THRESHOLD = 4.0
+
+
+def q_error(estimated: int, actual: int) -> float:
+    """The symmetric ratio error ``max(est/actual, actual/est)``.
+
+    Both sides are clamped to one row first, so a zero on either side
+    (a filter that matched nothing, or an estimate rounded down) yields
+    a finite ratio instead of a division error.  1.0 means the estimate
+    was exact; the value is always >= 1.0.
+    """
+    est = max(1, int(estimated))
+    act = max(1, int(actual))
+    return est / act if est >= act else act / est
+
 
 @dataclass
 class ColumnStatistics:
