@@ -1195,6 +1195,9 @@ class ClusterSession:
     def execution_mode_statistics(self) -> dict[str, int]:
         return self.session.execution_mode_statistics()
 
+    def feedback_statistics(self) -> dict[str, int]:
+        return self.session.feedback_statistics()
+
     # -- statement dispatch -------------------------------------------------
 
     def _analyze(self, statement: AnalyzeStatement) -> StatementResult:

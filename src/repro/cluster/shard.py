@@ -28,11 +28,15 @@ until DML on any shard invalidates the copy.
 from __future__ import annotations
 
 import heapq
+import json
+import os
 import threading
+from array import array
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from ..engine import Database
 from ..engine.concurrency import lock_tables
+from ..engine.durable import DurabilityManager, RecoveryError
 from ..engine.table import Table
 from ..engine.types import NULL
 from ..htm import DEFAULT_DEPTH, id_range_at_depth
@@ -79,8 +83,13 @@ class ShardNode:
         table = self.database.table(table_name)
         key = table.name.lower()
         sequence_list = self._sequences.setdefault(key, [])
+        manager = self.database.durability
         with lock_tables([(table, "write")]):
-            for row in rows:
+            for row, sequence in zip(rows, sequences):
+                if manager is not None:
+                    # Bind the sequence into the insert's WAL frame so
+                    # the (row, sequence) pair can never tear apart.
+                    manager.stage_sequence(sequence)
                 table.insert(row, defer_index_sort=True, skip_fk=True)
             table.rebuild_indexes()
             sequence_list.extend(sequences)
@@ -91,7 +100,10 @@ class ShardNode:
         table = self.database.table(table_name)
         key = table.name.lower()
         sequence_list = self._sequences.setdefault(key, [])
+        manager = self.database.durability
         with lock_tables([(table, "write")]):
+            if manager is not None:
+                manager.stage_sequence(sequence)
             row_id = table.insert(values, skip_fk=True)
             # Row ids are dense append positions, so the sequence list
             # stays exactly parallel to the slot array.
@@ -113,13 +125,16 @@ class ShardNode:
         """
         converted = 0
         for key in list(self._sequences):
-            table = self.database.table(key)
-            old = self._sequences[key]
-            live_ids = [row_id for row_id, _row in table.storage.iter_rows()]
-            table.convert_storage(kind)
-            self._sequences[key] = [old[row_id] for row_id in live_ids]
+            self._convert_one(self.database.table(key), kind)
             converted += 1
         return converted
+
+    def _convert_one(self, table: Table, kind: str) -> None:
+        key = table.name.lower()
+        old = self._sequences.get(key, [])
+        live_ids = [row_id for row_id, _row in table.storage.iter_rows()]
+        table.convert_storage(kind)
+        self._sequences[key] = [old[row_id] for row_id in live_ids]
 
     def vacuum(self, table_name: str) -> int:
         """Compact one table's storage, remapping its sequence list."""
@@ -137,6 +152,68 @@ class ShardNode:
         for key in self._sequences:
             self.database.analyze_table(key)
         return len(self._sequences)
+
+    # -- durability --------------------------------------------------------
+
+    def make_durable(self, path: str | os.PathLike, *, fsync: bool = False,
+                     checkpoint: bool = True) -> DurabilityManager:
+        """Attach this shard's database to an on-disk directory.
+
+        The sequence spine rides along with every checkpoint (as an
+        ``extra-sequences.bin`` state blob) and every online insert's
+        WAL frame carries its global sequence, so recovery rebuilds the
+        exact merge order the gather/scatter paths rely on.
+        """
+        manager = DurabilityManager.attach(self.database, path, fsync=fsync,
+                                           checkpoint=False)
+        manager.state_providers["sequences"] = self._sequence_state
+        manager.replay_delegate = self
+        if checkpoint:
+            manager.checkpoint()
+        return manager
+
+    def _sequence_state(self) -> dict[str, array]:
+        return {key: array("q", sequences)
+                for key, sequences in self._sequences.items()}
+
+    @classmethod
+    def recover(cls, shard_id: int, path: str | os.PathLike, *,
+                fsync: bool = False) -> tuple["ShardNode", DurabilityManager]:
+        """Reopen one shard from disk, replaying its WAL tail through the
+        node so the sequence spine tracks every recovered insert."""
+        node_ref: list["ShardNode"] = []
+
+        def prepare(manager: DurabilityManager) -> None:
+            node = cls(shard_id, manager.database)
+            state = manager.read_extra("sequences") or {}
+            node._sequences = {key: list(sequences)
+                               for key, sequences in state.items()}
+            manager.replay_delegate = node
+            manager.state_providers["sequences"] = node._sequence_state
+            node_ref.append(node)
+
+        manager = DurabilityManager.open(path, fsync=fsync, prepare=prepare)
+        return node_ref[0], manager
+
+    # -- WAL replay delegate (see repro.engine.durable) --------------------
+
+    def replay_insert(self, table: Table, row: dict[str, Any],
+                      sequence: Optional[int]) -> None:
+        key = table.name.lower()
+        sequence_list = self._sequences.setdefault(key, [])
+        row_id = table.insert(row, skip_fk=True)
+        if sequence is None:
+            raise RecoveryError(
+                f"shard {self.shard_id}: insert into {table.name!r} "
+                "recovered without a global sequence")
+        assert row_id == len(sequence_list)
+        sequence_list.append(sequence)
+
+    def replay_vacuum(self, table: Table) -> None:
+        self.vacuum(table.name)
+
+    def replay_convert(self, table: Table, layout: str) -> None:
+        self._convert_one(table, layout)
 
     # -- read access -------------------------------------------------------
 
@@ -187,6 +264,9 @@ class ShardCluster:
         self.gather_invalidations = 0
         self.rows_gathered = 0
         self._executor = None
+        #: Durability managers once :meth:`make_durable` / :meth:`open_durable`
+        #: ran: ``{"path": str, "coordinator": manager, "shards": [manager]}``.
+        self.durability = None
 
     # -- construction ------------------------------------------------------
 
@@ -442,6 +522,147 @@ class ShardCluster:
         for _sequence, row in self.gathered_rows(table_name):
             return row
         return None
+
+    # -- durability --------------------------------------------------------
+
+    CLUSTER_MANIFEST = "CLUSTER.json"
+
+    def make_durable(self, path: str | os.PathLike, *,
+                     fsync: bool = False) -> dict[str, Any]:
+        """Attach the whole cluster to an on-disk directory tree.
+
+        Each shard gets its own durable directory (WAL + checkpoints);
+        the coordinator is checkpoint-only (``log_dml=False``) — its
+        gather traffic re-materialises shard data that is already
+        durable on the shards, and logging every truncate/refill would
+        swamp the log for state recovery can rebuild anyway.  The
+        cluster manifest records the static partitioning facts
+        (scheme, columns, boundaries); dynamic facts — derived routes,
+        next sequence numbers — are recomputed from the shards on open.
+        """
+        root = os.fspath(path)
+        os.makedirs(root, exist_ok=True)
+        coordinator_manager = DurabilityManager.attach(
+            self.coordinator, os.path.join(root, "coordinator"),
+            fsync=fsync, log_dml=False, checkpoint=False)
+        shard_managers = [
+            node.make_durable(os.path.join(root, f"shard-{node.shard_id}"),
+                              fsync=fsync, checkpoint=False)
+            for node in self.shards]
+        self.durability = {"path": root, "coordinator": coordinator_manager,
+                           "shards": shard_managers}
+        self.checkpoint()
+        return self.durability
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Checkpoint the coordinator and every shard; rewrite the
+        cluster manifest last (it only holds static facts, but keeping
+        it newest-on-disk makes the directory self-describing)."""
+        if self.durability is None:
+            raise RecoveryError("cluster is not durable (call make_durable)")
+        reports = {"coordinator": self.durability["coordinator"].checkpoint(),
+                   "shards": [manager.checkpoint()
+                              for manager in self.durability["shards"]]}
+        manifest = {
+            "format_version": 1,
+            "shards": self.shard_count,
+            "scheme": self.scheme,
+            "table_row_bytes": self.table_row_bytes,
+            "placements": {key: self._placement_entry(placement)
+                           for key, placement in self.placements.items()},
+        }
+        root = self.durability["path"]
+        tmp = os.path.join(root, self.CLUSTER_MANIFEST + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(tmp, os.path.join(root, self.CLUSTER_MANIFEST))
+        return reports
+
+    @staticmethod
+    def _placement_entry(placement: Placement) -> dict[str, Any]:
+        entry = {"scheme": placement.scheme, "table": placement.table_name,
+                 "column": placement.column, "shards": placement.shard_count}
+        if isinstance(placement, RangePlacement):
+            entry["boundaries"] = list(placement.boundaries)
+        if isinstance(placement, DerivedPlacement):
+            entry["parent"] = placement.parent_table
+        return entry
+
+    @staticmethod
+    def _placement_from_entry(entry: dict[str, Any]) -> Placement:
+        scheme = entry["scheme"]
+        if scheme == "hash":
+            return HashPlacement(entry["table"], entry["column"], entry["shards"])
+        if scheme in ("range", "zone", "htm"):
+            placement_cls = {"range": RangePlacement, "zone": ZonePlacement,
+                             "htm": HtmPlacement}[scheme]
+            return placement_cls(entry["table"], entry["column"],
+                                 entry["shards"], entry["boundaries"])
+        if scheme == "derived":
+            # The key→shard route is dynamic state; open_durable rebuilds
+            # it by scanning the recovered parent tables.
+            return DerivedPlacement(entry["table"], entry["column"],
+                                    entry["shards"], entry["parent"], {})
+        raise RecoveryError(f"unknown placement scheme {scheme!r}")
+
+    @classmethod
+    def open_durable(cls, path: str | os.PathLike, *,
+                     fsync: bool = False) -> "ShardCluster":
+        """Reopen a durable cluster: recover the coordinator and every
+        shard (each replaying its own WAL tail), then recompute the
+        dynamic routing state from the recovered data."""
+        root = os.fspath(path)
+        manifest_path = os.path.join(root, cls.CLUSTER_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise RecoveryError(f"no cluster at {root!r} (missing "
+                                f"{cls.CLUSTER_MANIFEST})")
+        coordinator_manager = DurabilityManager.open(
+            os.path.join(root, "coordinator"), fsync=fsync, log_dml=False)
+        nodes: list[ShardNode] = []
+        shard_managers: list[DurabilityManager] = []
+        for shard_id in range(manifest["shards"]):
+            node, manager = ShardNode.recover(
+                shard_id, os.path.join(root, f"shard-{shard_id}"), fsync=fsync)
+            nodes.append(node)
+            shard_managers.append(manager)
+        placements = {key: cls._placement_from_entry(entry)
+                      for key, entry in manifest["placements"].items()}
+        cluster = cls(coordinator_manager.database, nodes, placements,
+                      manifest["scheme"])
+        cluster.table_row_bytes = dict(manifest["table_row_bytes"])
+        cluster.durability = {"path": root, "coordinator": coordinator_manager,
+                              "shards": shard_managers}
+        # Recompute the dynamic facts the manifest deliberately omits.
+        for key in placements:
+            highest = -1
+            for node in nodes:
+                sequences = node.sequence_list(key)
+                if sequences:
+                    highest = max(highest, max(sequences))
+            cluster._next_sequence[key] = highest + 1
+        for placement in placements.values():
+            if not isinstance(placement, DerivedPlacement):
+                continue
+            parent_key = placement.parent_table
+            column = placement.column
+            for node in nodes:
+                if not node.database.has_table(parent_key):
+                    continue
+                for row in node.table(parent_key).storage.iter_dicts():
+                    placement.route[row.get(column)] = node.shard_id
+        return cluster
+
+    def close_durable(self) -> None:
+        """Release every WAL handle (checkpoint first for a clean reopen)."""
+        if self.durability is None:
+            return
+        self.durability["coordinator"].close()
+        for manager in self.durability["shards"]:
+            manager.close()
+        self.durability = None
 
     # -- executor / statistics --------------------------------------------
 

@@ -34,6 +34,7 @@ from .operators import (ExecutionStatistics, PhysicalPlan, QueryResult,
                         SortMergeJoin)
 from .parallel import WorkerPool, get_worker_pool
 from .planner import Planner
+from .session import Session, make_session
 from .sql import PlanCache, SqlSession, parse_batch, parse_expression, parse_select
 from .stats import (ColumnStatistics, TableStatistics, collect_table_statistics)
 from .storage import ColumnStore, RowStore, TableStorage, make_storage
@@ -88,6 +89,8 @@ __all__ = [
     "QueryResult",
     "ExecutionStatistics",
     "SqlSession",
+    "Session",
+    "make_session",
     "PlanCache",
     "parse_batch",
     "parse_select",

@@ -48,6 +48,18 @@ class Database:
         #: identifier — an unchanged epoch means nothing has changed.
         self.epoch = 0
         self._epoch_lock = threading.Lock()
+        #: Durability manager (:class:`repro.engine.durable.DurabilityManager`)
+        #: when this database is backed by disk, else ``None``.  The
+        #: catalog notifies it of table create/drop so new tables get
+        #: WAL hooks and checkpoints cover the full table set.
+        self.durability = None
+
+    def checkpoint(self) -> Optional[dict[str, Any]]:
+        """Write a durable checkpoint and truncate the WAL (no-op and
+        ``None`` when the database is purely in-memory)."""
+        if self.durability is None:
+            return None
+        return self.durability.checkpoint()
 
     def bump_schema_version(self) -> None:
         with self._epoch_lock:
@@ -90,6 +102,8 @@ class Database:
         table.lock.on_exclusive_release = self._bump_epoch
         self.tables[name] = table
         self.bump_schema_version()
+        if self.durability is not None:
+            self.durability.table_created(table)
         return table
 
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
@@ -98,6 +112,8 @@ class Database:
                 del self.tables[existing]
                 self.statistics.pop(existing.lower(), None)
                 self.bump_schema_version()
+                if self.durability is not None:
+                    self.durability.table_dropped(existing)
                 return
         if not if_exists:
             raise CatalogError(f"no table named {name!r}")

@@ -14,6 +14,7 @@ approximately double the space").
 from __future__ import annotations
 
 import bisect
+from array import array
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence, TYPE_CHECKING
 
@@ -34,6 +35,18 @@ class _MaxSentinel:
 
 _MIN = _MinSentinel()
 _MAX = _MaxSentinel()
+
+
+def _pack_key_column(values: list) -> Any:
+    """Pack one key column for a checkpoint: an ``array`` when every
+    value is a plain int64/float (bools and NULL force the list form —
+    an array would come back as a different type)."""
+    if all(type(value) is int and -(1 << 63) <= value < (1 << 63)
+           for value in values):
+        return array("q", values)
+    if all(type(value) is float for value in values):
+        return array("d", values)
+    return values
 
 
 class _KeyWrapper:
@@ -148,6 +161,41 @@ class BTreeIndex:
                 del self._entries[position]
                 return
             position += 1
+
+    def entries_state(self) -> dict:
+        """The sorted leaf level in columnar form, for checkpointing.
+
+        One vector per key column plus a row-id vector: homogeneous
+        int64/float columns pack as ``array`` (decoded in one
+        ``frombytes``), anything else falls back to a value list.
+        """
+        self._ensure_sorted()
+        columns = []
+        for position in range(len(self.columns)):
+            values = [wrapper.key[position]
+                      for wrapper, _row_id in self._entries]
+            columns.append(_pack_key_column(values))
+        return {
+            "count": len(self._entries),
+            "columns": columns,
+            "row_ids": array("q", (row_id for _wrapper, row_id
+                                   in self._entries)),
+        }
+
+    def restore_entries(self, state: dict) -> None:
+        """Adopt a checkpointed leaf level verbatim.
+
+        The entries were sorted (and uniqueness-checked) when the
+        checkpoint was taken, so restoring skips both the sort and the
+        per-row key extraction a rebuild would pay.
+        """
+        columns = state["columns"]
+        row_ids = state["row_ids"]
+        self._entries = [
+            (_KeyWrapper(tuple(column[position] for column in columns)),
+             row_ids[position])
+            for position in range(state["count"])]
+        self._sorted = True
 
     def rebuild(self) -> None:
         """Re-sort after deferred bulk inserts and re-check uniqueness."""

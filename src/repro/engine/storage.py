@@ -105,6 +105,20 @@ class TableStorage:
         """The full slot array (``None`` for tombstones) — compat/debug view."""
         raise NotImplementedError
 
+    # -- durability (see repro.storage.format / repro.engine.durable) -----
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """A snapshot of this store as plain codec-encodable values.
+
+        Caller must hold the owning table's write lock; the snapshot may
+        share buffers with the live store until it is encoded.
+        """
+        raise NotImplementedError
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Load a :meth:`checkpoint_state` snapshot into this (empty) store."""
+        raise NotImplementedError
+
 
 class RowStore(TableStorage):
     """List-of-dicts storage: one dict per row, ``None`` tombstones."""
@@ -165,6 +179,16 @@ class RowStore(TableStorage):
 
     def slots(self) -> list[Optional[dict[str, Any]]]:
         return self._slots
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        # Tombstones serialize as NULL; live rows as their dicts.
+        return {"kind": "row", "slots": list(self._slots)}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "row":
+            raise SchemaError(f"row store cannot restore {state.get('kind')!r} state")
+        self._slots = list(state["slots"])
+        self._live = sum(1 for row in self._slots if row is not None)
 
 
 class _ColumnData:
@@ -613,6 +637,47 @@ class ColumnStore(TableStorage):
         buffers behind the snapshot stay position-stable for readers).
         """
         return bytes(self._parts.live)
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        parts = self._parts
+        tail = {}
+        for name, data in parts.tail.items():
+            tail[name] = {
+                "values": (data.values if isinstance(data.values, array)
+                           else list(data.values)),
+                "mask": bytes(data.mask),
+                "null_count": data.null_count,
+            }
+        return {
+            "kind": "column",
+            "segments": list(parts.segments),
+            "base": parts.base,
+            "live": bytes(parts.live),
+            "tail": tail,
+            "segments_sealed": self.segments_sealed,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "column":
+            raise SchemaError(
+                f"column store cannot restore {state.get('kind')!r} state")
+        tail = self._fresh_tail()
+        for name, snapshot in state["tail"].items():
+            data = tail[name]
+            values = snapshot["values"]
+            if isinstance(values, array) or not isinstance(data.values, array):
+                data.values = values
+            else:
+                # A numeric column checkpointed after overflow promotion
+                # (or a decoder that fell back to lists): keep the list.
+                data.values = list(values)
+            data.mask = bytearray(snapshot["mask"])
+            data.null_count = snapshot["null_count"]
+        live = bytearray(state["live"])
+        self._parts = _Parts(tuple(state["segments"]), tail,
+                             state["base"], live)
+        self._live_count = sum(live)
+        self.segments_sealed = state["segments_sealed"]
 
     def storage_statistics(self) -> dict[str, Any]:
         """Encoded vs. logical bytes, segment and encoding counts — the

@@ -61,6 +61,11 @@ class Table:
         self.modification_counter = 0
         self._clock: Callable[[], _dt.datetime] = _default_clock
         self._on_schema_change: Optional[Callable[[], None]] = None
+        #: Durability hook: called as ``hook(op, payload)`` inside the
+        #: mutating lock section, after the mutation has applied (see
+        #: :mod:`repro.engine.durable`).  ``None`` when the table is not
+        #: attached to a write-ahead log.
+        self._on_mutation: Optional[Callable[[str, dict], None]] = None
         if primary_key is not None:
             for column in primary_key.columns:
                 if column not in self._columns_by_name:
@@ -122,6 +127,14 @@ class Table:
         """Register the catalog's schema-version bump (fires on index DDL)."""
         self._on_schema_change = callback
 
+    def on_mutation(self, callback: Optional[Callable[[str, dict], None]]) -> None:
+        """Attach (or detach, with ``None``) the durability WAL hook."""
+        self._on_mutation = callback
+
+    def _log_mutation(self, op: str, payload: dict) -> None:
+        if self._on_mutation is not None:
+            self._on_mutation(op, payload)
+
     def describe(self) -> dict[str, Any]:
         """Schema-browser metadata (tables pane of SkyServerQA)."""
         return {
@@ -172,6 +185,9 @@ class Table:
             self.indexes[name] = index
             if self._on_schema_change is not None:
                 self._on_schema_change()
+            self._log_mutation("create_index", {
+                "index": name, "columns": list(columns), "unique": unique,
+                "included_columns": list(included_columns)})
         return index
 
     def drop_index(self, name: str) -> None:
@@ -181,6 +197,7 @@ class Table:
                     del self.indexes[existing]
                     if self._on_schema_change is not None:
                         self._on_schema_change()
+                    self._log_mutation("drop_index", {"index": name})
                     return
         raise SchemaError(f"no index {name!r} on table {self.name!r}")
 
@@ -278,6 +295,7 @@ class Table:
             self.storage.append(row)
             self._data_bytes += self._row_bytes(row)
             self.modification_counter += 1
+            self._log_mutation("insert", {"row": row})
         return row_id
 
     def insert_lock_specs(self, database: Optional["Database"], *,
@@ -323,6 +341,7 @@ class Table:
             self.storage.delete(row_id)
             self._data_bytes -= self._row_bytes(row)
             self.modification_counter += 1
+            self._log_mutation("delete", {"row_id": row_id})
             return True
 
     def delete_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
@@ -345,6 +364,7 @@ class Table:
             self._data_bytes = 0
             for index in self.indexes.values():
                 index.clear()
+            self._log_mutation("truncate", {})
 
     # -- storage layout --------------------------------------------------------
 
@@ -368,6 +388,7 @@ class Table:
             self._rebuild_indexes_from_storage()
             if self._on_schema_change is not None:
                 self._on_schema_change()
+            self._log_mutation("convert", {"layout": kind})
             return self.storage.live_count
 
     # -- tombstone compaction ------------------------------------------------
@@ -395,6 +416,7 @@ class Table:
             if dead == 0:
                 return 0
             self._rebuild_indexes_from_storage()
+            self._log_mutation("vacuum", {})
             return dead
 
     def maybe_vacuum(self, threshold: Optional[float] = None) -> int:

@@ -6,7 +6,7 @@ from .events import (LOAD_EVENTS_TABLE, LoadEvent, LoadEventLog, STATUS_FAILED,
 from .imagepyramid import (PYRAMID_LEVELS, Tile, build_pyramid, decode_tile,
                            downsample, encode_tile, nonlinear_rgb,
                            pyramid_for_field, render_field_image)
-from .loader import LoadReport, SkyServerLoader
+from .loader import LoadReport, SkyServerLoader, load_release_database
 from .steps import LoadStep, LoadStepResult, steps_from_directory, steps_from_tables
 from .undo import undo_last_failed, undo_load_event, undo_time_window
 from .validate import ValidationIssue, ValidationReport, validate_database
@@ -14,6 +14,7 @@ from .validate import ValidationIssue, ValidationReport, validate_database
 __all__ = [
     "SkyServerLoader",
     "LoadReport",
+    "load_release_database",
     "LoadStep",
     "LoadStepResult",
     "steps_from_directory",

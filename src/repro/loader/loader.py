@@ -224,3 +224,31 @@ class SkyServerLoader:
     def load_events(self) -> list:
         """The loadEvents view the web operations page displays."""
         return self.events.events()
+
+
+def load_release_database(output: PipelineOutput, *,
+                          columnar: bool = False,
+                          shards: int = 1,
+                          partition: str = "hash",
+                          analyze: bool = True,
+                          build_neighbors: bool = True
+                          ) -> tuple[Database, LoadReport]:
+    """Load one pipeline release into a brand-new schema database.
+
+    The standalone ingest behind online data releases: a fresh catalog
+    with the full SkyServer schema, populated, indexed, validated and
+    (optionally) analyzed, without touching any serving database.  The
+    report's ``cluster`` is set when ``shards > 1``.
+    """
+    from ..schema.build import create_skyserver_database
+
+    database = create_skyserver_database(with_indices=False)
+    loader = SkyServerLoader(database, columnar=columnar, analyze=analyze,
+                             shards=shards, partition=partition)
+    report = loader.load_pipeline_output(output,
+                                         build_neighbors=build_neighbors)
+    if not report.succeeded:
+        failures = [result.error for result in report.step_results
+                    if not result.succeeded]
+        raise RuntimeError("release load failed: " + "; ".join(failures))
+    return database, report

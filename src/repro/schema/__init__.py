@@ -1,6 +1,7 @@
 """The SkyServer relational design: schemas, views, flags, indices, neighbours."""
 
-from .build import create_skyserver_database, table_load_order
+from .build import (create_skyserver_database, register_schema_functions,
+                    table_load_order)
 from .flags import (BANDS, MAGNITUDE_KINDS, PhotoFlags, PhotoStatus, PhotoType,
                     SpecClass, SpecLineNames, fphoto_flags, fphoto_status,
                     fphoto_type, fphoto_type_name, fspec_class, fspec_class_name,
@@ -15,6 +16,7 @@ from .views import register_views, standard_views
 
 __all__ = [
     "create_skyserver_database",
+    "register_schema_functions",
     "table_load_order",
     "photo_tables",
     "spectro_tables",

@@ -54,16 +54,27 @@ def create_skyserver_database(name: str = "SkyServer", *,
             foreign_keys=definition["foreign_keys"],
             description=definition["description"],
         )
-    register_flag_functions(database)
-    database.register_scalar_function(
-        "fProfileValue", profile_value,
-        description="Extract one radial-profile element from a Profile blob",
-        replace=True)
+    register_schema_functions(database)
     if with_views:
         register_views(database)
     if with_indices:
         create_indices(database)
     return database
+
+
+def register_schema_functions(database: Database) -> None:
+    """(Re-)register the schema's code-defined scalar functions.
+
+    Function implementations are Python callables, so a durable
+    checkpoint cannot serialize them; reopening a database from disk
+    calls this to restore the ``dbo.f*`` surface the views and the
+    20-query suite use.
+    """
+    register_flag_functions(database)
+    database.register_scalar_function(
+        "fProfileValue", profile_value,
+        description="Extract one radial-profile element from a Profile blob",
+        replace=True)
 
 
 def table_load_order() -> list[str]:

@@ -1,5 +1,7 @@
 """The public SkyServer service layer."""
 
+from .config import (ClusterConfig, PlannerConfig, PoolConfig, ServerConfig,
+                     StorageConfig)
 from .education import (HubbleDiagram, HubblePoint, ProjectCatalogEntry,
                         SketchTarget, hubble_diagram, old_time_astronomy_targets,
                         project_catalog)
@@ -23,6 +25,11 @@ from .urls import (register_url_functions, url_for_frame, url_for_navigation,
 
 __all__ = [
     "SkyServer",
+    "ServerConfig",
+    "StorageConfig",
+    "ClusterConfig",
+    "PlannerConfig",
+    "PoolConfig",
     "QueryExecution",
     "QueryAnalyzer",
     "QueryOutput",

@@ -1,0 +1,88 @@
+"""Server configuration: one declarative object instead of kwarg soup.
+
+``SkyServer.from_survey`` historically grew a flag per feature
+(``columnar=``, ``shards=``, ``partition=``, ``analyze=``,
+``parallelism=``, ...), and every call site repeated the subset it
+cared about.  :class:`ServerConfig` groups the knobs by the subsystem
+they steer — storage layout and durability, cluster partitioning,
+planner behaviour, the serving pool — and is what
+:meth:`SkyServer.create` consumes.  All sections are frozen
+dataclasses with sensible defaults, so ``ServerConfig()`` is the plain
+single-node in-memory row-store server the tests start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..pipeline import SurveyConfig
+from .limits import QueryLimits
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Physical layout and durability of the loaded tables.
+
+    ``columnar`` selects compressed columnar segments (sealed every
+    4096 rows, zone maps, dictionary/RLE/delta encodings) over the row
+    store.  ``path`` makes the server durable: segments checkpoint to
+    an on-disk tree there and every DML statement is WAL-logged so a
+    crash recovers to the last committed write.  ``fsync`` additionally
+    forces each WAL append to stable storage (slow; tests leave it off
+    and rely on OS-crash-excluded torn-write semantics).
+    """
+
+    columnar: bool = False
+    path: Optional[str] = None
+    fsync: bool = False
+
+    @property
+    def durable(self) -> bool:
+        return self.path is not None
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Horizontal partitioning: ``shards > 1`` builds an in-process
+    shard cluster with ``partition`` placement (``hash``, ``zone``
+    declination bands, or ``htm`` trixel ranges)."""
+
+    shards: int = 1
+    partition: str = "hash"
+
+    @property
+    def clustered(self) -> bool:
+        return self.shards > 1
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Optimizer inputs: collect ANALYZE statistics at load time, and
+    the per-session morsel parallelism degree."""
+
+    analyze: bool = True
+    parallelism: int = 1
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """The concurrent serving pool.  ``workers = 0`` (the default)
+    starts no pool; :meth:`SkyServer.start_pool` can attach one later."""
+
+    workers: int = 0
+    result_cache_size: int = 256
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything :meth:`SkyServer.create` needs to stand up a server."""
+
+    survey: Optional[SurveyConfig] = None
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+    pool: PoolConfig = field(default_factory=PoolConfig)
+    limits: Optional[QueryLimits] = None
+    site_name: str = "SkyServer (reproduction)"
+    build_neighbors: bool = True

@@ -17,10 +17,23 @@ full schema, views, functions and indices.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 from ..engine import Database
 from ..schema import create_skyserver_database
 from ..schema.build import table_load_order
+
+
+def _resolve_source(source: Union[Database, "SkyServer"]) -> Database:
+    """The database to read from: a server's coordinator (with every
+    sharded table gathered local first) or the database as given."""
+    if isinstance(source, Database):
+        return source
+    cluster = getattr(source, "cluster", None)
+    if cluster is not None:
+        cluster.ensure_local([name for name in table_load_order()
+                              if source.database.has_table(name)])
+    return source.database
 
 
 @dataclass
@@ -41,7 +54,8 @@ class PersonalExtractSummary:
         return self.row_counts.get(table, 0) / source
 
 
-def extract_personal_skyserver(source: Database, *, center_ra: float, center_dec: float,
+def extract_personal_skyserver(source: Union[Database, "SkyServer"], *,
+                               center_ra: float, center_dec: float,
                                size_degrees: float = 0.25,
                                name: str = "PersonalSkyServer",
                                with_indices: bool = True
@@ -52,7 +66,13 @@ def extract_personal_skyserver(source: Database, *, center_ra: float, center_dec
     database (≈1%); at reproduction scale the survey footprint is much
     smaller, so the default patch is 0.25 degrees — the caller chooses
     the size that yields the subset fraction they want.
+
+    ``source`` may be an engine :class:`Database` or a whole
+    :class:`~repro.skyserver.server.SkyServer`; a sharded server's
+    tables are gathered to its coordinator first so the extract reads
+    every shard's rows.
     """
+    source = _resolve_source(source)
     half = size_degrees / 2.0
     ra_min, ra_max = center_ra - half, center_ra + half
     dec_min, dec_max = center_dec - half, center_dec + half

@@ -6,9 +6,10 @@ service absorbing millions of hits with hard per-user limits (§4, §7).
 :class:`SkyServerPool` is that serving tier in library form:
 
 * a fixed pool of **worker threads**, each owning one
-  :class:`~repro.engine.sql.SqlSession` per service class (sessions
-  keep variables and a plan cache, so they are deliberately not shared
-  across threads);
+  :class:`~repro.engine.Session` per service class (built by
+  :func:`~repro.engine.make_session` for whichever backend the server
+  fronts; sessions keep variables and a plan cache, so they are
+  deliberately not shared across threads);
 * **admission control** in front of the workers: every submission names
   a :class:`~repro.skyserver.limits.ServiceClass` (public / power /
   admin by default) with its own concurrency quota, queue depth and
@@ -45,8 +46,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, replace as _dataclass_replace
 from typing import Any, Optional
 
-from ..engine import (FunctionRef, QueryResult, SqlSession, contains_variables,
-                      read_locks, referenced_tables)
+from ..engine import (FunctionRef, QueryResult, Session, contains_variables,
+                      make_session, read_locks, referenced_tables)
 from ..engine.catalog import Database
 from ..engine.errors import CatalogError
 from ..engine.sql import PlanCache, parse_batch
@@ -448,7 +449,7 @@ class SkyServerPool:
     # -- worker loop -------------------------------------------------------
 
     def _worker(self) -> None:
-        sessions: dict[str, SqlSession] = {}
+        sessions: dict[str, Session] = {}
         while True:
             with self._cond:
                 ticket = self._pop_eligible()
@@ -481,7 +482,7 @@ class SkyServerPool:
         self._queue.extend(survivors)
         return chosen
 
-    def _run_ticket(self, ticket: QueryTicket, sessions: dict[str, SqlSession]) -> None:
+    def _run_ticket(self, ticket: QueryTicket, sessions: dict[str, Session]) -> None:
         ticket.started_at = time.perf_counter()
         ticket.status = "running"
         key = self._cache_key(ticket.sql, ticket.user_class)
@@ -499,23 +500,10 @@ class SkyServerPool:
         session = sessions.get(ticket.user_class)
         if session is None:
             limits = self.service_classes[ticket.user_class].limits
-            if self.cluster is not None:
-                from ..cluster import ClusterSession
-
-                session = ClusterSession(self.cluster,
-                                         row_limit=limits.max_rows,
-                                         time_limit_seconds=limits.max_seconds,
-                                         parallelism=self.parallelism)
-            else:
-                planner = None
-                if self.parallelism > 1:
-                    from ..engine.planner import Planner
-
-                    planner = Planner(self.database,
-                                      parallelism=self.parallelism)
-                session = SqlSession(self.database, row_limit=limits.max_rows,
-                                     time_limit_seconds=limits.max_seconds,
-                                     planner=planner)
+            session = make_session(self.database, cluster=self.cluster,
+                                   row_limit=limits.max_rows,
+                                   time_limit_seconds=limits.max_seconds,
+                                   parallelism=self.parallelism)
             sessions[ticket.user_class] = session
         try:
             info = self._analyze_batch(ticket.sql, key)
@@ -575,7 +563,7 @@ class SkyServerPool:
                 ticket._fail(PoolShutdown("the serving pool was shut down"),
                              status="rejected")
 
-    def _execute(self, ticket: QueryTicket, session: SqlSession,
+    def _execute(self, ticket: QueryTicket, session: Session,
                  info: "_BatchInfo", key: str) -> None:
         """Run the batch under its tables' read locks; fill the cache."""
         try:

@@ -10,14 +10,17 @@ page of Figure 2), the famous-places gallery, the schema browser and the
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
-from ..engine import Database, QueryResult, SqlSession
-from ..loader import SkyServerLoader
+from ..engine import Database, QueryResult, Session, lock_tables, make_session
+from ..engine.durable import DurabilityManager
+from ..loader import load_release_database
 from ..pipeline import PipelineOutput, SurveyConfig, SyntheticSurvey
-from ..schema import create_skyserver_database
+from ..schema import register_schema_functions
+from .config import ServerConfig
 from .formats import render
 from .limits import QueryLimits
 from .queries import (ADDITIONAL_SIMPLE_QUERIES, DATA_MINING_QUERIES,
@@ -69,20 +72,78 @@ class SkyServer:
         self.cluster = cluster
         register_spatial_functions(database)
         register_url_functions(database)
-        if cluster is not None:
-            from ..cluster import ClusterSession
-
-            self.session = ClusterSession(
-                cluster, row_limit=self.limits.max_rows,
-                time_limit_seconds=self.limits.max_seconds)
-        else:
-            self.session = SqlSession(database,
-                                      row_limit=self.limits.max_rows,
-                                      time_limit_seconds=self.limits.max_seconds)
+        self.session: Session = make_session(
+            database, cluster=cluster, row_limit=self.limits.max_rows,
+            time_limit_seconds=self.limits.max_seconds)
         #: The concurrent serving pool, once one is started/attached.
         self._pool = None
+        #: The survey a ``create()``/``from_survey()`` server was loaded
+        #: from (None for ``open()``ed or hand-built servers).
+        self.survey_output: Optional[PipelineOutput] = None
+        #: Data releases served so far (bumped by :meth:`load_release`).
+        self.release_number = 1
 
     # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def create(cls, config: Optional[ServerConfig] = None, *,
+               path: Optional[str | os.PathLike] = None) -> "SkyServer":
+        """Stand up a server from one declarative :class:`ServerConfig`.
+
+        Schema → pipeline → loader → server, steered by the config's
+        sections: storage layout (row/columnar, durable at
+        ``config.storage.path`` or the ``path`` override), cluster
+        partitioning, planner statistics, and an optional serving pool.
+        The generated survey is kept on ``server.survey_output``.
+        """
+        config = config or ServerConfig()
+        output = SyntheticSurvey(config.survey or SurveyConfig()).run()
+        database, report = load_release_database(
+            output,
+            columnar=config.storage.columnar,
+            analyze=config.planner.analyze,
+            shards=config.cluster.shards,
+            partition=config.cluster.partition,
+            build_neighbors=config.build_neighbors)
+        server = cls(database, limits=config.limits,
+                     site_name=config.site_name, cluster=report.cluster)
+        server.survey_output = output
+        durable_path = path if path is not None else config.storage.path
+        if durable_path is not None:
+            server.make_durable(durable_path, fsync=config.storage.fsync)
+        if config.pool.workers:
+            server.start_pool(workers=config.pool.workers,
+                              result_cache_size=config.pool.result_cache_size,
+                              parallelism=config.planner.parallelism)
+        return server
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, *,
+             limits: Optional[QueryLimits] = None,
+             site_name: str = "SkyServer (reproduction)",
+             fsync: bool = False) -> "SkyServer":
+        """Reopen a durable server from its on-disk directory.
+
+        Restores the last checkpoint (a header parse plus lazy segment
+        reads — no re-encode of the column stores) and replays the WAL
+        tail, so the server resumes exactly at its last committed
+        write.  A directory holding a cluster manifest reopens as the
+        cluster's coordinator with every shard recovered the same way.
+        Code-defined functions (flags, profiles, spatial, URLs) are
+        re-registered — checkpoints never serialize callables.
+        """
+        root = os.fspath(path)
+        cluster = None
+        from ..cluster import ShardCluster
+
+        if os.path.exists(os.path.join(root, ShardCluster.CLUSTER_MANIFEST)):
+            cluster = ShardCluster.open_durable(root, fsync=fsync)
+            database = cluster.coordinator
+        else:
+            database = DurabilityManager.open(root, fsync=fsync).database
+        register_schema_functions(database)
+        return cls(database, limits=limits, site_name=site_name,
+                   cluster=cluster)
 
     @classmethod
     def from_survey(cls, config: Optional[SurveyConfig] = None, *,
@@ -91,25 +152,205 @@ class SkyServer:
                     columnar: bool = False,
                     shards: int = 1,
                     partition: str = "hash") -> tuple["SkyServer", PipelineOutput]:
-        """Generate a synthetic survey, load it and return the running server.
+        """Deprecated alias for :meth:`create` (kwargs instead of
+        :class:`ServerConfig`); returns the historical
+        ``(server, output)`` tuple."""
+        from .config import ClusterConfig, PlannerConfig, StorageConfig
 
-        This is the one-call path the examples and benchmarks use:
-        schema → pipeline → loader → server.  ``columnar=True`` stores
-        the loaded tables column-oriented so single-table scans run
-        through the vectorized batch engine; ``shards=N`` partitions
-        the loaded database across N in-process shard nodes (``hash``,
-        ``zone`` or ``htm`` placement) and returns the server as the
-        cluster's coordinator.
+        server = cls.create(ServerConfig(
+            survey=config,
+            storage=StorageConfig(columnar=columnar),
+            cluster=ClusterConfig(shards=shards, partition=partition),
+            planner=PlannerConfig(),
+            limits=limits,
+            build_neighbors=build_neighbors))
+        return server, server.survey_output
+
+    # -- durability lifecycle ----------------------------------------------------
+
+    def make_durable(self, path: str | os.PathLike, *,
+                     fsync: bool = False) -> "SkyServer":
+        """Attach this server's data to an on-disk directory (checkpoint
+        everything now; WAL-log every mutation from here on)."""
+        if self.cluster is not None:
+            self.cluster.make_durable(path, fsync=fsync)
+        else:
+            DurabilityManager.attach(self.database, path, fsync=fsync)
+        return self
+
+    @property
+    def durable(self) -> bool:
+        if self.cluster is not None:
+            return self.cluster.durability is not None
+        return self.database.durability is not None
+
+    def checkpoint(self) -> Optional[dict[str, Any]]:
+        """Force a full checkpoint (no-op when not durable)."""
+        if self.cluster is not None:
+            if self.cluster.durability is None:
+                return None
+            return self.cluster.checkpoint()
+        return self.database.checkpoint()
+
+    def checkpoint_if_due(self) -> bool:
+        """Apply the periodic checkpoint policy (WAL tail too long or
+        too old); cheap enough to call from serving loops."""
+        due = False
+        for manager in self._durability_managers():
+            due = manager.maybe_checkpoint() or due
+        return due
+
+    def _durability_managers(self) -> list[DurabilityManager]:
+        if self.cluster is not None:
+            durability = self.cluster.durability
+            if durability is None:
+                return []
+            return [durability["coordinator"], *durability["shards"]]
+        manager = self.database.durability
+        return [manager] if manager is not None else []
+
+    def close(self) -> None:
+        """Shut down the serving pool, checkpoint, and release the WAL.
+
+        After ``close()`` the on-disk directory reopens replay-free via
+        :meth:`open`.  Safe to call on a non-durable server (it only
+        stops the pool) and idempotent.
         """
-        output = SyntheticSurvey(config or SurveyConfig()).run()
-        database = create_skyserver_database(with_indices=False)
-        loader = SkyServerLoader(database, columnar=columnar, shards=shards,
-                                 partition=partition)
-        report = loader.load_pipeline_output(output, build_neighbors=build_neighbors)
-        if not report.succeeded:
-            failures = [result.error for result in report.step_results if not result.succeeded]
-            raise RuntimeError("survey load failed: " + "; ".join(failures))
-        return cls(database, limits=limits, cluster=report.cluster), output
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self.cluster is not None:
+            if self.cluster.durability is not None:
+                self.cluster.checkpoint()
+                self.cluster.close_durable()
+        else:
+            manager = self.database.durability
+            if manager is not None:
+                manager.checkpoint()
+                manager.close()
+
+    def __enter__(self) -> "SkyServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- data releases -----------------------------------------------------------
+
+    def load_release(self, output: PipelineOutput, *,
+                     build_neighbors: bool = True) -> dict[str, Any]:
+        """Ingest a new data release and atomically switch serving to it.
+
+        The DR1→DR2 story: the incoming release loads into a *fresh*
+        set of tables (same schema, same layout and partitioning as the
+        serving set) while queries keep flowing against the old data —
+        the load takes no locks the serving path uses.  The flip itself
+        swaps each serving table's storage, indexes and statistics
+        under one exclusive lock section: queries admitted before the
+        flip finish on the old segments they hold, queries admitted
+        after see DR2, and none fail.  Modification counters strictly
+        increase across the flip and the schema version bumps, so every
+        cached plan and cached result is invalidated, and a durable
+        server checkpoints the new release before returning.
+        """
+        fresh_db, report = load_release_database(
+            output, columnar=self._columnar_layout(),
+            shards=(self.cluster.shard_count
+                    if self.cluster is not None else 1),
+            partition=(self.cluster.scheme
+                       if self.cluster is not None else "hash"),
+            build_neighbors=build_neighbors)
+        if self.cluster is not None:
+            self._flip_cluster(report.cluster)
+        else:
+            self._flip_database(fresh_db)
+        self.release_number += 1
+        self.survey_output = output
+        rows = {entry["table"]: entry["records"]
+                for entry in (self.cluster.size_report()
+                              if self.cluster is not None
+                              else self.database.size_report())}
+        return {"release": self.release_number, "rows": rows,
+                "rows_loaded": report.rows_loaded,
+                "checkpointed": self.durable}
+
+    def _columnar_layout(self) -> bool:
+        """Whether the serving PhotoObj lives in a column store (the
+        incoming release is loaded into the same layout)."""
+        if self.cluster is not None:
+            return (self.cluster.shards[0].table("PhotoObj").storage.kind
+                    == "column")
+        return self.database.table("PhotoObj").storage.kind == "column"
+
+    def _flip_database(self, fresh: Database) -> None:
+        """Swap every serving table's contents for the fresh release's,
+        in place, under exclusive locks (single-node path)."""
+        tables = [self.database.table(name)
+                  for name in self.database.table_names()]
+        manager = self.database.durability
+        with lock_tables([(table, "write") for table in tables]):
+            for old in tables:
+                # Serving-only tables (##temp results, scratch) have no
+                # counterpart in the release; they survive the flip.
+                if fresh.has_table(old.name):
+                    self._swap_table_contents(old, fresh.table(old.name))
+            self.database.statistics.clear()
+            self.database.statistics.update(fresh.statistics)
+            self.database.bump_schema_version()
+        if manager is not None:
+            manager.checkpoint()
+
+    def _flip_cluster(self, fresh) -> None:
+        """Swap the cluster's shards, placements and coordinator copies
+        for the fresh release's.  The outgoing release's WAL handles are
+        released first and the incoming release re-checkpoints into the
+        same directory afterwards (fresh durable segments; the manifest
+        rename is the commit point, so a crash mid-flip recovers the
+        old release)."""
+        cluster = self.cluster
+        durable_path = None
+        fsync = False
+        if cluster.durability is not None:
+            durable_path = cluster.durability["path"]
+            fsync = cluster.durability["coordinator"].fsync
+            cluster.close_durable()
+        coordinator_tables = [self.database.table(name)
+                              for name in self.database.table_names()]
+        with cluster._dml_lock, cluster._gather_lock:
+            with lock_tables([(table, "write")
+                              for table in coordinator_tables]):
+                for old in coordinator_tables:
+                    if fresh.coordinator.has_table(old.name):
+                        self._swap_table_contents(
+                            old, fresh.coordinator.table(old.name))
+                self.database.statistics.clear()
+                self.database.statistics.update(fresh.coordinator.statistics)
+                for node, fresh_node in zip(cluster.shards, fresh.shards):
+                    node.database = fresh_node.database
+                    node._sequences = fresh_node._sequences
+                cluster.placements.clear()
+                cluster.placements.update(fresh.placements)
+                cluster.table_row_bytes = dict(fresh.table_row_bytes)
+                cluster._next_sequence = dict(fresh._next_sequence)
+                cluster._gathered.clear()
+                cluster.gather_invalidations += 1
+                self.database.bump_schema_version()
+        if durable_path is not None:
+            cluster.make_durable(durable_path, fsync=fsync)
+
+    @staticmethod
+    def _swap_table_contents(old, new) -> None:
+        """Repoint one serving table at the fresh release's data.  The
+        table *object* (and its lock) stays — sessions, the pool and
+        the cluster hold references to it — only the guts move."""
+        old.storage = new.storage
+        old._data_bytes = new._data_bytes
+        for index in new.indexes.values():
+            index.table = old
+        old.indexes = new.indexes
+        # Strictly above the old counter, whatever either side saw:
+        # cached results and gathers validate against it.
+        old.modification_counter += new.modification_counter + 1
 
     # -- free-form SQL -----------------------------------------------------------
 
@@ -367,6 +608,31 @@ class SkyServer:
             "compression_ratio": (logical / encoded) if encoded else 1.0,
             "segments_scanned": modes.get("segments_scanned", 0),
             "segments_skipped": modes.get("segments_skipped", 0),
+            "durability": self.durability_statistics(),
+        }
+
+    def durability_statistics(self) -> Optional[dict[str, Any]]:
+        """On-disk bytes, WAL size and checkpoint freshness (None when
+        the server is memory-only).  Summed across the coordinator and
+        every shard for a durable cluster."""
+        managers = self._durability_managers()
+        if not managers:
+            return None
+        reports = [manager.statistics() for manager in managers]
+        return {
+            "path": (self.cluster.durability["path"]
+                     if self.cluster is not None else reports[0]["path"]),
+            "on_disk_bytes": sum(r["on_disk_bytes"] for r in reports),
+            "wal_bytes": sum(r["wal_bytes"] for r in reports),
+            "wal_records_since_checkpoint": sum(
+                r["wal_records_since_checkpoint"] for r in reports),
+            "checkpoints_written": sum(r["checkpoints_written"]
+                                       for r in reports),
+            "last_checkpoint_age_seconds": max(
+                (r["last_checkpoint_age_seconds"] for r in reports
+                 if r["last_checkpoint_age_seconds"] is not None),
+                default=None),
+            "fsync": any(r["fsync"] for r in reports),
         }
 
     def site_statistics(self) -> dict[str, Any]:

@@ -1,0 +1,427 @@
+"""Durability: segment format round-trips, WAL crash recovery, lifecycle.
+
+Three promises under attack.  The storage codec is lossless — every
+engine value (−0.0, NULLs, 2^60 ints, unicode, blobs) decodes back
+bit-identical, and a column store's checkpoint state round-trips
+through it byte-for-byte.  Recovery is a *pure prefix*: truncate the
+WAL anywhere — between frames or mid-frame — and the reopened database
+is repr-identical to a twin that simply stopped after the surviving
+operations, for row and columnar layouts, single-node and 4-shard.
+And the server lifecycle (``create`` → ``close`` → ``open``) plus the
+online data-release flip never change query answers.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import os
+import random
+from array import array
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.engine import (Database, PrimaryKey, Session, bigint, floating,
+                          make_session, text)
+from repro.engine.durable import DurabilityManager, RecoveryError
+from repro.storage import (FormatError, decode_value, encode_value,
+                           storage_from_state, storage_state)
+from repro.storage.wal import WriteAheadLog, replay_file
+
+settings.register_profile("repro-durability", deadline=None, max_examples=15)
+settings.load_profile("repro-durability")
+
+
+# ---------------------------------------------------------------------------
+# The binary codec
+# ---------------------------------------------------------------------------
+
+AWKWARD_VALUES = [
+    None, True, False,
+    0, -1, 2 ** 60, -(2 ** 60), 2 ** 63 - 1, -(2 ** 63), 2 ** 100, 10 ** 30,
+    0.0, -0.0, 1.5, -1e308, 5e-324, math.inf, -math.inf,
+    "", "plain", "ünïcödé ∂éç 🌌", "line\nbreak\ttab", "\x00null byte",
+    b"", b"\x00\xff\x7f", bytearray(b"mutable"),
+    datetime.datetime(2002, 6, 3, 12, 30, 45),
+    array("q", [1, -(2 ** 63), 2 ** 63 - 1]),
+    array("d", [0.0, -0.0, math.inf]),
+    [1, "two", None, [3.0]], (1, 2, "three"), {"k": [1, 2], "n": None},
+]
+
+
+class TestFormatRoundTrip:
+    def test_awkward_values_round_trip_exactly(self):
+        for value in AWKWARD_VALUES:
+            decoded = decode_value(encode_value(value))
+            assert repr(decoded) == repr(value) or (
+                isinstance(value, bytearray) and decoded == bytes(value))
+
+    def test_negative_zero_keeps_its_sign_bit(self):
+        decoded = decode_value(encode_value(-0.0))
+        assert math.copysign(1.0, decoded) == -1.0
+
+    def test_nan_survives(self):
+        decoded = decode_value(encode_value(float("nan")))
+        assert math.isnan(decoded)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FormatError):
+            decode_value(encode_value(42) + b"x")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(FormatError):
+            decode_value(b"\xfe")
+
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_storage_state_round_trips(self, layout):
+        database = Database("fmt")
+        table = database.create_table(
+            "obj",
+            [bigint("objid"), floating("val", nullable=True),
+             text("tag", nullable=True)],
+            primary_key=PrimaryKey(["objid"]), storage=layout)
+        rng = random.Random(99)
+        for i in range(5000):
+            table.insert({"objid": i,
+                          "val": rng.choice([None, -0.0, rng.random()]),
+                          "tag": rng.choice([None, "αβγ", "t" * 40])})
+        for row_id in range(0, 5000, 7):
+            table.delete_row(row_id)
+        state = storage_state(table.storage)
+        clone = storage_from_state(decode_value(encode_value(state)),
+                                   table.columns)
+        assert repr(list(clone.iter_rows())) == repr(list(table.storage.iter_rows()))
+
+
+# ---------------------------------------------------------------------------
+# WAL framing
+# ---------------------------------------------------------------------------
+
+class TestWalFraming:
+    def test_replay_stops_at_torn_frame(self, tmp_path):
+        path = tmp_path / "t.log"
+        with WriteAheadLog(path) as wal:
+            for i in range(10):
+                wal.append(f"record-{i}".encode())
+        records = list(replay_file(path))
+        assert len(records) == 10
+        # Tear inside frame 6: keep frame 5's end plus a few bytes.
+        os.truncate(path, records[5].end_offset + 3)
+        survived = [r.payload.decode() for r in replay_file(path)]
+        assert survived == [f"record-{i}" for i in range(6)]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert list(replay_file(tmp_path / "absent.log")) == []
+
+    def test_corrupt_payload_stops_replay(self, tmp_path):
+        path = tmp_path / "c.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(b"good")
+            end = wal.append(b"to-corrupt")
+        with open(path, "r+b") as handle:
+            handle.seek(end - 1)
+            handle.write(b"\x00")
+        assert [r.payload for r in replay_file(path)] == [b"good"]
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: the prefix property
+# ---------------------------------------------------------------------------
+
+UNICODE_TAGS = [None, "αβγδ", "🌌🔭", "plain", "mixed ✓ text"]
+BIG_INTS = [None, 2 ** 60, -(2 ** 60), 7, 0]
+
+
+def _generate_ops(seed: int, count: int):
+    """A deterministic DML script: every op is exactly one WAL record.
+
+    Deletes target live *row ids* (dense append positions that restart
+    after TRUNCATE), so every delete hits and logs exactly one frame.
+    """
+    rng = random.Random(seed)
+    ops, live, next_id, next_row_id = [], [], 0, 0
+    for _ in range(count):
+        roll = rng.random()
+        if live and roll < 0.25:
+            ops.append(("delete", live.pop(rng.randrange(len(live)))))
+        elif live and roll < 0.28:
+            ops.append(("truncate", None))
+            live.clear()
+            next_row_id = 0
+        else:
+            row = {"objid": next_id,
+                   "val": rng.choice([None, -0.0, 0.0, rng.uniform(-50, 50)]),
+                   "tag": rng.choice(UNICODE_TAGS),
+                   "big": rng.choice(BIG_INTS)}
+            ops.append(("insert", row))
+            live.append(next_row_id)
+            next_id += 1
+            next_row_id += 1
+    return ops
+
+
+def _build_db(layout: str, name: str = "crash") -> Database:
+    database = Database(name)
+    table = database.create_table(
+        "obj",
+        [bigint("objid"), floating("val", nullable=True),
+         text("tag", nullable=True), bigint("big", nullable=True)],
+        primary_key=PrimaryKey(["objid"]), storage=layout)
+    table.create_index("ix_obj_big", ["big"])
+    return database
+
+
+def _apply(database: Database, ops) -> None:
+    table = database.table("obj")
+    for op, arg in ops:
+        if op == "insert":
+            table.insert(dict(arg))
+        elif op == "delete":
+            table.delete_row(arg)
+        else:
+            table.truncate()
+
+
+def _state(database: Database) -> str:
+    table = database.table("obj")
+    rows = repr(list(table.storage.iter_rows()))
+    index = repr([(key, sorted(table.indexes["ix_obj_big"].seek(key)))
+                  for key in [(None,), (2 ** 60,), (-(2 ** 60),), (7,), (0,)]])
+    return rows + "|" + index + f"|bytes={table.data_bytes}"
+
+
+class TestCrashRecovery:
+    @given(seed=st.integers(0, 10 ** 6),
+           layout=st.sampled_from(["row", "column"]),
+           checkpoint_after=st.integers(0, 40),
+           tear=st.floats(0.0, 1.0))
+    def test_truncated_wal_recovers_exact_prefix(self, tmp_path_factory, seed,
+                                                 layout, checkpoint_after, tear):
+        """Random DML, kill at a random WAL offset, reopen: the result
+        is repr-identical to a twin that ran only the surviving ops."""
+        root = tmp_path_factory.mktemp("wal")
+        ops = _generate_ops(seed, 80)
+        checkpoint_after = min(checkpoint_after, len(ops))
+
+        database = _build_db(layout)
+        manager = DurabilityManager.attach(database, root)
+        _apply(database, ops[:checkpoint_after])
+        manager.checkpoint()
+        _apply(database, ops[checkpoint_after:])
+        wal_path = manager.wal.path
+        manager.close()
+
+        records = list(replay_file(wal_path))
+        assert len(records) == len(ops) - checkpoint_after
+        if records:
+            survive = int(tear * len(records))
+            if survive < len(records):
+                # Truncate *inside* the next frame: a torn final record
+                # must be discarded, keeping exactly ``survive`` frames.
+                end = records[survive - 1].end_offset if survive else 0
+                os.truncate(wal_path, end + 5)
+            applied = checkpoint_after + survive
+        else:
+            applied = checkpoint_after
+
+        recovered = DurabilityManager.open(root)
+        twin = _build_db(layout, "twin")
+        _apply(twin, ops[:applied])
+        assert _state(recovered.database) == _state(twin)
+        recovered.close()
+
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_clean_close_reopens_replay_free(self, tmp_path, layout):
+        database = _build_db(layout)
+        manager = DurabilityManager.attach(database, tmp_path)
+        _apply(database, _generate_ops(5, 120))
+        manager.checkpoint()
+        manager.close()
+        recovered = DurabilityManager.open(tmp_path)
+        assert recovered.records_since_checkpoint == 0
+        assert _state(recovered.database) == _state(database)
+        recovered.close()
+
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            DurabilityManager.open(tmp_path / "nowhere")
+
+
+class TestClusterCrashRecovery:
+    def _build_cluster(self, columnar: bool):
+        from repro.cluster import ShardCluster
+
+        database = Database("cl")
+        obj = database.create_table(
+            "Obj", [bigint("objID"), floating("dec"),
+                    floating("mag", nullable=True), text("tag", nullable=True)],
+            primary_key=PrimaryKey(["objID"]))
+        rng = random.Random(20020603)
+        obj.insert_many({"objID": i * 7 + 1, "dec": rng.uniform(-30, 30),
+                         "mag": rng.choice([None, -0.0, rng.random()]),
+                         "tag": rng.choice(UNICODE_TAGS)}
+                        for i in range(400))
+        database.analyze()
+        return ShardCluster.from_database(database, shards=4, partition="zone",
+                                          affinity={"obj": "objid"},
+                                          columnar=columnar)
+
+    def _online_dml(self, cluster, seed: int, inserts: int):
+        rng = random.Random(seed)
+        for i in range(inserts):
+            cluster.insert("Obj", {"objID": 10 ** 6 + i,
+                                   "dec": rng.uniform(-30, 30),
+                                   "mag": rng.choice([None, -0.0, 1.5]),
+                                   "tag": rng.choice(UNICODE_TAGS)})
+        cluster.delete_where("Obj", lambda row: row["objid"] % 13 == 0)
+
+    def _gathered(self, cluster) -> str:
+        rows = sorted((row for _rid, row in cluster.gathered_rows("Obj")),
+                      key=lambda row: row["objid"])
+        return repr(rows) + repr(cluster._next_sequence)
+
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_crashed_cluster_matches_never_crashed_twin(self, tmp_path,
+                                                        columnar):
+        cluster = self._build_cluster(columnar)
+        cluster.make_durable(tmp_path)
+        self._online_dml(cluster, seed=31, inserts=60)
+        expected = self._gathered(cluster)
+        # Crash: release the handles without the closing checkpoint —
+        # recovery must replay the post-checkpoint DML from the WALs.
+        for manager in [cluster.durability["coordinator"],
+                        *cluster.durability["shards"]]:
+            manager.close()
+
+        from repro.cluster import ShardCluster
+
+        recovered = ShardCluster.open_durable(tmp_path)
+        assert self._gathered(recovered) == expected
+        recovered.close_durable()
+
+    def test_torn_shard_wal_drops_only_that_shards_tail(self, tmp_path):
+        cluster = self._build_cluster(columnar=False)
+        cluster.make_durable(tmp_path)
+        before = {row["objid"] for _rid, row in cluster.gathered_rows("Obj")}
+        rng = random.Random(77)
+        for i in range(40):
+            cluster.insert("Obj", {"objID": 10 ** 6 + i,
+                                   "dec": rng.uniform(-30, 30),
+                                   "mag": 1.0, "tag": None})
+        shard_managers = cluster.durability["shards"]
+        wal_paths = [manager.wal.path for manager in shard_managers]
+        cluster.durability["coordinator"].close()
+        for manager in shard_managers:
+            manager.close()
+        # Tear shard 2's WAL in half (frame boundary): its tail is lost,
+        # every other shard keeps all its post-checkpoint inserts.
+        records = list(replay_file(wal_paths[2]))
+        if records:
+            os.truncate(wal_paths[2], records[len(records) // 2].end_offset)
+
+        from repro.cluster import ShardCluster
+
+        recovered = ShardCluster.open_durable(tmp_path)
+        ids = {row["objid"] for _rid, row in recovered.gathered_rows("Obj")}
+        assert before <= ids
+        assert len(ids) <= len(before) + 40
+        # The recovered sequence counter stays monotonic past every
+        # surviving row, so post-recovery inserts cannot collide.
+        shard = recovered.insert("Obj", {"objID": 5 * 10 ** 6, "dec": 0.0,
+                                         "mag": 1.0, "tag": None})
+        assert 0 <= shard < 4
+        recovered.close_durable()
+
+
+# ---------------------------------------------------------------------------
+# The server lifecycle and online data releases
+# ---------------------------------------------------------------------------
+
+class TestServerLifecycle:
+    def test_create_open_flip_round_trip(self, tmp_path):
+        """One end-to-end pass: create a durable columnar server, close
+        it, reopen it replay-free with identical answers, then flip to
+        a second data release online and reopen again serving DR2."""
+        from repro.pipeline import SurveyConfig, SyntheticSurvey
+        from repro.skyserver import (ServerConfig, SkyServer, StorageConfig)
+
+        root = tmp_path / "db"
+        survey = SurveyConfig(scale=0.0003, seed=4, density_per_sq_deg=900.0)
+        config = ServerConfig(survey=survey,
+                              storage=StorageConfig(columnar=True,
+                                                    path=str(root)))
+        with SkyServer.create(config) as server:
+            assert server.durable
+            count_sql = "select count(*) as n from PhotoObj"
+            dr1_count = server.query(count_sql).rows[0]["n"]
+            dr1_galaxies = repr(server.query(
+                "select top 5 objID, modelMag_r from Galaxy "
+                "order by objID").rows)
+            stats = server.durability_statistics()
+            assert stats["on_disk_bytes"] > 0
+            assert stats["checkpoints_written"] >= 1
+            assert server.site_statistics()["storage"]["durability"] is not None
+
+        reopened = SkyServer.open(root)
+        assert reopened.query(count_sql).rows[0]["n"] == dr1_count
+        assert repr(reopened.query(
+            "select top 5 objID, modelMag_r from Galaxy "
+            "order by objID").rows) == dr1_galaxies
+        # WAL replay was unnecessary after a clean close.
+        assert reopened.durability_statistics()[
+            "wal_records_since_checkpoint"] == 0
+
+        dr2 = SyntheticSurvey(SurveyConfig(scale=0.0003, seed=99,
+                                           density_per_sq_deg=900.0)).run()
+        info = reopened.load_release(dr2)
+        assert info["release"] == 2
+        assert info["checkpointed"]
+        dr2_count = reopened.query(count_sql).rows[0]["n"]
+        assert dr2_count == len(dr2.tables["PhotoObj"])
+        dr2_galaxies = repr(reopened.query(
+            "select top 5 objID, modelMag_r from Galaxy "
+            "order by objID").rows)
+        assert dr2_galaxies != dr1_galaxies
+        reopened.close()
+
+        final = SkyServer.open(root)
+        assert final.query(count_sql).rows[0]["n"] == dr2_count
+        assert repr(final.query(
+            "select top 5 objID, modelMag_r from Galaxy "
+            "order by objID").rows) == dr2_galaxies
+        final.close()
+
+
+# ---------------------------------------------------------------------------
+# The session protocol
+# ---------------------------------------------------------------------------
+
+class TestSessionProtocol:
+    def test_make_session_single_node(self):
+        database = _build_db("row")
+        session = make_session(database, row_limit=10)
+        assert isinstance(session, Session)
+        assert session.database is database
+        for probe in ("execute", "query", "explain", "optimizer_statistics",
+                      "execution_mode_statistics", "feedback_statistics"):
+            assert callable(getattr(session, probe))
+
+    def test_make_session_parallel_planner(self):
+        database = _build_db("column")
+        session = make_session(database, parallelism=4)
+        assert session.planner.parallelism == 4
+
+    def test_make_session_cluster(self):
+        from repro.cluster import ClusterSession, ShardCluster
+
+        database = Database("p")
+        database.create_table("Obj", [bigint("objID"), floating("dec")],
+                              primary_key=PrimaryKey(["objID"]))
+        cluster = ShardCluster.from_database(database, shards=2)
+        session = make_session(cluster.coordinator, cluster=cluster)
+        assert isinstance(session, ClusterSession)
+        assert isinstance(session, Session)
+        assert session.feedback_statistics() is not None
