@@ -1,0 +1,110 @@
+"""Telemetry overhead gate: always-on observability must stay ~free.
+
+The observability layer's contract has two halves.  Correctness:
+tracing off produces byte-identical plans and results, tracing on
+changes only counters — checked here by fingerprinting the fig13
+twenty-query suite under both configurations.  Cost: the suite with
+tracing + the durable query log enabled must finish within 10% (plus a
+small absolute slack for timer noise) of the dark run, and the
+Figure-5-style analysis over the log the run just produced must come
+back in well under a second.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_report
+from repro.bench import ExperimentReport
+from repro.skyserver import QueryLimits, SkyServer, TelemetryConfig
+from repro.telemetry import TRACER
+from repro.traffic import analyze_query_log
+
+#: Relative overhead budget for tracing + query logging, plus an
+#: absolute slack so timer jitter on a fast suite cannot flake the gate.
+OVERHEAD_LIMIT = 1.10
+ABS_SLACK_SECONDS = 0.25
+REPEATS = 2
+
+
+def _suite_fingerprint(executions) -> dict[str, str]:
+    return {execution.query_id: repr(execution.result.rows)
+            for execution in executions}
+
+
+def _run_suite(server: SkyServer, *, tracing: bool):
+    """One timed pass over the twenty queries with the tracer pinned.
+
+    The tracer flag is process-global (last configured server wins), so
+    each measured pass pins it to the configuration under test.
+    """
+    TRACER.enabled = tracing
+    started = time.perf_counter()
+    executions = server.run_all_data_mining_queries()
+    elapsed = time.perf_counter() - started
+    return elapsed, executions
+
+
+def test_telemetry_overhead_gate(bench_database):
+    server_off = SkyServer(bench_database, limits=QueryLimits.private(),
+                           telemetry=TelemetryConfig(tracing=False,
+                                                     query_log=False))
+    server_on = SkyServer(bench_database, limits=QueryLimits.private(),
+                          telemetry=TelemetryConfig(tracing=True,
+                                                    query_log=True))
+    try:
+        # Interleave off/on passes and keep the best of each, so slow
+        # outliers (GC, page cache warm-up) cannot bias one side.
+        off_best = on_best = float("inf")
+        off_fingerprint = on_fingerprint = None
+        for _ in range(REPEATS):
+            elapsed, executions = _run_suite(server_off, tracing=False)
+            off_best = min(off_best, elapsed)
+            off_fingerprint = _suite_fingerprint(executions)
+            elapsed, executions = _run_suite(server_on, tracing=True)
+            on_best = min(on_best, elapsed)
+            on_fingerprint = _suite_fingerprint(executions)
+    finally:
+        TRACER.enabled = server_on.telemetry.tracing
+
+    assert on_fingerprint == off_fingerprint, (
+        "telemetry changed query answers: " + ", ".join(
+            sorted(key for key in on_fingerprint
+                   if on_fingerprint[key] != off_fingerprint[key])))
+
+    # The traced run produced real traces and a queryable durable log.
+    assert TRACER.query_ids(), "tracing enabled but no traces recorded"
+    log_rows = server_on.query_log_rows()
+    assert len(log_rows) >= REPEATS * 20
+
+    analysis_started = time.perf_counter()
+    traffic = analyze_query_log(log_rows)
+    analysis_seconds = time.perf_counter() - analysis_started
+    assert traffic.total_queries == len(log_rows)
+    assert traffic.failed == 0
+    assert analysis_seconds < 1.0
+
+    overhead = on_best / off_best if off_best else 1.0
+    budget = off_best * OVERHEAD_LIMIT + ABS_SLACK_SECONDS
+
+    report = ExperimentReport(
+        "Telemetry overhead — fig13 twenty-query suite, dark vs instrumented",
+        f"Best of {REPEATS} interleaved passes; instrumented = trace spans "
+        "+ latency histograms + the durable QueryLog appended per "
+        "statement.  Answers are byte-identical; the cost budget is "
+        f"{OVERHEAD_LIMIT:.2f}x + {ABS_SLACK_SECONDS:g}s slack.")
+    report.add("suite elapsed, telemetry off", "", round(off_best, 4), unit="s")
+    report.add("suite elapsed, telemetry on", "", round(on_best, 4), unit="s")
+    report.add("overhead", f"<= {OVERHEAD_LIMIT:.2f}x",
+               f"{overhead:.3f}x")
+    report.add("fig13 answers changed", "0", "0")
+    report.add("queries logged", "", len(log_rows))
+    report.add("p95 logged elapsed", "",
+               round(traffic.p95_elapsed_ms, 3), unit="ms")
+    report.add("log analysis time", "< 1 s",
+               round(analysis_seconds * 1000.0, 3), unit="ms")
+    print_report(report)
+
+    assert on_best <= budget, (
+        f"telemetry overhead {overhead:.3f}x exceeds the gate "
+        f"({on_best:.3f}s vs budget {budget:.3f}s)")

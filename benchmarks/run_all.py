@@ -1,4 +1,4 @@
-"""Run every ``bench_*.py`` and write a perf snapshot (``BENCH_pr9.json``).
+"""Run every ``bench_*.py`` and write a perf snapshot (``BENCH_pr10.json``).
 
 One pytest invocation covers the whole ``benchmarks/`` directory (so the
 session-scoped synthetic survey is generated and loaded once), and a
@@ -22,7 +22,7 @@ import time
 
 import pytest
 
-SNAPSHOT_NAME = "BENCH_pr9.json"
+SNAPSHOT_NAME = "BENCH_pr10.json"
 
 
 class _DurationCollector:

@@ -51,6 +51,7 @@ from ..engine.sql.ast import (AnalyzeStatement, DeclareStatement,
                               SelectStatement, SetStatement)
 from ..engine.sql.session import PlanCache, StatementResult
 from ..engine.types import NULL, DataType
+from ..telemetry.trace import TRACER
 from .planner import (ClusterPlan, ClusterPlanner, CoPartitionedJoinPlan,
                       FallbackPlan, FragmentRelation, SingleTablePlan,
                       candidate_shards)
@@ -198,9 +199,15 @@ class ClusterExecutor:
         self._count(fragments_pruned=pruned, fragments_executed=len(survivors))
 
         started = time.perf_counter()
+        # Fragments run on pool threads where this thread's span stack
+        # is invisible — capture the parent span here and pass it
+        # across explicitly so per-shard spans join the query's trace.
+        tracer = TRACER
+        parent_span = tracer.current() if tracer.enabled else None
         with self._pool.lease(self._fragment_workers) as grant:
             fragments = list(grant.ordered_map(
-                lambda shard_id: self._run_fragment(shard_id, plan, variables),
+                lambda shard_id: self._run_fragment(shard_id, plan, variables,
+                                                    parent_span=parent_span),
                 sorted(survivors)))
 
         statistics = ExecutionStatistics()
@@ -217,7 +224,15 @@ class ClusterExecutor:
             statistics.runtime_filter_rows_pruned += \
                 fragment.statistics.runtime_filter_rows_pruned
 
-        if plan.is_aggregate:
+        if tracer.enabled:
+            with tracer.span("merge", parent=parent_span,
+                             fragments=len(fragments)) as span:
+                if plan.is_aggregate:
+                    rows = self._merge_aggregate(plan, fragments, evaluation)
+                else:
+                    rows = self._merge_rows(plan, fragments)
+                span.attributes["rows"] = len(rows)
+        elif plan.is_aggregate:
             rows = self._merge_aggregate(plan, fragments, evaluation)
         else:
             rows = self._merge_rows(plan, fragments)
@@ -251,7 +266,20 @@ class ClusterExecutor:
     # -- fragment execution (runs on the pool, one call per shard) ---------
 
     def _run_fragment(self, shard_id: int, plan: ClusterPlan,
-                      variables: dict[str, Any]) -> _Fragment:
+                      variables: dict[str, Any],
+                      parent_span=None) -> _Fragment:
+        tracer = TRACER
+        if tracer.enabled:
+            with tracer.span("fragment", parent=parent_span,
+                             shard=shard_id) as span:
+                fragment = self._run_fragment_inner(shard_id, plan, variables)
+                span.attributes["rows_scanned"] = (
+                    fragment.statistics.rows_scanned)
+                return fragment
+        return self._run_fragment_inner(shard_id, plan, variables)
+
+    def _run_fragment_inner(self, shard_id: int, plan: ClusterPlan,
+                            variables: dict[str, Any]) -> _Fragment:
         shard = self.cluster.shards[shard_id]
         evaluation = self.cluster.coordinator.evaluation_context(variables)
         fragment = _Fragment()
@@ -1132,6 +1160,9 @@ class ClusterSession:
         self.fragment_plan_hits = 0
         self.fragment_plan_misses = 0
         self.fragment_plan_invalidations = 0
+        #: Telemetry: how the most recent SELECT was planned
+        #: ("fragment-cache", "planned" or "fallback").
+        self.last_plan_source = ""
 
     # -- SqlSession surface -------------------------------------------------
 
@@ -1235,6 +1266,7 @@ class ClusterSession:
             if fresh:
                 self._fragment_plans.move_to_end(key)
                 self.fragment_plan_hits += 1
+                self.last_plan_source = "fragment-cache"
                 return plan
             # Some shard (or the coordinator catalog) changed under the
             # plan: one shard-local INSERT is enough to make the cached
@@ -1242,6 +1274,7 @@ class ClusterSession:
             del self._fragment_plans[key]
             self.fragment_plan_invalidations += 1
         self.fragment_plan_misses += 1
+        self.last_plan_source = "planned"
         plan = self.cluster_planner.plan(query)
         tables = ClusterPlanner.plan_tables(plan)
         if tables and not plan.into:
@@ -1265,7 +1298,17 @@ class ClusterSession:
                 key: tuple[str, int]) -> StatementResult:
         assert statement.query is not None
         query = statement.query
-        plan = self._plan_fragment(query, key)
+        tracer = TRACER
+        if tracer.enabled:
+            with tracer.span("plan") as span:
+                plan = self._plan_fragment(query, key)
+                if isinstance(plan, FallbackPlan):
+                    self.last_plan_source = "fallback"
+                span.attributes["source"] = self.last_plan_source
+        else:
+            plan = self._plan_fragment(query, key)
+            if isinstance(plan, FallbackPlan):
+                self.last_plan_source = "fallback"
         if isinstance(plan, FallbackPlan):
             self.cluster.executor._count(fallback_queries=1)
             self._gather_for(plan)
@@ -1282,9 +1325,16 @@ class ClusterSession:
             # never take these locks before gathering (read→write
             # upgrades are forbidden).
             with read_locks(tables):
-                result = physical.execute(
-                    self.variables, row_limit=self.row_limit,
-                    time_limit_seconds=self.time_limit_seconds)
+                if tracer.enabled:
+                    with tracer.span("execute", mode="fallback") as span:
+                        result = physical.execute(
+                            self.variables, row_limit=self.row_limit,
+                            time_limit_seconds=self.time_limit_seconds)
+                        span.attributes["rows"] = len(result.rows)
+                else:
+                    result = physical.execute(
+                        self.variables, row_limit=self.row_limit,
+                        time_limit_seconds=self.time_limit_seconds)
             if result.statistics.batches_processed:
                 self.session.batch_executions += 1
                 self.session.batches_processed += (
@@ -1292,9 +1342,16 @@ class ClusterSession:
             else:
                 self.session.row_executions += 1
         else:
-            result = self.cluster.executor.execute_plan(
-                plan, self.variables, row_limit=self.row_limit,
-                time_limit_seconds=self.time_limit_seconds)
+            if tracer.enabled:
+                with tracer.span("execute", mode="distributed") as span:
+                    result = self.cluster.executor.execute_plan(
+                        plan, self.variables, row_limit=self.row_limit,
+                        time_limit_seconds=self.time_limit_seconds)
+                    span.attributes["rows"] = len(result.rows)
+            else:
+                result = self.cluster.executor.execute_plan(
+                    plan, self.variables, row_limit=self.row_limit,
+                    time_limit_seconds=self.time_limit_seconds)
             if result.statistics.batches_processed:
                 self.session.batch_executions += 1
                 self.session.batches_processed += (

@@ -40,6 +40,7 @@ from ..engine.durable import DurabilityManager, RecoveryError
 from ..engine.table import Table
 from ..engine.types import NULL
 from ..htm import DEFAULT_DEPTH, id_range_at_depth
+from ..telemetry.metrics import METRICS
 from .partition import (DerivedPlacement, HashPlacement, HtmPlacement,
                         Placement, RangePlacement, SKYSERVER_AFFINITY,
                         PHOTO_CHILDREN, ZonePlacement, quantile_boundaries)
@@ -47,6 +48,9 @@ from .partition import (DerivedPlacement, HashPlacement, HtmPlacement,
 #: Spatial partition columns of the two range schemes.
 ZONE_COLUMN = "dec"
 HTM_COLUMN = "htmid"
+
+#: Cached handle — cluster insert routing is per-row hot during loads.
+_ROUTED_ROWS = METRICS.counter("cluster.rows_routed")
 
 
 def _default_zone_boundaries(shards: int) -> list[float]:
@@ -464,6 +468,7 @@ class ShardCluster:
                 if (isinstance(child, DerivedPlacement)
                         and child.parent_table == key):
                     child.route[row.get(child.column)] = shard
+        _ROUTED_ROWS.inc()
         return shard
 
     def delete_where(self, table_name: str,

@@ -68,6 +68,8 @@ from typing import Any, Callable, Optional
 
 from ..storage import decode_value, encode_value
 from ..storage.wal import WriteAheadLog, replay_file
+from ..telemetry.metrics import METRICS
+from ..telemetry.trace import TRACER
 from .catalog import Database
 from .concurrency import lock_tables
 from .constraints import ForeignKey, PrimaryKey
@@ -84,6 +86,14 @@ MANIFEST_NAME = "MANIFEST.json"
 #: seconds elapsed with at least one record pending.
 CHECKPOINT_RECORD_LIMIT = 50_000
 CHECKPOINT_AGE_LIMIT = 300.0
+
+# Cached instrument handles: the WAL append path is per-mutation hot,
+# so skip the registry lookup (registry ``reset()`` zeroes in place,
+# keeping these handles valid).
+_WAL_APPENDS = METRICS.counter("wal.appends")
+_WAL_BYTES = METRICS.counter("wal.bytes")
+_CHECKPOINTS = METRICS.counter("durability.checkpoints")
+_CHECKPOINT_SECONDS = METRICS.histogram("durability.checkpoint_seconds")
 
 
 class RecoveryError(CatalogError):
@@ -398,10 +408,24 @@ class DurabilityManager:
             if sequence is not None:
                 record["sequence"] = sequence
         frame = encode_value(record)
-        with self._append_lock:
-            if self.wal is not None:
-                self.wal.append(frame)
-                self.records_since_checkpoint += 1
+        tracer = TRACER
+        if tracer.enabled and tracer.current() is not None:
+            # Only attach WAL spans under an active query trace — bulk
+            # loads append thousands of frames and would drown the
+            # ring buffer with system noise.  Metrics count always.
+            with tracer.span("wal.append", op=op,
+                             table=record.get("table", "")):
+                with self._append_lock:
+                    if self.wal is not None:
+                        self.wal.append(frame)
+                        self.records_since_checkpoint += 1
+        else:
+            with self._append_lock:
+                if self.wal is not None:
+                    self.wal.append(frame)
+                    self.records_since_checkpoint += 1
+        _WAL_APPENDS.inc()
+        _WAL_BYTES.inc(len(frame))
 
     # -- checkpoint -------------------------------------------------------
 
@@ -413,6 +437,7 @@ class DurabilityManager:
         commits via atomic manifest rename — see the module docstring
         for why the rename ordering makes every crash instant safe.
         """
+        started = time.perf_counter()
         with self._checkpoint_lock:
             database = self.database
             tables = [database.table(name) for name in database.table_names()]
@@ -421,9 +446,20 @@ class DurabilityManager:
             # lock), so its WAL record lands in the *new* log and is
             # replayed on top of this checkpoint rather than lost with
             # the old one.
-            with lock_tables([(table, "read") for table in tables]):
-                with self._append_lock:
-                    return self._checkpoint_frozen(tables)
+            if TRACER.enabled:
+                with TRACER.span("checkpoint", path=self.path,
+                                 tables=len(tables)) as span:
+                    with lock_tables([(table, "read") for table in tables]):
+                        with self._append_lock:
+                            report = self._checkpoint_frozen(tables)
+                    span.attributes["bytes"] = report.get("bytes", 0)
+            else:
+                with lock_tables([(table, "read") for table in tables]):
+                    with self._append_lock:
+                        report = self._checkpoint_frozen(tables)
+        _CHECKPOINTS.inc()
+        _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
+        return report
 
     def _checkpoint_frozen(self, tables: list[Table]) -> dict[str, Any]:
         database = self.database

@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def render_operator(operator: PhysicalOperator, depth: int = 0,
-                    executed: bool = False) -> list[str]:
+                    executed: bool = False, timed: bool = False) -> list[str]:
     indent = "  " * depth
     details = operator.details()
     estimated = (operator.planner_rows if operator.planner_rows is not None
@@ -42,6 +42,12 @@ def render_operator(operator: PhysicalOperator, depth: int = 0,
         # its q-error so misestimates (the cardinality-feedback trigger)
         # are visible right next to the observed count.
         line += f", actual rows={operator.actual_rows}"
+        if timed and operator.actual_seconds > 0.0:
+            # Inclusive wall time from the span clocks installed by
+            # ``execute(time_operators=True)``; operators the execution
+            # never drove row-at-a-time (fused vectorized children)
+            # carry no time of their own and print none.
+            line += f" time={operator.actual_seconds * 1000.0:.3f}ms"
         if operator.planner_rows is not None:
             error = q_error(operator.planner_rows, operator.actual_rows)
             line += f" est={operator.planner_rows} q-err={error:.1f}"
@@ -60,7 +66,7 @@ def render_operator(operator: PhysicalOperator, depth: int = 0,
     line += ")"
     lines = [line]
     for child in operator.children():
-        lines.extend(render_operator(child, depth + 1, executed))
+        lines.extend(render_operator(child, depth + 1, executed, timed))
     return lines
 
 
@@ -69,7 +75,8 @@ def render_plan(plan: "PhysicalPlan") -> str:
     if plan.description:
         header.append(plan.description)
     statistics = plan.last_statistics
-    lines = header + render_operator(plan.root, executed=statistics is not None)
+    lines = header + render_operator(plan.root, executed=statistics is not None,
+                                     timed=getattr(plan, "last_timed", False))
     if statistics is not None:
         footer = (f"[compiled exprs={statistics.exprs_compiled}; "
                   f"plan cache hits={statistics.plan_cache_hits} "

@@ -186,6 +186,10 @@ class PhysicalOperator:
         self.actual_rows = 0
         #: Morsels this operator actually ran on the pool (EXPLAIN ANALYZE).
         self.actual_morsels = 0
+        #: Inclusive wall-clock seconds spent producing this operator's
+        #: rows, populated only when the plan executed with
+        #: ``time_operators=True`` (EXPLAIN ANALYZE).
+        self.actual_seconds = 0.0
 
     def set_estimates(self, rows: Optional[int] = None,
                       cost: Optional[float] = None) -> None:
@@ -2728,6 +2732,9 @@ class PhysicalPlan:
     #: serial) and the simulated-I/O bandwidth executions should model.
     parallelism: int = 1
     simulated_scan_mbps: Optional[float] = None
+    #: Whether the most recent execution ran with per-operator timers
+    #: (EXPLAIN prints ``time=…ms`` only for timed runs).
+    last_timed: bool = False
 
     def reset_actuals(self) -> None:
         """Zero the per-run actual-row counters before a (re-)execution."""
@@ -2735,6 +2742,7 @@ class PhysicalPlan:
         def walk(operator: PhysicalOperator) -> None:
             operator.actual_rows = 0
             operator.actual_morsels = 0
+            operator.actual_seconds = 0.0
             if isinstance(operator, TableScan):
                 operator.actual_segments_scanned = 0
                 operator.actual_segments_skipped = 0
@@ -2752,7 +2760,12 @@ class PhysicalPlan:
     def execute(self, variables: Optional[dict[str, Any]] = None, *,
                 row_limit: Optional[int] = None,
                 time_limit_seconds: Optional[float] = None,
-                compiled: bool = True) -> QueryResult:
+                compiled: bool = True,
+                time_operators: bool = False) -> QueryResult:
+        """Run the plan.  ``time_operators`` additionally accumulates
+        per-operator inclusive wall time on ``actual_seconds`` (EXPLAIN
+        ANALYZE's ``time=…ms``); it wraps every reached generator and so
+        is *not* free — the regular path leaves it off."""
         from .errors import QueryLimitExceeded
 
         self.reset_actuals()
@@ -2764,27 +2777,79 @@ class PhysicalPlan:
             simulated_scan_mbps=self.simulated_scan_mbps,
         )
         self.last_statistics = context.statistics
+        self.last_timed = bool(time_operators)
+        timed = self._install_operator_timers() if time_operators else None
         started_wall = time.perf_counter()
         started_cpu = time.process_time()
         rows: list[dict[str, Any]] = []
-        for binding in self.root.rows(context):
-            output = binding.get(OUTPUT_BINDING, {})
-            rows.append(dict(output))
-            context.statistics.rows_returned += 1
-            if row_limit is not None and len(rows) > row_limit:
-                raise QueryLimitExceeded(
-                    f"query exceeded the public row limit of {row_limit} rows",
-                    limit_kind="rows")
-            if time_limit_seconds is not None and (
-                    time.perf_counter() - started_wall) > time_limit_seconds:
-                raise QueryLimitExceeded(
-                    f"query exceeded the public time limit of {time_limit_seconds} s",
-                    limit_kind="time")
+        try:
+            for binding in self.root.rows(context):
+                output = binding.get(OUTPUT_BINDING, {})
+                rows.append(dict(output))
+                context.statistics.rows_returned += 1
+                if row_limit is not None and len(rows) > row_limit:
+                    raise QueryLimitExceeded(
+                        f"query exceeded the public row limit of {row_limit} rows",
+                        limit_kind="rows")
+                if time_limit_seconds is not None and (
+                        time.perf_counter() - started_wall) > time_limit_seconds:
+                    raise QueryLimitExceeded(
+                        f"query exceeded the public time limit of {time_limit_seconds} s",
+                        limit_kind="time")
+        finally:
+            if timed is not None:
+                self._remove_operator_timers(timed)
         context.statistics.elapsed_seconds = time.perf_counter() - started_wall
         context.statistics.cpu_seconds = time.process_time() - started_cpu
         columns = self.output_names or (list(rows[0].keys()) if rows else [])
         return QueryResult(columns=columns, rows=rows,
                            statistics=context.statistics, plan=self)
+
+    # -- per-operator timing (EXPLAIN ANALYZE) ------------------------------
+
+    def _install_operator_timers(self) -> list[PhysicalOperator]:
+        """Shadow each operator's ``rows`` with a timing wrapper.
+
+        The wrapper is an *instance* attribute so plan shape, operator
+        classes and cached-plan reuse are untouched; removal is just
+        deleting the shadow.  Timing is inclusive (a parent's time
+        contains its children's), matching EXPLAIN conventions.
+        """
+        wrapped: list[PhysicalOperator] = []
+        seen: set[int] = set()
+
+        def walk(operator: PhysicalOperator) -> None:
+            if id(operator) in seen:
+                return
+            seen.add(id(operator))
+            original = operator.rows
+
+            def rows(context: ExecutionContext, *,
+                     _op: PhysicalOperator = operator,
+                     _original: Any = original) -> Iterator[Binding]:
+                generator = _original(context)
+                while True:
+                    begin = time.perf_counter()
+                    try:
+                        item = next(generator)
+                    except StopIteration:
+                        _op.actual_seconds += time.perf_counter() - begin
+                        return
+                    _op.actual_seconds += time.perf_counter() - begin
+                    yield item
+
+            operator.rows = rows  # type: ignore[method-assign]
+            wrapped.append(operator)
+            for child in operator.children():
+                walk(child)
+
+        walk(self.root)
+        return wrapped
+
+    @staticmethod
+    def _remove_operator_timers(wrapped: list[PhysicalOperator]) -> None:
+        for operator in wrapped:
+            operator.__dict__.pop("rows", None)
 
     def explain(self) -> str:
         from .explain import render_plan

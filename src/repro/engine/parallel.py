@@ -43,12 +43,21 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, Optional, TypeVar
 
+from ..telemetry.metrics import METRICS
+
 _T = TypeVar("_T")
 
 #: Upper bound on threads the global pool will ever run.  Sized so the
 #: default serving pool (8 workers) times the default intra-query
 #: grant stays within it; the lease accounting enforces the rest.
 DEFAULT_CAPACITY = max(8, min(32, (os.cpu_count() or 8) * 2))
+
+# Cached handles: lease/submit are per-morsel hot paths, so skip the
+# registry lookup (``MetricsRegistry.reset`` zeroes in place).
+_TASKS = METRICS.counter("workers.tasks_submitted")
+_LEASES = METRICS.counter("workers.leases_granted")
+_LEASES_DEGRADED = METRICS.counter("workers.leases_degraded")
+_LEASED_GAUGE = METRICS.gauge("workers.leased")
 
 
 class _Lease:
@@ -129,6 +138,7 @@ class WorkerPool:
                     thread_name_prefix="repro-worker")
             self.tasks_submitted += 1
             executor = self._executor
+        _TASKS.inc()
         return executor.submit(fn, *args, **kwargs)
 
     # -- fairness ----------------------------------------------------------
@@ -150,11 +160,18 @@ class WorkerPool:
             self.leases_granted += 1
             if granted < requested:
                 self.leases_degraded += 1
+            leased_now = self._leased
+        _LEASES.inc()
+        if granted < requested:
+            _LEASES_DEGRADED.inc()
+        _LEASED_GAUGE.set(leased_now)
         return _Lease(self, granted)
 
     def _release(self, workers: int) -> None:
         with self._mutex:
             self._leased = max(0, self._leased - workers)
+            leased_now = self._leased
+        _LEASED_GAUGE.set(leased_now)
 
     @property
     def leased(self) -> int:

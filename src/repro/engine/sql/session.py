@@ -31,6 +31,7 @@ from ..expressions import RowScope
 from ..operators import PhysicalOperator, PhysicalPlan, QueryResult, TableScan
 from ..planner import Planner
 from ..stats import FEEDBACK_QERROR_THRESHOLD, q_error
+from ...telemetry.trace import TRACER
 from .ast import (AnalyzeStatement, DeclareStatement, SelectStatement,
                   SetStatement, Statement)
 from .parser import parse_batch
@@ -189,6 +190,15 @@ class SqlSession:
                                   tuple[int, dict[str, int]]] = {}
         self.feedback_invalidations = 0
         self.feedback_replans = 0
+        #: How the most recent SELECT obtained its plan: "cache" (plan
+        #: cache hit), "planned" (fresh CBO/fallback plan) or
+        #: "feedback" (re-planned with observed cardinalities).  Pure
+        #: telemetry — read by spans and the query log, never by the
+        #: engine itself.
+        self.last_plan_source = ""
+        #: When True, executions install per-operator wall-clock timers
+        #: (EXPLAIN ANALYZE turns this on around its execution).
+        self._time_operators = False
 
     # -- variables ----------------------------------------------------------
 
@@ -253,9 +263,16 @@ class SqlSession:
         optimizer's estimates.
         """
         if analyze:
-            for outcome in self.execute(sql_text):
-                if outcome.kind == "select" and outcome.result is not None:
-                    return outcome.result.plan.explain()
+            # Per-operator wall-clock timers are installed only for this
+            # execution: always-on tracing stays statement-level, so the
+            # regular path never pays the per-row timing overhead.
+            self._time_operators = True
+            try:
+                for outcome in self.execute(sql_text):
+                    if outcome.kind == "select" and outcome.result is not None:
+                        return outcome.result.plan.explain()
+            finally:
+                self._time_operators = False
             raise SQLSyntaxError("batch contained no SELECT statement")
         return self.plan(sql_text).explain()
 
@@ -321,16 +338,33 @@ class SqlSession:
             return StatementResult(statement, "analyze", value=analyzed)
         if isinstance(statement, SelectStatement):
             assert statement.query is not None
-            plan = entry.plans.get(position)
-            if plan is None:
-                overrides = self._feedback_overrides(cache_key, position)
-                if overrides:
-                    self.feedback_replans += 1
-                plan = self.planner.plan(statement.query,
-                                         cardinality_overrides=overrides)
-                entry.plans[position] = plan
-            result = plan.execute(self.variables, row_limit=self.row_limit,
-                                  time_limit_seconds=self.time_limit_seconds)
+            tracer = TRACER
+            if tracer.enabled:
+                with tracer.span("plan") as span:
+                    plan = self._acquire_plan(statement, entry, position,
+                                              cache_key)
+                    span.attributes["source"] = self.last_plan_source
+                with tracer.span("execute") as span:
+                    result = plan.execute(
+                        self.variables, row_limit=self.row_limit,
+                        time_limit_seconds=self.time_limit_seconds,
+                        time_operators=self._time_operators)
+                    stats = result.statistics
+                    span.attributes.update(
+                        rows=len(result.rows),
+                        batches=stats.batches_processed,
+                        morsels=stats.morsels_dispatched,
+                        segments_scanned=stats.segments_scanned,
+                        segments_skipped=stats.segments_skipped,
+                        runtime_filter_rows_pruned=(
+                            stats.runtime_filter_rows_pruned))
+            else:
+                plan = self._acquire_plan(statement, entry, position,
+                                          cache_key)
+                result = plan.execute(
+                    self.variables, row_limit=self.row_limit,
+                    time_limit_seconds=self.time_limit_seconds,
+                    time_operators=self._time_operators)
             result.statistics.plan_cache_hits = 1 if from_cache else 0
             result.statistics.plan_cache_misses = 0 if from_cache else 1
             if result.statistics.batches_processed:
@@ -346,6 +380,25 @@ class SqlSession:
             self._record_feedback(cache_key, position, entry, plan)
             return StatementResult(statement, "select", result=result)
         raise SQLSyntaxError(f"unsupported statement type {type(statement).__name__}")
+
+    def _acquire_plan(self, statement: SelectStatement, entry: CachedBatch,
+                      position: int, cache_key: str) -> PhysicalPlan:
+        """The statement's physical plan — cached, fresh, or feedback
+        re-planned — recording which on :attr:`last_plan_source`."""
+        plan = entry.plans.get(position)
+        if plan is not None:
+            self.last_plan_source = "cache"
+            return plan
+        overrides = self._feedback_overrides(cache_key, position)
+        if overrides:
+            self.feedback_replans += 1
+            self.last_plan_source = "feedback"
+        else:
+            self.last_plan_source = "planned"
+        plan = self.planner.plan(statement.query,
+                                 cardinality_overrides=overrides)
+        entry.plans[position] = plan
+        return plan
 
     # -- cardinality feedback -----------------------------------------------------
 

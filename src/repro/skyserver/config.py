@@ -75,6 +75,26 @@ class PoolConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability (ISSUE 10): tracing, the query log, slow queries.
+
+    ``tracing`` turns per-query spans on (the default — they are cheap
+    and change only counters, never plans or results).  ``query_log``
+    appends one row per served statement to the durable ``QueryLog``
+    table, queryable with SQL and analyzable by
+    :func:`repro.traffic.analyze_query_log`.  Statements slower than
+    ``slow_query_seconds`` additionally land in the in-memory slow-query
+    log surfaced by ``SkyServer.telemetry_report()``.
+    ``trace_capacity`` bounds how many recent query traces are retained.
+    """
+
+    tracing: bool = True
+    query_log: bool = True
+    slow_query_seconds: float = 1.0
+    trace_capacity: int = 128
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Everything :meth:`SkyServer.create` needs to stand up a server."""
 
@@ -83,6 +103,7 @@ class ServerConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     planner: PlannerConfig = field(default_factory=PlannerConfig)
     pool: PoolConfig = field(default_factory=PoolConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     limits: Optional[QueryLimits] = None
     site_name: str = "SkyServer (reproduction)"
     build_neighbors: bool = True

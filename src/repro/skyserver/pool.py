@@ -52,6 +52,8 @@ from ..engine.catalog import Database
 from ..engine.errors import CatalogError
 from ..engine.sql import PlanCache, parse_batch
 from ..engine.sql.ast import SelectStatement
+from ..telemetry import LatencyHistogram, TRACER
+from ..telemetry.trace import clip as _clip_sql
 from .limits import ServiceClass, default_service_classes
 
 
@@ -76,7 +78,7 @@ class QueryTicket:
 
     __slots__ = ("sql", "user_class", "status", "submitted_at", "started_at",
                  "finished_at", "cache_hit", "epoch", "deadline",
-                 "_result", "_error", "_done")
+                 "query_id", "plan_source", "_result", "_error", "_done")
 
     def __init__(self, sql: str, user_class: str):
         self.sql = sql
@@ -86,6 +88,11 @@ class QueryTicket:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.cache_hit = False
+        #: Telemetry trace id, once a tracing worker picks the ticket up.
+        self.query_id = 0
+        #: How the executing session obtained its plan ("cache",
+        #: "planned", "feedback", "fragment-cache", ...; "" if unknown).
+        self.plan_source = ""
         #: Database epoch the execution observed under its read locks.
         self.epoch: Optional[int] = None
         self.deadline: Optional[float] = None
@@ -337,6 +344,18 @@ class SkyServerPool:
         self._inflight: dict[str, list[QueryTicket]] = {}
         self._inflight_lock = threading.Lock()
         self.coalesced = 0
+        #: The server's telemetry bundle when fronting a SkyServer (the
+        #: query log + server-level latency); None over a bare Database.
+        self.telemetry = getattr(server, "telemetry", None)
+        #: Queue-wait and execution latency histograms, computed from
+        #: the ticket timestamps every completion already records.
+        self.queue_wait = LatencyHistogram("pool.queue_wait_seconds")
+        self.execution_latency = LatencyHistogram("pool.execution_seconds")
+        #: Tickets expired by the deadline watchdog while _cond was
+        #: held; observed (histograms + query log) outside the lock —
+        #: the log append takes a table write lock and must never be
+        #: attempted while holding the pool condition.
+        self._expired_pending: "deque[QueryTicket]" = deque()
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"skyserver-worker-{index}")
@@ -381,6 +400,7 @@ class SkyServerPool:
                 self._per_class[user_class]["submitted"] += 1
                 self._per_class[user_class]["completed"] += 1
             ticket._complete(cached, cache_hit=True)
+            self._observe_ticket(ticket)
             return ticket
         with self._cond:
             if self._shutdown:
@@ -415,13 +435,18 @@ class SkyServerPool:
                 if self._shutdown:
                     return
                 self._expire_overdue()
-                deadlines = [ticket.deadline for ticket in self._queue
-                             if ticket.deadline is not None]
-                if deadlines:
-                    delay = max(0.0, min(deadlines) - time.perf_counter())
-                    self._cond.wait(delay + 0.001)
-                else:
-                    self._cond.wait()
+                if not self._expired_pending:
+                    deadlines = [ticket.deadline for ticket in self._queue
+                                 if ticket.deadline is not None]
+                    if deadlines:
+                        delay = max(0.0, min(deadlines) - time.perf_counter())
+                        self._cond.wait(delay + 0.001)
+                    else:
+                        self._cond.wait()
+            # Expired tickets are observed with _cond released (the
+            # query-log append takes a table lock); loop back around to
+            # recompute deadlines afterwards.
+            self._drain_expired()
 
     def _expire_overdue(self) -> None:
         """Fail every queued ticket past its deadline; caller holds _cond."""
@@ -437,6 +462,7 @@ class SkyServerPool:
                 ticket._fail(QueueTimeout(
                     f"waited longer than the {ticket.user_class} queue timeout "
                     f"of {service.queue_timeout_seconds:g}s"), status="timeout")
+                self._expired_pending.append(ticket)
             else:
                 keep.append(ticket)
         self._queue.extend(keep)
@@ -458,6 +484,7 @@ class SkyServerPool:
                         return
                     self._cond.wait()
                     ticket = self._pop_eligible()
+            self._drain_expired()
             try:
                 self._run_ticket(ticket, sessions)
             finally:
@@ -483,14 +510,52 @@ class SkyServerPool:
         return chosen
 
     def _run_ticket(self, ticket: QueryTicket, sessions: dict[str, Session]) -> None:
+        """Telemetry shell around :meth:`_run_ticket_inner`.
+
+        Opens the root ``query`` span (backdated to submission so it
+        covers the queue wait), records the admission wait as a child
+        span, and — whether tracing is on or not — feeds the latency
+        histograms and the query log once the ticket resolves.  A
+        coalesced ticket resolves later, on its leader's thread, and is
+        observed there instead.
+        """
         ticket.started_at = time.perf_counter()
         ticket.status = "running"
+        tracer = TRACER
+        if not tracer.enabled:
+            self._run_ticket_inner(ticket, sessions)
+            self._observe_ticket(ticket)
+            return
+        with tracer.span("query", started=ticket.submitted_at,
+                         sql=_clip_sql(ticket.sql),
+                         user_class=ticket.user_class, via="pool") as root:
+            ticket.query_id = root.query_id
+            tracer.record("pool.admission", started=ticket.submitted_at,
+                          ended=ticket.started_at, parent=root,
+                          queue_wait_ms=round(
+                              (ticket.started_at - ticket.submitted_at)
+                              * 1000.0, 3))
+            self._run_ticket_inner(ticket, sessions)
+            root.attributes["status"] = ticket.status
+            root.attributes["cache_hit"] = ticket.cache_hit
+        self._observe_ticket(ticket)
+
+    def _run_ticket_inner(self, ticket: QueryTicket,
+                          sessions: dict[str, Session]) -> None:
         key = self._cache_key(ticket.sql, ticket.user_class)
         # A duplicate submitted while its twin was still queued may be
         # servable by now; re-probe before paying for execution.
-        cached = self.result_cache.lookup(key, self.database,
-                                          cluster=self.cluster,
-                                          record_miss=False)
+        tracer = TRACER
+        if tracer.enabled:
+            with tracer.span("result_cache") as span:
+                cached = self.result_cache.lookup(key, self.database,
+                                                  cluster=self.cluster,
+                                                  record_miss=False)
+                span.attributes["hit"] = cached is not None
+        else:
+            cached = self.result_cache.lookup(key, self.database,
+                                              cluster=self.cluster,
+                                              record_miss=False)
         if cached is not None:
             with self._cond:
                 self.completed += 1
@@ -549,6 +614,7 @@ class SkyServerPool:
                     self.completed += 1
                     self._per_class[ticket.user_class]["completed"] += 1
                 ticket._complete(cached, cache_hit=True)
+                self._observe_ticket(ticket)
                 continue
             with self._cond:
                 if self._shutdown:
@@ -562,6 +628,7 @@ class SkyServerPool:
             if shut_down:
                 ticket._fail(PoolShutdown("the serving pool was shut down"),
                              status="rejected")
+                self._observe_ticket(ticket)
 
     def _execute(self, ticket: QueryTicket, session: Session,
                  info: "_BatchInfo", key: str) -> None:
@@ -575,6 +642,7 @@ class SkyServerPool:
             with read_locks(tables):
                 ticket.epoch = self.database.epoch
                 result = session.query(ticket.sql)
+                ticket.plan_source = getattr(session, "last_plan_source", "")
                 versions = {table.name.lower(): table.modification_counter
                             for table in tables}
                 schema_version = self.database.schema_version
@@ -611,6 +679,7 @@ class SkyServerPool:
             before = {name: cluster.table_versions(name) for name in placed}
             ticket.epoch = self.database.epoch + cluster.epoch
             result = session.query(ticket.sql)
+            ticket.plan_source = getattr(session, "last_plan_source", "")
             # Placed tables validate against the shard counters (the
             # coordinator's copy is just a gather cache whose counters
             # move on every re-materialisation); tables living only on
@@ -637,6 +706,40 @@ class SkyServerPool:
             self.failed += 1
             self._per_class[ticket.user_class]["failed"] += 1
         ticket._fail(error)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _observe_ticket(self, ticket: QueryTicket) -> None:
+        """Feed a resolved ticket's timestamps to the latency histograms
+        and the server's query log.  Never called with ``_cond`` held —
+        the log append takes a table write lock.  A ticket that is not
+        finished yet (a parked coalesced follower) is skipped; it is
+        observed when its leader resolves it.
+        """
+        if ticket.finished_at is None:
+            return
+        if ticket.started_at is not None:
+            self.queue_wait.observe(ticket.started_at - ticket.submitted_at)
+            self.execution_latency.observe(
+                ticket.finished_at - ticket.started_at)
+        else:
+            # Completed at the door (result-cache hit in submit): no
+            # queue time, and the whole life of the ticket is "execution".
+            self.queue_wait.observe(0.0)
+            self.execution_latency.observe(
+                ticket.finished_at - ticket.submitted_at)
+        if self.telemetry is not None:
+            self.telemetry.record_pool_query(
+                ticket, plan_source=ticket.plan_source)
+
+    def _drain_expired(self) -> None:
+        """Observe tickets the watchdog expired while holding ``_cond``."""
+        while True:
+            try:
+                ticket = self._expired_pending.popleft()
+            except IndexError:
+                return
+            self._observe_ticket(ticket)
 
     # -- batch metadata ----------------------------------------------------
 
@@ -711,6 +814,8 @@ class SkyServerPool:
         for ticket in leftovers:
             ticket._fail(PoolShutdown("the serving pool was shut down"),
                          status="rejected")
+            self._observe_ticket(ticket)
+        self._drain_expired()
         if wait:
             for thread in self._threads:
                 thread.join()
@@ -743,6 +848,10 @@ class SkyServerPool:
                 "rejected": self.rejected,
                 "queue_timeouts": self.queue_timeouts,
                 "coalesced": self.coalesced,
+                "latency": {
+                    "queue_wait": self.queue_wait.snapshot(),
+                    "execution": self.execution_latency.snapshot(),
+                },
                 "result_cache": self.result_cache.statistics(),
                 "classes": {
                     name: {**counters,

@@ -20,7 +20,8 @@ from ..engine.durable import DurabilityManager
 from ..loader import load_release_database
 from ..pipeline import PipelineOutput, SurveyConfig, SyntheticSurvey
 from ..schema import register_schema_functions
-from .config import ServerConfig
+from ..telemetry import Telemetry
+from .config import ServerConfig, TelemetryConfig
 from .formats import render
 from .limits import QueryLimits
 from .queries import (ADDITIONAL_SIMPLE_QUERIES, DATA_MINING_QUERIES,
@@ -65,13 +66,25 @@ class SkyServer:
     def __init__(self, database: Database, *,
                  limits: Optional[QueryLimits] = None,
                  site_name: str = "SkyServer (reproduction)",
-                 cluster=None):
+                 cluster=None,
+                 telemetry: Optional[TelemetryConfig] = None):
         self.database = database
         self.limits = limits or QueryLimits.private()
         self.site_name = site_name
         self.cluster = cluster
         register_spatial_functions(database)
         register_url_functions(database)
+        #: Observability bundle (tracing + metrics + the durable query
+        #: log), driven by the config's ``telemetry`` section.  Built
+        #: before the session so the ``QueryLog`` table exists by the
+        #: time anything plans against the catalog.
+        telemetry_config = telemetry or TelemetryConfig()
+        self.telemetry = Telemetry(
+            database,
+            tracing=telemetry_config.tracing,
+            query_log=telemetry_config.query_log,
+            slow_query_seconds=telemetry_config.slow_query_seconds,
+            trace_capacity=telemetry_config.trace_capacity)
         self.session: Session = make_session(
             database, cluster=cluster, row_limit=self.limits.max_rows,
             time_limit_seconds=self.limits.max_seconds)
@@ -106,7 +119,8 @@ class SkyServer:
             partition=config.cluster.partition,
             build_neighbors=config.build_neighbors)
         server = cls(database, limits=config.limits,
-                     site_name=config.site_name, cluster=report.cluster)
+                     site_name=config.site_name, cluster=report.cluster,
+                     telemetry=config.telemetry)
         server.survey_output = output
         durable_path = path if path is not None else config.storage.path
         if durable_path is not None:
@@ -121,7 +135,8 @@ class SkyServer:
     def open(cls, path: str | os.PathLike, *,
              limits: Optional[QueryLimits] = None,
              site_name: str = "SkyServer (reproduction)",
-             fsync: bool = False) -> "SkyServer":
+             fsync: bool = False,
+             telemetry: Optional[TelemetryConfig] = None) -> "SkyServer":
         """Reopen a durable server from its on-disk directory.
 
         Restores the last checkpoint (a header parse plus lazy segment
@@ -143,7 +158,7 @@ class SkyServer:
             database = DurabilityManager.open(root, fsync=fsync).database
         register_schema_functions(database)
         return cls(database, limits=limits, site_name=site_name,
-                   cluster=cluster)
+                   cluster=cluster, telemetry=telemetry)
 
     @classmethod
     def from_survey(cls, config: Optional[SurveyConfig] = None, *,
@@ -355,8 +370,14 @@ class SkyServer:
     # -- free-form SQL -----------------------------------------------------------
 
     def query(self, sql: str) -> QueryResult:
-        """Run a SQL batch and return the final SELECT's result."""
-        return self.session.query(sql)
+        """Run a SQL batch and return the final SELECT's result.
+
+        Every statement served here is traced (when tracing is on) and
+        appended to the durable ``QueryLog`` table — the paper's query
+        log, self-hosted.
+        """
+        return self.telemetry.run_query(
+            lambda: self.session.query(sql), sql, session=self.session)
 
     def submit(self, sql: str, output_format: str = "csv") -> str | bytes:
         """Run a query and render it in one of the public output formats."""
@@ -659,3 +680,45 @@ class SkyServer:
             "cluster": (self.cluster.statistics()
                         if self.cluster is not None else None),
         }
+
+    # -- telemetry ------------------------------------------------------------------
+
+    def telemetry_report(self) -> dict[str, Any]:
+        """One structured snapshot unifying the scattered statistics.
+
+        The ``telemetry`` section carries the server-level latency
+        histogram (p50/p95/p99), tracer and metrics-registry snapshots,
+        query-log counters and the recent slow queries; ``pool`` adds
+        the serving pool's queue-wait/execution percentiles; ``site``
+        embeds the familiar ``site_statistics()`` payload; ``traffic``
+        is the Figure-5-style analysis of our own query log.
+        """
+        report: dict[str, Any] = {
+            "telemetry": self.telemetry.snapshot(),
+            "pool": (self._pool.statistics()
+                     if self._pool is not None else None),
+            "site": self.site_statistics(),
+        }
+        traffic = self.traffic_report()
+        report["traffic"] = (traffic.summary_rows()
+                             if traffic is not None else None)
+        return report
+
+    def query_log_rows(self, *, limit: Optional[int] = None) -> list[dict]:
+        """The ``QueryLog`` table's rows, read back through plain SQL
+        (dogfooding: the log is data, exactly as the paper used it)."""
+        if self.telemetry.logger is None:
+            return []
+        sql = "select * from QueryLog order by logID"
+        rows = self.query(sql).rows
+        return rows[-limit:] if limit is not None else rows
+
+    def traffic_report(self):
+        """Figure-5-style analysis over our own query log (or ``None``
+        when the query log is disabled or still empty)."""
+        from ..traffic import analyze_query_log
+
+        rows = self.query_log_rows()
+        if not rows:
+            return None
+        return analyze_query_log(rows)

@@ -31,8 +31,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from ..telemetry.metrics import METRICS
+
 _HEADER = struct.Struct("<III")
 _MAGIC = 0x57414C09          # "WAL\t"
+
+# Cached metric handles (appends themselves are counted one layer up,
+# in DurabilityManager, where the logical op/table is known).
+_FSYNCS = METRICS.counter("wal.fsyncs")
+_REPLAYED = METRICS.counter("wal.frames_replayed")
 
 
 @dataclass(frozen=True)
@@ -68,11 +75,13 @@ class WriteAheadLog:
         handle.flush()
         if self.fsync:
             os.fsync(handle.fileno())
+            _FSYNCS.inc()
         return handle.tell()
 
     def sync(self) -> None:
         self._file.flush()
         os.fsync(self._file.fileno())
+        _FSYNCS.inc()
 
     def truncate(self) -> None:
         """Empty the log (after a successful checkpoint).  Always synced:
@@ -128,4 +137,5 @@ def replay_file(path: str | os.PathLike) -> Iterator[WalRecord]:
             if len(payload) < length or zlib.crc32(payload) != crc:
                 return                          # torn or corrupt payload
             offset += _HEADER.size + length
+            _REPLAYED.inc()
             yield WalRecord(payload, offset)

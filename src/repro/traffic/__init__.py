@@ -1,10 +1,13 @@
 """Web-site usage synthesis and analysis (Figure 5, Section 7)."""
 
 from .analyze import DailyPoint, TrafficReport, analyze, ascii_chart
+from .querytraffic import QueryTrafficReport, analyze_query_log
 from .weblog import (DEFAULT_END, DEFAULT_START, LogRecord, Session,
                      TrafficModelConfig, WebLog, generate_weblog)
 
 __all__ = [
+    "QueryTrafficReport",
+    "analyze_query_log",
     "TrafficModelConfig",
     "WebLog",
     "LogRecord",
